@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Ablation A1: NPV dominance vs branch compatibility.
+
+Run:  pytest benchmarks/bench_ablation_branch.py --benchmark-only -s
+The rendered table is archived under benchmarks/results/.
+"""
+
+from repro.experiments import ablation_branch as driver
+
+from .conftest import run_figure_once
+
+
+def test_ablation_branch(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "ablation_branch")

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Ablation A7: closure-tree vs NPV flat filter.
+
+Run:  pytest benchmarks/bench_ablation_ctree.py --benchmark-only -s
+"""
+
+from repro.experiments import ablation_ctree as driver
+
+from .conftest import run_figure_once
+
+
+def test_ablation_ctree(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "ablation_ctree")

@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Ablation A2: edge labels in projection dimensions.
+
+Run:  pytest benchmarks/bench_ablation_dimensions.py --benchmark-only -s
+The rendered table is archived under benchmarks/results/.
+"""
+
+from repro.experiments import ablation_dimensions as driver
+
+from .conftest import run_figure_once
+
+
+def test_ablation_dimensions(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "ablation_dimensions")

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Ablation A5: gIndex discriminative fragment
+selection.
+
+Run:  pytest benchmarks/bench_ablation_discriminative.py --benchmark-only -s
+"""
+
+from repro.experiments import ablation_discriminative as driver
+
+from .conftest import run_figure_once
+
+
+def test_ablation_discriminative(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "ablation_discriminative")

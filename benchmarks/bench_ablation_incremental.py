@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Ablation A3: incremental NNT maintenance vs rebuild.
+
+Run:  pytest benchmarks/bench_ablation_incremental.py --benchmark-only -s
+The rendered table is archived under benchmarks/results/.
+"""
+
+from repro.experiments import ablation_incremental as driver
+
+from .conftest import run_figure_once
+
+
+def test_ablation_incremental(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "ablation_incremental")

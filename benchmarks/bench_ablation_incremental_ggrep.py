@@ -1,0 +1,13 @@
+"""Benchmark regenerating Ablation A8: incremental GraphGrep maintenance
+vs the classic per-timestamp recompute.
+
+Run:  pytest benchmarks/bench_ablation_incremental_ggrep.py --benchmark-only -s
+"""
+
+from repro.experiments import ablation_incremental_ggrep as driver
+
+from .conftest import run_figure_once
+
+
+def test_ablation_incremental_ggrep(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "ablation_incremental_ggrep")

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Ablation A4: spectral (GCoding-style) filter
+vs NPV on streams.
+
+Run:  pytest benchmarks/bench_ablation_spectral.py --benchmark-only -s
+"""
+
+from repro.experiments import ablation_spectral as driver
+
+from .conftest import run_figure_once
+
+
+def test_ablation_spectral(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "ablation_spectral")

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Ablation A6: tree features vs graph features
+(the Tree+Delta trade-off).
+
+Run:  pytest benchmarks/bench_ablation_trees.py --benchmark-only -s
+"""
+
+from repro.experiments import ablation_trees as driver
+
+from .conftest import run_figure_once
+
+
+def test_ablation_trees(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "ablation_trees")

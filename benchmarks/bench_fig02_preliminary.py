@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 2: gIndex / GraphGrep / NPV preliminary comparison.
+
+Run:  pytest benchmarks/bench_fig02_preliminary.py --benchmark-only -s
+The rendered table is archived under benchmarks/results/.
+"""
+
+from repro.experiments import fig02_preliminary as driver
+
+from .conftest import run_figure_once
+
+
+def test_fig02_preliminary(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "fig02_preliminary")

@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 12: candidate ratio vs NNT depth.
+
+Run:  pytest benchmarks/bench_fig12_depth.py --benchmark-only -s
+The rendered table is archived under benchmarks/results/.
+"""
+
+from repro.experiments import fig12_depth as driver
+
+from .conftest import run_figure_once
+
+
+def test_fig12_depth(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "fig12_depth")

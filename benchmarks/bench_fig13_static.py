@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 13: static effectiveness vs query size.
+
+Run:  pytest benchmarks/bench_fig13_static.py --benchmark-only -s
+The rendered table is archived under benchmarks/results/.
+"""
+
+from repro.experiments import fig13_static as driver
+
+from .conftest import run_figure_once
+
+
+def test_fig13_static(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "fig13_static")

@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 14: stream effectiveness (candidate ratio).
+
+Run:  pytest benchmarks/bench_fig14_stream_effectiveness.py --benchmark-only -s
+The rendered table is archived under benchmarks/results/.
+"""
+
+from repro.experiments import fig14_stream_effectiveness as driver
+
+from .conftest import run_figure_once
+
+
+def test_fig14_stream_effectiveness(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "fig14_stream_effectiveness")

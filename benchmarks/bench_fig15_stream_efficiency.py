@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 15: stream efficiency (cost per timestamp).
+
+Run:  pytest benchmarks/bench_fig15_stream_efficiency.py --benchmark-only -s
+The rendered table is archived under benchmarks/results/.
+"""
+
+from repro.experiments import fig15_stream_efficiency as driver
+
+from .conftest import run_figure_once
+
+
+def test_fig15_stream_efficiency(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "fig15_stream_efficiency")

@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 16: scalability vs number of queries.
+
+Run:  pytest benchmarks/bench_fig16_scale_queries.py --benchmark-only -s
+The rendered table is archived under benchmarks/results/.
+"""
+
+from repro.experiments import fig16_scale_queries as driver
+
+from .conftest import run_figure_once
+
+
+def test_fig16_scale_queries(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "fig16_scale_queries")

@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 17: scalability vs number of streams.
+
+Run:  pytest benchmarks/bench_fig17_scale_streams.py --benchmark-only -s
+The rendered table is archived under benchmarks/results/.
+"""
+
+from repro.experiments import fig17_scale_streams as driver
+
+from .conftest import run_figure_once
+
+
+def test_fig17_scale_streams(benchmark, scale, archive):
+    run_figure_once(benchmark, driver, scale, archive, "fig17_scale_streams")

@@ -1,0 +1,66 @@
+"""Micro-benchmarks: the three join engines' answering cost.
+
+Times ``candidates()`` on a prepared state (the pure join phase, no NNT
+maintenance) — the quantity whose growth Figures 16-17 analyze.
+"""
+
+import random
+
+from repro.datasets import generate_graph_set
+from repro.join import QuerySet, StreamListenerAdapter, make_engine
+from repro.nnt import NNTIndex
+
+
+def _setup(num_queries: int = 12, num_streams: int = 8):
+    graphs = generate_graph_set(
+        num_queries + num_streams,
+        num_seeds=6,
+        seed_size=5,
+        graph_size=12,
+        num_vertex_labels=4,
+        seed=23,
+    )
+    queries = {f"q{i}": graphs[i] for i in range(num_queries)}
+    query_set = QuerySet(queries, depth_limit=3)
+    indexes = {
+        sid: NNTIndex(graphs[num_queries + sid], depth_limit=3)
+        for sid in range(num_streams)
+    }
+    return query_set, indexes
+
+
+def _bench_engine(benchmark, name: str):
+    query_set, indexes = _setup()
+    engine = make_engine(name, query_set)
+    rng = random.Random(5)
+    for sid, index in indexes.items():
+        engine.register_stream(sid, index.npvs)
+        index.add_listener(StreamListenerAdapter(engine, sid))
+
+    def poll_after_touch():
+        # Touch one stream so cached verdicts cannot short-circuit, then
+        # answer for all pairs.
+        sid = rng.choice(list(indexes))
+        index = indexes[sid]
+        edges = list(index.graph.edges())
+        if edges:
+            u, v, label = rng.choice(edges)
+            u_label = index.graph.vertex_label(u)
+            v_label = index.graph.vertex_label(v)
+            index.delete_edge(u, v)
+            index.insert_edge(u, v, label, u_label, v_label)
+        return engine.candidates()
+
+    benchmark(poll_after_touch)
+
+
+def test_nested_loop_poll(benchmark):
+    _bench_engine(benchmark, "nl")
+
+
+def test_dominated_set_cover_poll(benchmark):
+    _bench_engine(benchmark, "dsc")
+
+
+def test_skyline_poll(benchmark):
+    _bench_engine(benchmark, "skyline")

@@ -1,0 +1,36 @@
+"""Micro-benchmarks: exact matcher, path fingerprints and gSpan mining —
+the primitive costs behind the verification stage and both baselines."""
+
+from repro.baselines import mine_frequent_subgraphs, path_fingerprint
+from repro.datasets import generate_graph_set, generate_molecule_set, make_query_set
+from repro.isomorphism import SubgraphMatcher
+
+
+def test_vf2_molecule_queries(benchmark):
+    molecules = generate_molecule_set(20, seed=31)
+    queries = make_query_set(molecules, 8, 10, seed=32)
+    matchers = [SubgraphMatcher(graph) for graph in molecules]
+    state = {"i": 0}
+
+    def match_round():
+        query = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return sum(1 for matcher in matchers if matcher.is_subgraph(query))
+
+    benchmark(match_round)
+
+
+def test_path_fingerprint_molecule(benchmark):
+    molecule = generate_molecule_set(1, seed=33)[0]
+    benchmark(lambda: path_fingerprint(molecule, max_length=4))
+
+
+def test_gspan_mining_small_db(benchmark):
+    graphs = generate_graph_set(
+        10, num_seeds=6, seed_size=5, graph_size=12, num_vertex_labels=4, seed=34
+    )
+    benchmark.pedantic(
+        lambda: mine_frequent_subgraphs(graphs, min_support=2, max_edges=4),
+        rounds=3,
+        iterations=1,
+    )

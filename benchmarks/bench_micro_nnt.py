@@ -1,0 +1,67 @@
+"""Micro-benchmarks: incremental NNT maintenance primitives.
+
+These time the paper's Insert-Edge / Delete-Edge procedures (Lemma 3.2:
+``O(r^(l-1))`` per appearance) and the bulk build, independent of any
+join engine.
+"""
+
+import random
+
+from repro.datasets import generate_graph_set
+from repro.nnt import NNTIndex
+
+
+def _workload_graph(size: int = 30):
+    return generate_graph_set(
+        1, num_seeds=6, seed_size=5, graph_size=size, num_vertex_labels=4, seed=17
+    )[0]
+
+
+def test_bulk_build_depth3(benchmark):
+    graph = _workload_graph()
+    benchmark(lambda: NNTIndex(graph, depth_limit=3))
+
+
+def test_insert_delete_cycle_depth3(benchmark):
+    """One edge inserted and deleted again: steady-state maintenance."""
+    graph = _workload_graph()
+    index = NNTIndex(graph, depth_limit=3)
+    rng = random.Random(3)
+    vertices = list(index.graph.vertices())
+    pairs = [
+        (u, v)
+        for u in vertices
+        for v in vertices
+        if str(u) < str(v) and not index.graph.has_edge(u, v)
+    ]
+    pair_cycle = rng.sample(pairs, min(50, len(pairs)))
+    state = {"i": 0}
+
+    def cycle():
+        u, v = pair_cycle[state["i"] % len(pair_cycle)]
+        state["i"] += 1
+        index.insert_edge(u, v, "-")
+        index.delete_edge(u, v)
+
+    benchmark(cycle)
+
+
+def test_insert_delete_cycle_depth2(benchmark):
+    graph = _workload_graph()
+    index = NNTIndex(graph, depth_limit=2)
+    vertices = list(index.graph.vertices())
+    pairs = [
+        (u, v)
+        for u in vertices
+        for v in vertices
+        if str(u) < str(v) and not index.graph.has_edge(u, v)
+    ]
+    state = {"i": 0}
+
+    def cycle():
+        u, v = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        index.insert_edge(u, v, "-")
+        index.delete_edge(u, v)
+
+    benchmark(cycle)

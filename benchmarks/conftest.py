@@ -1,0 +1,43 @@
+"""Benchmark fixtures.
+
+Figure benchmarks replay a full experiment driver once (``pedantic``,
+one round — the drivers are internally repeated measurements already)
+and archive the rendered table under ``benchmarks/results/`` so the
+numbers survive pytest's output capture.  Scale comes from
+``REPRO_SCALE`` (default profile unless overridden).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def archive():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return save
+
+
+def run_figure_once(benchmark, driver, scale, archive, name: str):
+    """Shared figure-bench body: one timed run, table archived + printed."""
+    result = benchmark.pedantic(lambda: driver.run(scale), rounds=1, iterations=1)
+    rendered = result.render()
+    archive(name, rendered)
+    print()
+    print(rendered)
+    return result

@@ -1,0 +1,78 @@
+"""Device-proximity monitoring over Reality-Mining-like streams.
+
+Replays simulated Bluetooth proximity streams (see
+``repro.datasets.reality``) and watches for meeting patterns — e.g. a
+hub device near three phones, or a chain of distinct device types.
+Also contrasts the two improved join engines of the paper (dominated
+set cover vs skyline with early stop) on identical input.
+
+Run with:  python examples/proximity_monitoring.py
+"""
+
+import random
+import time
+
+from repro import LabeledGraph, StreamMonitor
+from repro.datasets import generate_reality_streams
+from repro.datasets.queries import extract_connected_query
+from repro.datasets.reality import RealityConfig
+
+
+def meeting_patterns(rng: random.Random, snapshot: LabeledGraph) -> dict:
+    """A hand-written hub pattern plus two patterns sampled from the data."""
+    hub = LabeledGraph.from_vertices_and_edges(
+        [(0, "dev0"), (1, "dev1"), (2, "dev3"), (3, "dev5")],
+        [(0, 1, "near"), (0, 2, "near"), (0, 3, "near")],
+    )
+    patterns = {"hub-meeting": hub}
+    for index in range(2):
+        patterns[f"observed-{index}"] = extract_connected_query(snapshot, 4, rng)
+    return patterns
+
+
+def replay(method: str, patterns: dict, streams: list) -> tuple[float, int]:
+    """Replay all streams under one engine; return (seconds, matches)."""
+    monitor = StreamMonitor(patterns, method=method)
+    for index, stream in enumerate(streams):
+        monitor.add_stream(index, stream.initial)
+    start = time.perf_counter()
+    total_matches = 0
+    for timestamp in range(len(stream.operations)):
+        for index, s in enumerate(streams):
+            monitor.apply(index, s.operations[timestamp])
+        total_matches += len(monitor.matches())
+    return time.perf_counter() - start, total_matches
+
+
+def main() -> None:
+    rng = random.Random(13)
+    config = RealityConfig(num_devices=40)
+    streams = generate_reality_streams(4, timestamps=30, seed=5, config=config)
+    patterns = meeting_patterns(rng, streams[0].initial)
+    print(f"monitoring {len(streams)} proximity streams for {len(patterns)} patterns\n")
+
+    # Live alerting with the DSC engine.
+    monitor = StreamMonitor(patterns, method="dsc")
+    for index, stream in enumerate(streams):
+        monitor.add_stream(index, stream.initial)
+    previous: set = set()
+    for timestamp in range(10):
+        for index, stream in enumerate(streams):
+            monitor.apply(index, stream.operations[timestamp])
+        current = monitor.matches()
+        for stream_id, pattern in sorted(current - previous):
+            print(f"t={timestamp + 1}: pattern {pattern!r} appeared on stream {stream_id}")
+        for stream_id, pattern in sorted(previous - current):
+            print(f"t={timestamp + 1}: pattern {pattern!r} vanished from stream {stream_id}")
+        previous = current
+
+    # Engine comparison on the full replay.
+    print("\nengine comparison over the full replay:")
+    for method in ("nl", "dsc", "skyline"):
+        seconds, matches = replay(method, patterns, streams)
+        print(f"  {method:8s}: {seconds * 1000:7.1f} ms total, {matches} pair-reports")
+    print("(all engines report identical pairs; they differ only in cost)")
+
+
+if __name__ == "__main__":
+    main()

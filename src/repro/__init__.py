@@ -1,0 +1,70 @@
+"""repro — Continuous Subgraph Pattern Search over Graph Streams.
+
+A full reproduction of Wang & Chen (ICDE 2009): Node-Neighbor Tree
+filtering features with incremental maintenance, node-projected-vector
+dominance joins (nested loop, dominated set cover, skyline with early
+stop), the GraphGrep and gIndex comparison baselines, dataset
+generators, and an experiment harness regenerating every figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import StreamMonitor, LabeledGraph, EdgeChange
+
+    pattern = LabeledGraph.from_vertices_and_edges(
+        [(0, "A"), (1, "B"), (2, "C")], [(0, 1, "-"), (1, 2, "-")])
+    monitor = StreamMonitor({"triangle-feed": pattern}, method="dsc")
+    monitor.add_stream("net0")
+    monitor.apply("net0", EdgeChange.insert(7, 8, "-", "A", "B"))
+    monitor.apply("net0", EdgeChange.insert(8, 9, "-", None, "C"))
+    assert monitor.matches() == {("net0", "triangle-feed")}
+"""
+
+from .core import (
+    Confusion,
+    GraphDatabase,
+    MatchEvent,
+    RunningStats,
+    SlidingWindowMonitor,
+    Stopwatch,
+    StreamMonitor,
+    candidate_ratio,
+    compare_with_truth,
+)
+from .graph import (
+    EdgeChange,
+    GraphChangeOperation,
+    GraphError,
+    GraphStream,
+    LabeledGraph,
+)
+from .isomorphism import SubgraphMatcher, is_subgraph_isomorphic
+from .join import QuerySet, make_engine
+from .nnt import NNTIndex, build_nnt, project_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Confusion",
+    "EdgeChange",
+    "GraphChangeOperation",
+    "GraphDatabase",
+    "GraphError",
+    "GraphStream",
+    "LabeledGraph",
+    "MatchEvent",
+    "NNTIndex",
+    "QuerySet",
+    "RunningStats",
+    "SlidingWindowMonitor",
+    "Stopwatch",
+    "StreamMonitor",
+    "SubgraphMatcher",
+    "build_nnt",
+    "candidate_ratio",
+    "compare_with_truth",
+    "is_subgraph_isomorphic",
+    "make_engine",
+    "project_graph",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Comparison baselines: GraphGrep (path fingerprints) and gIndex
+(frequent fragments via gSpan)."""
+
+from .ctree import (
+    ClosureGraph,
+    ClosureTree,
+    merge_closures,
+    pseudo_subgraph_isomorphic,
+)
+from .gcoding import (
+    GCodingFilter,
+    GCodingStreamFilter,
+    graph_signatures,
+    signature_dominates,
+    spectral_signature,
+)
+from .gindex import (
+    GIndex,
+    GIndexConfig,
+    GIndexStreamFilter,
+    gindex1_config,
+    gindex2_config,
+    treedelta_config,
+)
+from .graphgrep import GraphGrepFilter, GraphGrepStreamFilter
+from .graphgrep_incremental import IncrementalGraphGrep, paths_through_edge
+from .gspan import MinedPattern, is_min_code, mine_frequent_subgraphs
+from .paths import fingerprint_dominates, path_fingerprint
+
+__all__ = [
+    "ClosureGraph",
+    "ClosureTree",
+    "GCodingFilter",
+    "GCodingStreamFilter",
+    "GIndex",
+    "GIndexConfig",
+    "GIndexStreamFilter",
+    "GraphGrepFilter",
+    "GraphGrepStreamFilter",
+    "IncrementalGraphGrep",
+    "MinedPattern",
+    "fingerprint_dominates",
+    "gindex1_config",
+    "gindex2_config",
+    "graph_signatures",
+    "is_min_code",
+    "merge_closures",
+    "mine_frequent_subgraphs",
+    "path_fingerprint",
+    "paths_through_edge",
+    "pseudo_subgraph_isomorphic",
+    "signature_dominates",
+    "spectral_signature",
+    "treedelta_config",
+]

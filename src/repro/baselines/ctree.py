@@ -1,0 +1,321 @@
+"""Closure-tree (CTree) baseline — He & Singh, ICDE'06 (the paper's [8]).
+
+A *graph closure* is a bounding box over a set of graphs: vertices and
+edges carry **sets** of labels, and an edge additionally carries an
+"absent" marker when it is missing from some member.  Closures are
+organized in a hierarchical index (leaves = data graphs, inner nodes =
+closures of their children); a query descends the tree and prunes every
+subtree whose closure cannot possibly contain it.
+
+The possibly-contains test is CTree's *pseudo subgraph isomorphism*:
+level-``k`` compatibility between query and closure vertices refined via
+bipartite matchings of their neighborhoods, followed by a global
+bipartite matching of all query vertices.  It admits every real
+embedding (soundness is property-tested) but never runs an exponential
+search — the paper's filter-only contract.
+
+The closure of two (closure) graphs depends on a vertex correspondence;
+quality of the correspondence affects only tightness, never soundness,
+so we pair vertices greedily by label-set overlap and degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Mapping, Sequence
+
+from ..graph.labeled_graph import LabeledGraph
+
+GraphId = Hashable
+
+# Marker inside an edge label set: "this edge is absent in some member".
+ABSENT = "∅"
+
+
+@dataclass
+class ClosureGraph:
+    """A graph whose vertices/edges carry label *sets* (a bounding box).
+
+    Vertices are 0..n-1; ``edges`` maps an (i, j) pair with i < j to the
+    set of edge labels seen among members (plus ``ABSENT`` when the edge
+    is missing in some member).
+    """
+
+    vertex_labels: list[frozenset]
+    edges: dict[tuple, frozenset] = field(default_factory=dict)
+    size: int = 1  # number of data graphs covered
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_labels)
+
+    def neighbors(self, vertex: int) -> Iterator[tuple[int, frozenset]]:
+        """Iterate ``(other_vertex, edge_label_set)`` pairs of ``vertex``."""
+        for (a, b), labels in self.edges.items():
+            if a == vertex:
+                yield b, labels
+            elif b == vertex:
+                yield a, labels
+
+    def degree(self, vertex: int) -> int:
+        """Number of (possibly-absent) closure edges at ``vertex``."""
+        return sum(1 for _ in self.neighbors(vertex))
+
+    @classmethod
+    def from_graph(cls, graph: LabeledGraph) -> "ClosureGraph":
+        """Lift a concrete graph: singleton label sets, no ABSENT marks."""
+        order = sorted(graph.vertices(), key=repr)
+        index = {vertex: i for i, vertex in enumerate(order)}
+        vertex_labels = [frozenset([graph.vertex_label(v)]) for v in order]
+        edges: dict[tuple, frozenset] = {}
+        for u, v, label in graph.edges():
+            i, j = sorted((index[u], index[v]))
+            edges[(i, j)] = frozenset([label])
+        return cls(vertex_labels, edges, size=1)
+
+
+def _pair_vertices(big: ClosureGraph, small: ClosureGraph) -> list[int | None]:
+    """Greedy correspondence: for each vertex of ``small`` pick the most
+    label-compatible unused vertex of ``big`` (None = unmatched; the
+    closure then gains a fresh vertex slot)."""
+    used: set[int] = set()
+    mapping: list[int | None] = []
+    order = sorted(range(small.num_vertices), key=lambda v: -small.degree(v))
+    assignment: dict[int, int | None] = {}
+    for small_vertex in order:
+        best, best_score = None, -1.0
+        for big_vertex in range(big.num_vertices):
+            if big_vertex in used:
+                continue
+            overlap = len(
+                small.vertex_labels[small_vertex] & big.vertex_labels[big_vertex]
+            )
+            score = overlap * 100 - abs(
+                small.degree(small_vertex) - big.degree(big_vertex)
+            )
+            if overlap == 0:
+                score -= 1000  # only as a last resort
+            if score > best_score:
+                best, best_score = big_vertex, score
+        if best is not None:
+            used.add(best)
+        assignment[small_vertex] = best
+    for small_vertex in range(small.num_vertices):
+        mapping.append(assignment[small_vertex])
+    return mapping
+
+
+def merge_closures(first: ClosureGraph, second: ClosureGraph) -> ClosureGraph:
+    """Closure of two closures under a greedy vertex correspondence."""
+    big, small = (first, second) if first.num_vertices >= second.num_vertices else (second, first)
+    mapping = _pair_vertices(big, small)
+    vertex_labels = [set(labels) for labels in big.vertex_labels]
+    next_slot = len(vertex_labels)
+    small_to_merged: list[int] = []
+    for small_vertex, target in enumerate(mapping):
+        if target is None:
+            vertex_labels.append(set(small.vertex_labels[small_vertex]))
+            small_to_merged.append(next_slot)
+            next_slot += 1
+        else:
+            vertex_labels[target] |= small.vertex_labels[small_vertex]
+            small_to_merged.append(target)
+
+    edges: dict[tuple, set] = {key: set(labels) for key, labels in big.edges.items()}
+    small_edges: dict[tuple, frozenset] = {}
+    for (a, b), labels in small.edges.items():
+        i, j = sorted((small_to_merged[a], small_to_merged[b]))
+        small_edges[(i, j)] = labels
+    for key, labels in small_edges.items():
+        if key in edges:
+            edges[key] |= labels
+        else:
+            edges[key] = set(labels) | {ABSENT}  # big lacks this edge
+    for key in edges:
+        if key not in small_edges:
+            edges[key] |= {ABSENT}  # small lacks this edge
+    return ClosureGraph(
+        [frozenset(labels) for labels in vertex_labels],
+        {key: frozenset(labels) for key, labels in edges.items()},
+        size=first.size + second.size,
+    )
+
+
+# ----------------------------------------------------------------------
+# pseudo subgraph isomorphism (CTree's possibly-contains test)
+# ----------------------------------------------------------------------
+def _bipartite_match(candidates: Sequence[set]) -> bool:
+    """Can every left node be matched to a distinct right node?
+    (Augmenting-path matching; inputs are small neighbor sets.)"""
+    match_right: dict = {}
+
+    def augment(left: int, visited: set) -> bool:
+        for right in candidates[left]:
+            if right in visited:
+                continue
+            visited.add(right)
+            if right not in match_right or augment(match_right[right], visited):
+                match_right[right] = left
+                return True
+        return False
+
+    for left in range(len(candidates)):
+        if not augment(left, set()):
+            return False
+    return True
+
+
+def pseudo_subgraph_isomorphic(
+    query: LabeledGraph, closure: ClosureGraph, level: int = 2
+) -> bool:
+    """CTree's level-``k`` pseudo subgraph isomorphism.
+
+    Returns False only when the query provably cannot embed into any
+    member of the closure; True means "possibly contains".
+    """
+    query_order = sorted(query.vertices(), key=repr)
+    query_index = {vertex: i for i, vertex in enumerate(query_order)}
+    nq, nc = len(query_order), closure.num_vertices
+    if nq > nc:
+        return False
+
+    # Level-0 compatibility: vertex label containment.
+    compatible = [
+        [
+            query.vertex_label(query_order[qi]) in closure.vertex_labels[ci]
+            for ci in range(nc)
+        ]
+        for qi in range(nq)
+    ]
+
+    closure_neighbors: list[list[tuple[int, frozenset]]] = [
+        list(closure.neighbors(ci)) for ci in range(nc)
+    ]
+    query_neighbors: list[list[tuple[int, object]]] = [
+        [
+            (query_index[n], label)
+            for n, label in query.neighbor_items(query_order[qi])
+        ]
+        for qi in range(nq)
+    ]
+
+    # Level-k refinement: neighborhoods must admit a bipartite matching.
+    for _ in range(level):
+        changed = False
+        for qi in range(nq):
+            for ci in range(nc):
+                if not compatible[qi][ci]:
+                    continue
+                rows = []
+                feasible = True
+                for qn, q_edge_label in query_neighbors[qi]:
+                    options = {
+                        cn
+                        for cn, c_edge_labels in closure_neighbors[ci]
+                        if q_edge_label in c_edge_labels and compatible[qn][cn]
+                    }
+                    if not options:
+                        feasible = False
+                        break
+                    rows.append(options)
+                if not feasible or not _bipartite_match(rows):
+                    compatible[qi][ci] = False
+                    changed = True
+        if not changed:
+            break
+
+    # Global matching: every query vertex to a distinct closure vertex.
+    rows = [
+        {ci for ci in range(nc) if compatible[qi][ci]} for qi in range(nq)
+    ]
+    if any(not row for row in rows):
+        return False
+    return _bipartite_match(rows)
+
+
+# ----------------------------------------------------------------------
+# the index tree
+# ----------------------------------------------------------------------
+@dataclass
+class _Node:
+    """One closure-tree node: a closure plus children or member ids."""
+
+    closure: ClosureGraph
+    children: list["_Node"] = field(default_factory=list)
+    graph_ids: list[GraphId] = field(default_factory=list)  # leaves only
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class ClosureTree:
+    """Hierarchical closure index over a static graph database."""
+
+    def __init__(
+        self,
+        graphs: Mapping[GraphId, LabeledGraph],
+        fanout: int = 4,
+        level: int = 2,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self.graphs = dict(graphs)
+        self.fanout = fanout
+        self.level = level
+        self.root = self._build()
+
+    def _build(self) -> _Node | None:
+        # Leaves, ordered by label histogram so that similar graphs are
+        # grouped under the same parent (tighter closures).
+        items = sorted(
+            self.graphs.items(),
+            key=lambda kv: (sorted(kv[1].label_histogram().items()), kv[1].num_vertices),
+        )
+        nodes = [
+            _Node(ClosureGraph.from_graph(graph), graph_ids=[graph_id])
+            for graph_id, graph in items
+        ]
+        if not nodes:
+            return None
+        while len(nodes) > 1:
+            grouped: list[_Node] = []
+            for start in range(0, len(nodes), self.fanout):
+                chunk = nodes[start : start + self.fanout]
+                closure = chunk[0].closure
+                for child in chunk[1:]:
+                    closure = merge_closures(closure, child.closure)
+                grouped.append(_Node(closure, children=chunk))
+            nodes = grouped
+        return nodes[0]
+
+    def candidates_for(self, query: LabeledGraph) -> set[GraphId]:
+        """Graphs possibly containing the query (prunes whole subtrees
+        whose closure fails the pseudo-isomorphism test)."""
+        if self.root is None:
+            return set()
+        if query.num_vertices == 0:
+            return set(self.graphs)
+        out: set[GraphId] = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not pseudo_subgraph_isomorphic(query, node.closure, self.level):
+                continue
+            if node.is_leaf:
+                out.update(node.graph_ids)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def node_count(self) -> int:
+        """Total nodes in the index tree (diagnostics)."""
+        if self.root is None:
+            return 0
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count

@@ -1,0 +1,242 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro generate ...    # write synthetic datasets to files
+    python -m repro search ...      # static filter-and-verify search
+    python -m repro monitor ...     # replay streams, print match events
+    python -m repro experiment ...  # run a paper-figure driver
+
+Graphs and query sets use the text format of :mod:`repro.graph.io`
+(gSpan-style ``t # / v / e`` blocks); streams add ``op`` blocks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+from .core.database import GraphDatabase
+from .core.monitor import StreamMonitor
+from .datasets.ggen import generate_graph_set
+from .datasets.molecules import generate_molecule_set
+from .datasets.queries import make_query_set
+from .datasets.reality import RealityConfig, generate_reality_stream
+from .datasets.stream_gen import DENSE, SPARSE, synthesize_stream
+from .graph.io import read_graph_set, read_stream, write_graph_set, write_stream
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (also used by the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Continuous subgraph pattern search over graph streams "
+        "(Wang & Chen, ICDE 2009 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # -- generate ---------------------------------------------------------
+    gen = subparsers.add_parser("generate", help="write synthetic datasets to files")
+    gen.add_argument(
+        "kind",
+        choices=["molecules", "ggen", "queries", "reality-stream", "synthetic-stream"],
+    )
+    gen.add_argument("--out", required=True, help="output file path")
+    gen.add_argument("--count", type=int, default=100, help="number of graphs/queries")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--size", type=float, default=20.0, help="mean graph size (ggen T)")
+    gen.add_argument("--labels", type=int, default=4, help="vertex label count (ggen V)")
+    gen.add_argument("--query-edges", type=int, default=8, help="edges per query")
+    gen.add_argument("--from-db", help="source graph set for 'queries'")
+    gen.add_argument("--timestamps", type=int, default=100, help="stream length")
+    gen.add_argument("--devices", type=int, default=97, help="reality-stream devices")
+    gen.add_argument(
+        "--density",
+        choices=["dense", "sparse"],
+        default="dense",
+        help="synthetic-stream coin-flip regime (p1/p2 of the paper)",
+    )
+    gen.add_argument("--base", help="base graph set for 'synthetic-stream' (first block)")
+
+    # -- search -----------------------------------------------------------
+    search = subparsers.add_parser("search", help="static subgraph search over a graph set")
+    search.add_argument("--db", required=True, help="graph-set file")
+    search.add_argument("--queries", required=True, help="graph-set file of patterns")
+    search.add_argument("--depth", type=int, default=3, help="NNT depth l")
+    search.add_argument(
+        "--no-verify", action="store_true", help="report filter candidates only"
+    )
+
+    # -- monitor ----------------------------------------------------------
+    monitor = subparsers.add_parser("monitor", help="replay streams and print match events")
+    monitor.add_argument("--queries", required=True, help="graph-set file of patterns")
+    monitor.add_argument("--streams", nargs="+", required=True, help="stream files")
+    monitor.add_argument("--method", choices=["nl", "dsc", "skyline"], default="dsc")
+    monitor.add_argument("--depth", type=int, default=3, help="NNT depth l")
+    monitor.add_argument(
+        "--verify", action="store_true", help="confirm events with exact isomorphism"
+    )
+
+    # -- experiment ---------------------------------------------------------
+    experiment = subparsers.add_parser("experiment", help="run a paper-figure driver")
+    experiment.add_argument("figure", help="fig02|fig12|...|fig17|ablation_a1..a7|all")
+    experiment.add_argument("--scale", choices=["smoke", "default", "paper"])
+    experiment.add_argument(
+        "--out",
+        help="also save results; suffix picks the format (.csv/.json/.md/.txt); "
+        "with 'all', a directory receiving one file per figure",
+    )
+    experiment.add_argument(
+        "--format",
+        choices=["csv", "json", "md", "txt"],
+        default="md",
+        help="file format when --out is a directory (default md)",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    if args.kind == "molecules":
+        graphs = generate_molecule_set(args.count, seed=args.seed)
+        write_graph_set(graphs, out)
+    elif args.kind == "ggen":
+        graphs = generate_graph_set(
+            args.count,
+            graph_size=args.size,
+            num_vertex_labels=args.labels,
+            seed=args.seed,
+        )
+        write_graph_set(graphs, out)
+    elif args.kind == "queries":
+        if not args.from_db:
+            print("generate queries requires --from-db", file=sys.stderr)
+            return 2
+        source = [graph for _, graph in read_graph_set(args.from_db)]
+        queries = make_query_set(source, args.query_edges, args.count, seed=args.seed)
+        write_graph_set(queries, out, names=[f"q{i}" for i in range(len(queries))])
+    elif args.kind == "reality-stream":
+        stream = generate_reality_stream(
+            random.Random(args.seed),
+            args.timestamps,
+            RealityConfig(num_devices=args.devices),
+            name=out.stem,
+        )
+        write_stream(stream, out)
+    elif args.kind == "synthetic-stream":
+        if args.base:
+            base = read_graph_set(args.base)[0][1]
+        else:
+            base = generate_graph_set(
+                1, graph_size=args.size, num_vertex_labels=args.labels, seed=args.seed
+            )[0]
+        p_appear, p_disappear = DENSE if args.density == "dense" else SPARSE
+        stream = synthesize_stream(
+            base,
+            p_appear,
+            p_disappear,
+            args.timestamps,
+            random.Random(args.seed + 1),
+            all_pairs=True,
+            name=out.stem,
+        )
+        write_stream(stream, out)
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    database = GraphDatabase(dict(read_graph_set(args.db)), depth_limit=args.depth)
+    for name, query in read_graph_set(args.queries):
+        if args.no_verify:
+            hits = database.filter_candidates(query)
+            label = "candidates"
+        else:
+            hits = database.search(query, verify=True)
+            label = "matches"
+        print(f"{name}: {len(hits)} {label}: {' '.join(sorted(map(str, hits)))}")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    queries = dict(read_graph_set(args.queries))
+    streams = {}
+    for path in args.streams:
+        stream = read_stream(path)
+        stream_id = stream.name or Path(path).stem
+        streams[stream_id] = stream
+    monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
+    for stream_id, stream in streams.items():
+        monitor.add_stream(stream_id, stream.initial)
+    for event in monitor.poll_events():
+        print(f"t=0: {event.kind} {event.query_id} on {event.stream_id}")
+
+    horizon = min(len(stream.operations) for stream in streams.values())
+    for timestamp in range(horizon):
+        for stream_id, stream in streams.items():
+            monitor.apply(stream_id, stream.operations[timestamp])
+        for event in monitor.poll_events():
+            line = f"t={timestamp + 1}: {event.kind} {event.query_id} on {event.stream_id}"
+            if args.verify and event.kind == "appeared":
+                pair = (event.stream_id, event.query_id)
+                confirmed = pair in monitor.verified_matches({pair})
+                line += "  [CONFIRMED]" if confirmed else "  [filter only]"
+            print(line)
+    final = sorted(monitor.matches())
+    print(f"final possible pairs: {final}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import ALL_FIGURES, get_scale
+
+    scale = get_scale(args.scale) if args.scale else get_scale()
+    names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    out = Path(args.out) if args.out else None
+    out_is_dir = out is not None and (len(names) > 1 or out.suffix == "")
+    if out_is_dir:
+        out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        if name not in ALL_FIGURES:
+            print(
+                f"unknown figure {name!r}; choose from {sorted(ALL_FIGURES)} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        result = ALL_FIGURES[name].run(scale)
+        print(result.render())
+        print()
+        if out is not None:
+            target = out / f"{name}.{args.format}" if out_is_dir else out
+            result.save(target)
+            print(f"saved {target}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "search": _cmd_search,
+        "monitor": _cmd_monitor,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:  # pragma: no cover - double-close race
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

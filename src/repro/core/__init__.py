@@ -1,0 +1,29 @@
+"""Public API: the streaming monitor, static database, and metrics."""
+
+from .database import GraphDatabase
+from .metrics import (
+    Confusion,
+    RunningStats,
+    Stopwatch,
+    candidate_ratio,
+    compare_with_truth,
+)
+from .checkpoint import load_monitor, save_monitor
+from .monitor import MatchEvent, StreamMonitor
+from .verify import CachingVerifier
+from .window import SlidingWindowMonitor
+
+__all__ = [
+    "CachingVerifier",
+    "Confusion",
+    "GraphDatabase",
+    "MatchEvent",
+    "RunningStats",
+    "SlidingWindowMonitor",
+    "Stopwatch",
+    "StreamMonitor",
+    "candidate_ratio",
+    "compare_with_truth",
+    "load_monitor",
+    "save_monitor",
+]

@@ -1,0 +1,75 @@
+"""Checkpoint / restore for :class:`StreamMonitor`.
+
+A checkpoint directory holds a JSON manifest (method, depth, scheme,
+id maps) plus one text file for the query set and one per stream graph
+(the formats of :mod:`repro.graph.io`).  Restoring rebuilds the monitor
+from the snapshots; engine state is re-derived (it is a pure function of
+the graphs), so a restored monitor answers exactly like the original and
+accepts further updates.
+
+Note on identifiers: the text format serializes vertex ids and labels
+as strings, so non-string vertex ids come back as strings (graph
+*structure* round-trips exactly).  Stream/query ids are stored in the
+JSON manifest and must be JSON-representable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..graph.io import read_graph_set, write_graph_set
+from ..nnt.projection import DimensionScheme
+from .monitor import StreamMonitor
+
+MANIFEST = "manifest.json"
+QUERIES = "queries.txt"
+
+
+def save_monitor(monitor: StreamMonitor, directory: str | Path) -> Path:
+    """Write a restorable snapshot of ``monitor`` into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    query_ids = list(monitor.query_set.queries)
+    stream_ids = monitor.stream_ids()
+    manifest = {
+        "format": 1,
+        "method": monitor.method,
+        "depth_limit": monitor.depth_limit,
+        "include_edge_label": monitor.scheme.include_edge_label,
+        "query_ids": query_ids,
+        "stream_ids": stream_ids,
+    }
+    (directory / MANIFEST).write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    write_graph_set(
+        [monitor.query_set.queries[query_id] for query_id in query_ids],
+        directory / QUERIES,
+        names=[f"q{i}" for i in range(len(query_ids))],
+    )
+    for i, stream_id in enumerate(stream_ids):
+        write_graph_set([monitor.graph(stream_id)], directory / f"stream_{i}.txt")
+    return directory
+
+
+def load_monitor(directory: str | Path) -> StreamMonitor:
+    """Rebuild a :class:`StreamMonitor` from :func:`save_monitor` output."""
+    directory = Path(directory)
+    manifest = json.loads((directory / MANIFEST).read_text(encoding="utf-8"))
+    if manifest.get("format") != 1:
+        raise ValueError(f"unsupported checkpoint format: {manifest.get('format')!r}")
+
+    query_graphs = [graph for _, graph in read_graph_set(directory / QUERIES)]
+    query_ids = manifest["query_ids"]
+    if len(query_graphs) != len(query_ids):
+        raise ValueError("checkpoint query count does not match its manifest")
+    monitor = StreamMonitor(
+        dict(zip(query_ids, query_graphs)),
+        method=manifest["method"],
+        depth_limit=manifest["depth_limit"],
+        scheme=DimensionScheme(include_edge_label=manifest["include_edge_label"]),
+    )
+    for i, stream_id in enumerate(manifest["stream_ids"]):
+        (_, graph), = read_graph_set(directory / f"stream_{i}.txt")
+        monitor.add_stream(stream_id, graph)
+    return monitor

@@ -1,0 +1,222 @@
+"""Continuous subgraph pattern monitoring — the library's main entry point.
+
+:class:`StreamMonitor` wires the whole paper together: a fixed query set
+projected once (Section IV-A), one incrementally maintained
+:class:`~repro.nnt.incremental.NNTIndex` per registered stream
+(Section III), and a dominance join engine (Section IV-B: ``nl``,
+``dsc`` or ``skyline``) fed by NPV deltas.  At any timestamp
+:meth:`matches` reports the *possible joinable* pairs of Definition 2.8 —
+guaranteed to include every truly joinable pair (no false negatives) —
+and :meth:`verified_matches` optionally confirms them with exact
+subgraph isomorphism.
+
+>>> from repro import StreamMonitor, LabeledGraph, EdgeChange
+>>> pattern = LabeledGraph.from_vertices_and_edges(
+...     [(0, "A"), (1, "B")], [(0, 1, "x")])
+>>> monitor = StreamMonitor({"q0": pattern})
+>>> monitor.add_stream("s0")
+>>> monitor.apply("s0", EdgeChange.insert(10, 11, "x", "A", "B"))
+>>> monitor.matches()
+{('s0', 'q0')}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal, Mapping
+
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.operations import EdgeChange, GraphChangeOperation
+from ..isomorphism.vf2 import SubgraphMatcher
+from ..join import QuerySet, StreamListenerAdapter, make_engine
+from ..join.base import Pair, QueryId, StreamId
+from ..nnt.incremental import NNTIndex
+from ..nnt.projection import DimensionScheme, PAPER_SCHEME
+
+
+@dataclass(frozen=True)
+class MatchEvent:
+    """A transition of one (stream, query) pair between two polls."""
+
+    kind: Literal["appeared", "vanished"]
+    stream_id: StreamId
+    query_id: QueryId
+
+
+class StreamMonitor:
+    """Continuous filter over many graph streams for a fixed query set.
+
+    Parameters
+    ----------
+    queries:
+        The fixed pattern set (Definition 2.7) as ``{query_id: graph}``.
+    method:
+        Join engine: ``"dsc"`` (default, Figure 8), ``"skyline"``
+        (Figure 11) or ``"nl"`` (the baseline nested loop).
+    depth_limit:
+        NNT depth ``l``; the paper's self-test settles on 3.
+    scheme:
+        NPV dimension scheme (the paper's label-pair scheme by default).
+    """
+
+    def __init__(
+        self,
+        queries: Mapping[QueryId, LabeledGraph],
+        method: str = "dsc",
+        depth_limit: int = 3,
+        scheme: DimensionScheme = PAPER_SCHEME,
+    ) -> None:
+        self.query_set = QuerySet(queries, depth_limit, scheme)
+        self.method = method.lower()
+        self.engine = make_engine(self.method, self.query_set)
+        self.depth_limit = depth_limit
+        self.scheme = scheme
+        self._indexes: dict[StreamId, NNTIndex] = {}
+        self._adapters: dict[StreamId, StreamListenerAdapter] = {}
+        self._last_poll: set[Pair] = set()
+
+    # ------------------------------------------------------------------
+    # stream lifecycle
+    # ------------------------------------------------------------------
+    def add_stream(self, stream_id: StreamId, initial: LabeledGraph | None = None) -> None:
+        """Start monitoring a stream, optionally from an initial graph."""
+        if stream_id in self._indexes:
+            raise ValueError(f"stream {stream_id!r} is already monitored")
+        index = NNTIndex(initial, self.depth_limit, self.scheme)
+        self.engine.register_stream(stream_id, index.npvs)
+        adapter = StreamListenerAdapter(self.engine, stream_id)
+        index.add_listener(adapter)
+        self._indexes[stream_id] = index
+        self._adapters[stream_id] = adapter
+
+    def remove_stream(self, stream_id: StreamId) -> None:
+        """Stop monitoring a stream and free its state."""
+        del self._indexes[stream_id]
+        del self._adapters[stream_id]
+        self.engine.remove_stream(stream_id)
+        self._last_poll = {pair for pair in self._last_poll if pair[0] != stream_id}
+
+    # ------------------------------------------------------------------
+    # query lifecycle (the paper leaves dynamic query sets as future
+    # work; we support them by rebuilding the query-side structures —
+    # an O(index) hiccup per change, streams stay untouched)
+    # ------------------------------------------------------------------
+    def add_query(self, query_id: QueryId, query: LabeledGraph) -> None:
+        """Add a pattern to the monitored set."""
+        if query_id in self.query_set.queries:
+            raise ValueError(f"query {query_id!r} is already monitored")
+        queries = dict(self.query_set.queries)
+        queries[query_id] = query
+        self._rebuild_queries(queries)
+
+    def remove_query(self, query_id: QueryId) -> None:
+        """Drop a pattern from the monitored set."""
+        queries = dict(self.query_set.queries)
+        if query_id not in queries:
+            raise KeyError(f"query {query_id!r} is not monitored")
+        del queries[query_id]
+        self._rebuild_queries(queries)
+        self._last_poll = {pair for pair in self._last_poll if pair[1] != query_id}
+
+    def query_ids(self) -> list[QueryId]:
+        """Ids of the currently monitored patterns."""
+        return self.query_set.query_ids()
+
+    def _rebuild_queries(self, queries: Mapping[QueryId, LabeledGraph]) -> None:
+        self.query_set = QuerySet(queries, self.depth_limit, self.scheme)
+        engine = make_engine(self.method, self.query_set)
+        for stream_id, index in self._indexes.items():
+            engine.register_stream(stream_id, index.npvs)
+        # Retarget the live listener adapters so future NPV deltas reach
+        # the new engine; the indexes themselves are untouched.
+        for adapter in self._adapters.values():
+            adapter.engine = engine
+        self.engine = engine
+
+    def stream_ids(self) -> list[StreamId]:
+        """Ids of the currently monitored streams."""
+        return list(self._indexes)
+
+    def graph(self, stream_id: StreamId) -> LabeledGraph:
+        """The stream's current graph (live — treat as read-only)."""
+        return self._indexes[stream_id].graph
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def apply(
+        self, stream_id: StreamId, update: GraphChangeOperation | EdgeChange
+    ) -> None:
+        """Apply one edge change or a whole timestamp batch to a stream."""
+        index = self._indexes[stream_id]
+        if isinstance(update, EdgeChange):
+            index.apply_change(update)
+        else:
+            index.apply(update)
+
+    def apply_many(
+        self, updates: Mapping[StreamId, GraphChangeOperation]
+    ) -> None:
+        """Apply one timestamp's batches across several streams."""
+        for stream_id, operation in updates.items():
+            self.apply(stream_id, operation)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def matches(self) -> set[Pair]:
+        """All currently *possible joinable* ``(stream_id, query_id)``
+        pairs (the approximate answer of Definition 2.8; superset of the
+        exact answer)."""
+        return self.engine.candidates()
+
+    def is_match(self, stream_id: StreamId, query_id: QueryId) -> bool:
+        """Does one pair currently pass the filter?"""
+        return self.engine.is_candidate(stream_id, query_id)
+
+    def stats(self) -> dict:
+        """Aggregate maintenance statistics across all streams: graph
+        sizes, NNT index sizes, and cumulative churn counters."""
+        per_stream = {}
+        for stream_id, index in self._indexes.items():
+            per_stream[stream_id] = {
+                "num_vertices": index.graph.num_vertices,
+                "num_edges": index.graph.num_edges,
+                "tree_nodes": sum(len(bucket) for bucket in index.node_index.values()),
+                **index.stats,
+            }
+        return {
+            "num_streams": len(self._indexes),
+            "num_queries": len(self.query_set),
+            "num_query_dimensions": len(self.query_set.dimension_universe),
+            "streams": per_stream,
+        }
+
+    def poll_events(self) -> list[MatchEvent]:
+        """Transitions since the previous :meth:`poll_events` call:
+        pairs that newly pass the filter ("appeared") and pairs that
+        stopped passing it ("vanished"), sorted for determinism."""
+        current = self.matches()
+        appeared = current - self._last_poll
+        vanished = self._last_poll - current
+        self._last_poll = current
+        events = [MatchEvent("appeared", s, q) for s, q in appeared]
+        events += [MatchEvent("vanished", s, q) for s, q in vanished]
+        return sorted(events, key=lambda e: (e.kind, str(e.stream_id), str(e.query_id)))
+
+    def verified_matches(self, pairs: Iterable[Pair] | None = None) -> set[Pair]:
+        """Exact joinable pairs: the filter's candidates confirmed by
+        subgraph isomorphism checking (expensive; for when exactness
+        matters more than latency)."""
+        if pairs is None:
+            pairs = self.matches()
+        confirmed: set[Pair] = set()
+        matchers: dict[StreamId, SubgraphMatcher] = {}
+        for stream_id, query_id in pairs:
+            matcher = matchers.get(stream_id)
+            if matcher is None:
+                matcher = SubgraphMatcher(self._indexes[stream_id].graph)
+                matchers[stream_id] = matcher
+            if matcher.is_subgraph(self.query_set.queries[query_id]):
+                confirmed.add((stream_id, query_id))
+        return confirmed

@@ -1,0 +1,63 @@
+"""Caching exact verification on top of a :class:`StreamMonitor`.
+
+``monitor.verified_matches()`` rebuilds a matcher per stream and
+re-verifies every candidate pair on each call.  When verification is
+polled frequently but most streams are quiet between polls,
+:class:`CachingVerifier` avoids that: it keys each stream's matcher and
+each pair's verdict on the stream's *mutation version* (derived from
+the NNT index's churn counters), so only pairs whose stream actually
+changed — or which just entered the candidate set — are re-verified.
+"""
+
+from __future__ import annotations
+
+from ..isomorphism.vf2 import SubgraphMatcher
+from ..join.base import Pair, StreamId
+from .monitor import StreamMonitor
+
+
+class CachingVerifier:
+    """Incremental exact verification of a monitor's candidate pairs."""
+
+    def __init__(self, monitor: StreamMonitor) -> None:
+        self.monitor = monitor
+        self._matchers: dict[StreamId, tuple[int, SubgraphMatcher]] = {}
+        self._verdicts: dict[Pair, tuple[int, bool]] = {}
+        self.stats = {"verifications": 0, "cache_hits": 0}
+
+    def _version(self, stream_id: StreamId) -> int:
+        stats = self.monitor._indexes[stream_id].stats
+        return stats["edges_inserted"] + stats["edges_deleted"]
+
+    def _matcher(self, stream_id: StreamId, version: int) -> SubgraphMatcher:
+        cached = self._matchers.get(stream_id)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        matcher = SubgraphMatcher(self.monitor.graph(stream_id))
+        self._matchers[stream_id] = (version, matcher)
+        return matcher
+
+    def verified_matches(self) -> set[Pair]:
+        """Exact joinable pairs, re-verifying only what changed."""
+        confirmed: set[Pair] = set()
+        candidates = self.monitor.matches()
+        for pair in candidates:
+            stream_id, query_id = pair
+            version = self._version(stream_id)
+            cached = self._verdicts.get(pair)
+            if cached is not None and cached[0] == version:
+                self.stats["cache_hits"] += 1
+                verdict = cached[1]
+            else:
+                matcher = self._matcher(stream_id, version)
+                verdict = matcher.is_subgraph(self.monitor.query_set.queries[query_id])
+                self._verdicts[pair] = (version, verdict)
+                self.stats["verifications"] += 1
+            if verdict:
+                confirmed.add(pair)
+        # Drop verdicts for pairs no longer in the candidate set so the
+        # cache cannot grow beyond streams x queries.
+        self._verdicts = {
+            pair: value for pair, value in self._verdicts.items() if pair in candidates
+        }
+        return confirmed

@@ -1,0 +1,33 @@
+"""Dataset generators: synthetic (ggen), AIDS-like, Reality-Mining-like,
+coin-flip streams, and query extraction."""
+
+from .ggen import GGen, GGenConfig, generate_graph_set, random_connected_graph
+from .molecules import generate_molecule, generate_molecule_set
+from .queries import extract_connected_query, make_query_set
+from .reality import (
+    DEVICE_LABELS,
+    RealityConfig,
+    generate_reality_stream,
+    generate_reality_streams,
+)
+from .stream_gen import DENSE, SPARSE, inflate_graph, synthesize_stream, synthesize_streams
+
+__all__ = [
+    "DENSE",
+    "DEVICE_LABELS",
+    "GGen",
+    "GGenConfig",
+    "RealityConfig",
+    "SPARSE",
+    "extract_connected_query",
+    "generate_graph_set",
+    "generate_molecule",
+    "generate_molecule_set",
+    "generate_reality_stream",
+    "generate_reality_streams",
+    "inflate_graph",
+    "make_query_set",
+    "random_connected_graph",
+    "synthesize_stream",
+    "synthesize_streams",
+]

@@ -1,0 +1,85 @@
+"""Experiment harness: one driver per paper figure plus ablations.
+
+Run any driver directly (``python -m repro.experiments.fig14_stream_effectiveness``)
+or through the benchmark suite under ``benchmarks/``.  Sizes come from
+the ``REPRO_SCALE`` environment variable (smoke / default / paper).
+"""
+
+from . import (
+    ablation_branch,
+    ablation_ctree,
+    ablation_dimensions,
+    ablation_discriminative,
+    ablation_incremental,
+    ablation_incremental_ggrep,
+    ablation_spectral,
+    ablation_trees,
+    fig02_preliminary,
+    fig12_depth,
+    fig13_static,
+    fig14_stream_effectiveness,
+    fig15_stream_efficiency,
+    fig16_scale_queries,
+    fig17_scale_streams,
+)
+from .config import DEFAULT, PAPER, PROFILES, SMOKE, Scale, get_scale
+from .harness import (
+    ENGINE_METHODS,
+    STATIC_METHODS,
+    STREAM_METHODS,
+    StaticRunResult,
+    StreamRunResult,
+    run_static_method,
+    run_stream_method,
+)
+from .reporting import FigureResult
+from .workloads import (
+    StaticWorkload,
+    StreamWorkload,
+    build_aids_workload,
+    build_reality_stream_workload,
+    build_synthetic_static_workload,
+    build_synthetic_stream_workload,
+)
+
+ALL_FIGURES = {
+    "fig02": fig02_preliminary,
+    "fig12": fig12_depth,
+    "fig13": fig13_static,
+    "fig14": fig14_stream_effectiveness,
+    "fig15": fig15_stream_efficiency,
+    "fig16": fig16_scale_queries,
+    "fig17": fig17_scale_streams,
+    "ablation_a1": ablation_branch,
+    "ablation_a2": ablation_dimensions,
+    "ablation_a3": ablation_incremental,
+    "ablation_a4": ablation_spectral,
+    "ablation_a5": ablation_discriminative,
+    "ablation_a6": ablation_trees,
+    "ablation_a7": ablation_ctree,
+    "ablation_a8": ablation_incremental_ggrep,
+}
+
+__all__ = [
+    "ALL_FIGURES",
+    "DEFAULT",
+    "ENGINE_METHODS",
+    "FigureResult",
+    "PAPER",
+    "PROFILES",
+    "SMOKE",
+    "STATIC_METHODS",
+    "STREAM_METHODS",
+    "Scale",
+    "StaticRunResult",
+    "StaticWorkload",
+    "StreamRunResult",
+    "StreamWorkload",
+    "build_aids_workload",
+    "build_reality_stream_workload",
+    "build_synthetic_static_workload",
+    "build_synthetic_stream_workload",
+    "get_scale",
+    "run_static_method",
+    "run_stream_method",
+]

@@ -1,0 +1,83 @@
+"""Ablation A4 — spectral (GCoding-style) filtering vs NPV dominance.
+
+The paper's related work rules GCoding out for streams: "the computation
+of eigenvalue features is too costly for stream setting".  This ablation
+measures that claim: candidate ratio and per-timestamp refresh cost of
+the spectral filter vs our NPV/DSC pipeline on the same stream workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..baselines.gcoding import GCodingStreamFilter
+from ..graph.operations import apply_operation
+from .config import Scale, get_scale
+from .harness import run_stream_method
+from .reporting import FigureResult
+from .workloads import build_reality_stream_workload
+
+
+def run(scale: Scale | None = None) -> FigureResult:
+    """Execute the experiment at ``scale`` and return its rows."""
+    scale = scale or get_scale()
+    # The temporal-locality regime (few flips per timestamp) is where
+    # incremental maintenance amortizes and full per-timestamp recompute
+    # pays its true price; the reality-like workload provides it.
+    workload = build_reality_stream_workload(scale, seed=91)
+    timestamps = min(
+        min(len(stream.operations) for stream in workload.streams.values()),
+        scale.baseline_timestamp_cap,
+    )
+    result = FigureResult(
+        "Ablation A4",
+        "Spectral (GCoding-style) filter vs NPV: stream cost and candidates",
+    )
+
+    npv = run_stream_method(workload, "dsc", scale)
+    result.add(
+        filter="NPV-DSC (ours)",
+        avg_time_ms=npv.mean_ms_per_timestamp,
+        candidate_ratio=npv.ratio_over(timestamps),
+        timestamps=timestamps,
+    )
+
+    spectral = GCodingStreamFilter(workload.queries, radius=2)
+    mirrors = {
+        stream_id: stream.initial.copy() for stream_id, stream in workload.streams.items()
+    }
+    for stream_id, mirror in mirrors.items():
+        spectral.update_stream(stream_id, mirror)
+    candidates = 0
+    elapsed = 0.0
+    for t in range(timestamps):
+        tick_start = time.perf_counter()
+        for stream_id, stream in workload.streams.items():
+            apply_operation(mirrors[stream_id], stream.operations[t])
+            spectral.update_stream(stream_id, mirrors[stream_id])
+        candidates += len(spectral.candidates())
+        elapsed += time.perf_counter() - tick_start
+    pairs = timestamps * len(workload.streams) * len(workload.queries)
+    result.add(
+        filter="spectral (GCoding-like)",
+        avg_time_ms=elapsed / timestamps * 1000 if timestamps else 0.0,
+        candidate_ratio=candidates / pairs if pairs else 0.0,
+        timestamps=timestamps,
+    )
+    result.notes.append(
+        "expected shape: under temporal locality the spectral refresh "
+        "(eigendecompositions per vertex per timestamp) costs far more "
+        "than incremental NPV maintenance — the related-work argument "
+        "for not using GCoding on streams (on churn-heavy workloads "
+        "vectorized eigensolves can locally win; see EXPERIMENTS.md)"
+    )
+    return result
+
+
+def main() -> None:
+    """Run at the environment-selected scale and print the table."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

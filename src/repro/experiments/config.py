@@ -1,0 +1,144 @@
+"""Experiment scaling profiles.
+
+The paper's full workloads (10,000-graph AIDS sample, 70x70 streams with
+1,000 timestamps) were run on a 2009 C++ testbed; this reproduction runs
+them on a pure-Python simulator, so each experiment reads its sizes from
+a profile:
+
+* ``smoke``   — seconds-scale, used by the integration tests;
+* ``default`` — minutes-scale, used by the benchmark harness; chosen (see
+  DESIGN.md) so candidate ratios land in the paper's regime;
+* ``paper``   — the paper's published sizes, for completeness (expect
+  very long runs in Python).
+
+Select with the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All experiment sizes for one profile."""
+
+    name: str
+
+    # -- static datasets (Figures 12-13) --------------------------------
+    static_db_size: int
+    static_queries_per_set: int
+    static_query_sizes: tuple[int, ...]  # the paper's Q4..Q24 (edges)
+    depth_sweep: tuple[int, ...]  # Figure 12 x-axis
+
+    # -- synthetic streams (Figures 2, 14-17) ----------------------------
+    syn_num_queries: int
+    syn_num_streams: int
+    syn_base_size: int  # ggen T for the basic query graphs
+    syn_num_labels: int  # ggen V
+    syn_timestamps: int
+    syn_all_pairs: bool  # literal per-pair coin flips (paper text)
+
+    # -- Reality-Mining-like streams (Figures 14-15, 17) -----------------
+    real_num_queries: int
+    real_num_streams: int
+    real_num_devices: int
+    real_timestamps: int
+    real_query_edges: int
+
+    # -- gIndex baseline settings ----------------------------------------
+    gindex1_static_max_edges: int
+    gindex1_stream_max_edges: int
+    baseline_timestamp_cap: int  # cap on timestamps for per-ts re-mining
+
+    # -- scalability sweeps (Figures 16-17) -------------------------------
+    sweep_counts: tuple[int, ...]
+    sweep_timestamps: int
+
+
+SMOKE = Scale(
+    name="smoke",
+    static_db_size=30,
+    static_queries_per_set=5,
+    static_query_sizes=(4, 8),
+    depth_sweep=(1, 2, 3),
+    syn_num_queries=4,
+    syn_num_streams=4,
+    syn_base_size=5,
+    syn_num_labels=4,
+    syn_timestamps=6,
+    syn_all_pairs=True,
+    real_num_queries=4,
+    real_num_streams=3,
+    real_num_devices=24,
+    real_timestamps=6,
+    real_query_edges=4,
+    gindex1_static_max_edges=4,
+    gindex1_stream_max_edges=3,
+    baseline_timestamp_cap=2,
+    sweep_counts=(2, 4),
+    sweep_timestamps=4,
+)
+
+DEFAULT = Scale(
+    name="default",
+    static_db_size=150,
+    static_queries_per_set=20,
+    static_query_sizes=(4, 8, 12, 16, 20, 24),
+    depth_sweep=(1, 2, 3, 4, 5),
+    syn_num_queries=10,
+    syn_num_streams=10,
+    syn_base_size=10,
+    syn_num_labels=4,
+    syn_timestamps=15,
+    syn_all_pairs=True,
+    real_num_queries=10,
+    real_num_streams=8,
+    real_num_devices=40,
+    real_timestamps=25,
+    real_query_edges=5,
+    gindex1_static_max_edges=6,
+    gindex1_stream_max_edges=4,
+    baseline_timestamp_cap=5,
+    sweep_counts=(4, 8, 12),
+    sweep_timestamps=6,
+)
+
+PAPER = Scale(
+    name="paper",
+    static_db_size=10_000,
+    static_queries_per_set=1_000,
+    static_query_sizes=(4, 8, 12, 16, 20, 24),
+    depth_sweep=(1, 2, 3, 4, 5),
+    syn_num_queries=70,
+    syn_num_streams=70,
+    syn_base_size=40,
+    syn_num_labels=4,
+    syn_timestamps=1_000,
+    syn_all_pairs=True,
+    real_num_queries=25,
+    real_num_streams=25,
+    real_num_devices=97,
+    real_timestamps=1_000,
+    real_query_edges=8,
+    gindex1_static_max_edges=10,
+    gindex1_stream_max_edges=10,
+    baseline_timestamp_cap=1_000,
+    sweep_counts=(10, 25, 40, 55, 70),
+    sweep_timestamps=100,
+)
+
+PROFILES = {scale.name: scale for scale in (SMOKE, DEFAULT, PAPER)}
+
+
+def get_scale(name: str | None = None) -> Scale:
+    """Resolve a profile by name, or from ``REPRO_SCALE`` (default profile
+    when unset)."""
+    chosen = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return PROFILES[chosen]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {chosen!r}; expected one of {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,55 @@
+"""Figure 2 — preliminary test: average query processing time and
+candidate size per timestamp of gIndex, GraphGrep and our NPV method on
+a synthetic stream workload (the paper used 70 patterns x 70 streams).
+
+Expected shape: gIndex has the smallest candidate set but by far the
+highest per-timestamp time; GraphGrep is fast but reports around half of
+all pairs; NPV is fast with a candidate set close to gIndex's.
+"""
+
+from __future__ import annotations
+
+from .config import Scale, get_scale
+from .harness import run_stream_method
+from .reporting import FigureResult
+from .workloads import build_synthetic_stream_workload
+
+DISPLAY_NAMES = {"gindex1": "gIndex", "ggrep": "GraphGrep", "dsc": "NPV (ours)"}
+
+
+def run(scale: Scale | None = None) -> FigureResult:
+    """Execute the experiment at ``scale`` and return its rows."""
+    scale = scale or get_scale()
+    workload = build_synthetic_stream_workload(scale, "dense", seed=31)
+    result = FigureResult(
+        "Figure 2",
+        "Preliminary comparison: avg processing time (ms/timestamp) and "
+        "candidate ratio",
+    )
+    runs = [run_stream_method(workload, method, scale) for method in ("gindex1", "ggrep", "dsc")]
+    window = min(run_result.timestamps for run_result in runs)
+    for run_result in runs:
+        result.add(
+            method=DISPLAY_NAMES[run_result.method],
+            avg_time_ms=run_result.mean_ms_per_timestamp,
+            candidate_ratio=run_result.ratio_over(window),
+            timestamps=window,
+        )
+    result.notes.append(
+        f"scale={scale.name}: {len(workload.queries)} queries x "
+        f"{len(workload.streams)} streams (paper: 70x70)"
+    )
+    result.notes.append(
+        "expected shape: gIndex smallest candidates / largest time; "
+        "GraphGrep large candidates; NPV fast with near-gIndex candidates"
+    )
+    return result
+
+
+def main() -> None:
+    """Run at the environment-selected scale and print the table."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Figure 13 — effectiveness on static datasets.
+
+Candidate ratio vs query size (the paper's Q4..Q24 sets) for NPV,
+GraphGrep and gIndex on the AIDS-like and synthetic static DBs.
+
+Expected shape: gIndex (frequent fragments, maxL=10, sigma=0.1N) prunes
+best; NPV is comparable; GraphGrep is clearly worse, increasingly so for
+larger queries.
+"""
+
+from __future__ import annotations
+
+from .config import Scale, get_scale
+from .harness import run_static_method
+from .reporting import FigureResult
+from .workloads import build_aids_workload, build_synthetic_static_workload
+
+DISPLAY_NAMES = {"npv": "NPV (ours)", "ggrep": "GraphGrep", "gindex1": "gIndex1", "gindex2": "gIndex2"}
+METHODS = ("gindex1", "npv", "ggrep")
+
+
+def run(scale: Scale | None = None) -> FigureResult:
+    """Execute the experiment at ``scale`` and return its rows."""
+    scale = scale or get_scale()
+    result = FigureResult(
+        "Figure 13",
+        "Static effectiveness: candidate ratio vs query size",
+    )
+    for workload in (build_aids_workload(scale), build_synthetic_static_workload(scale)):
+        for method in METHODS:
+            for row in run_static_method(workload, method, scale):
+                result.add(
+                    dataset=workload.name,
+                    method=DISPLAY_NAMES[method],
+                    query_size=row.query_size,
+                    candidate_ratio=row.candidate_ratio,
+                    mean_query_ms=row.mean_query_ms,
+                )
+    result.notes.append(
+        "expected shape: gIndex1 <= NPV < GraphGrep at every query size"
+    )
+    return result
+
+
+def main() -> None:
+    """Run at the environment-selected scale and print the table."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Figure 14 — effectiveness on stream datasets.
+
+Average candidate ratio of gIndex1, gIndex2, GraphGrep and our DSC
+method over the three stream workloads (Reality-Mining-like, synthetic
+sparse, synthetic dense).
+
+Expected shape: GraphGrep reports around half of all pairs; gIndex1 is
+tightest; our method sits close to gIndex1 and clearly below gIndex2;
+dense streams yield larger candidate sets than sparse ones.
+"""
+
+from __future__ import annotations
+
+from .config import Scale, get_scale
+from .reporting import FigureResult
+from .stream_comparison import stream_comparison_results
+
+DISPLAY_NAMES = {
+    "gindex1": "gIndex1",
+    "gindex2": "gIndex2",
+    "ggrep": "GraphGrep",
+    "dsc": "NPV-DSC (ours)",
+}
+
+
+def run(scale: Scale | None = None) -> FigureResult:
+    """Execute the experiment at ``scale`` and return its rows."""
+    scale = scale or get_scale()
+    result = FigureResult(
+        "Figure 14",
+        "Stream effectiveness: average candidate ratio per timestamp",
+    )
+    for workload_name, runs in stream_comparison_results(scale).items():
+        # Capped gIndex runs cover fewer timestamps; compare every method
+        # over the common window so the ratios are like for like.
+        window = min(run_result.timestamps for run_result in runs)
+        for run_result in runs:
+            result.add(
+                dataset=workload_name,
+                method=DISPLAY_NAMES[run_result.method],
+                candidate_ratio=run_result.ratio_over(window),
+                timestamps=window,
+            )
+    result.notes.append(
+        "expected shape: gIndex1 <= ours <= gIndex2 << GraphGrep; dense > sparse"
+    )
+    return result
+
+
+def main() -> None:
+    """Run at the environment-selected scale and print the table."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

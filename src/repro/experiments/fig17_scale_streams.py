@@ -1,0 +1,70 @@
+"""Figure 17 — scalability in the number of streams.
+
+Average processing cost per timestamp of the three join engines (NL,
+DSC, Skyline) as the stream count grows, with queries fixed at the
+workload maximum, over all three stream datasets.
+
+Expected shape: cost grows roughly linearly with the number of streams
+for every engine; DSC is best on the dense synthetic data (few early
+stops are possible there), Skyline is competitive on the sparse /
+Reality-like data where most pairs die on an early-stopped skyline
+probe.
+"""
+
+from __future__ import annotations
+
+from .config import Scale, get_scale
+from .fig16_scale_queries import DISPLAY_NAMES
+from .harness import ENGINE_METHODS, run_stream_method
+from .reporting import FigureResult
+from .workloads import build_reality_stream_workload, build_synthetic_stream_workload
+
+
+def _base_workloads(scale: Scale, max_streams: int) -> list:
+    return [
+        build_reality_stream_workload(
+            scale, seed=71, num_streams=max_streams, timestamps=scale.sweep_timestamps
+        ),
+        build_synthetic_stream_workload(
+            scale, "sparse", seed=73, num_streams=max_streams, timestamps=scale.sweep_timestamps
+        ),
+        build_synthetic_stream_workload(
+            scale, "dense", seed=79, num_streams=max_streams, timestamps=scale.sweep_timestamps
+        ),
+    ]
+
+
+def run(scale: Scale | None = None) -> FigureResult:
+    """Execute the experiment at ``scale`` and return its rows."""
+    scale = scale or get_scale()
+    result = FigureResult(
+        "Figure 17",
+        "Scalability vs #streams: avg cost per timestamp (ms), queries fixed",
+    )
+    max_streams = max(scale.sweep_counts)
+    for base in _base_workloads(scale, max_streams):
+        for count in scale.sweep_counts:
+            workload = base.limited(num_streams=count)
+            for method in ENGINE_METHODS:
+                run_result = run_stream_method(workload, method, scale)
+                result.add(
+                    dataset=workload.name,
+                    num_streams=count,
+                    method=DISPLAY_NAMES[method],
+                    avg_time_ms=run_result.mean_ms_per_timestamp,
+                    join_ms=run_result.mean_join_ms_per_timestamp,
+                )
+    result.notes.append(
+        "expected shape: roughly linear growth; DSC best on dense synthetic, "
+        "Skyline competitive on sparse/reality-like"
+    )
+    return result
+
+
+def main() -> None:
+    """Run at the environment-selected scale and print the table."""
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,269 @@
+"""Experiment harness: replay workloads under every method and measure
+the paper's two quantities — candidate ratio and average per-timestamp
+processing cost.
+
+Stream methods
+--------------
+``nl`` / ``dsc`` / ``skyline``
+    Our NPV filter with the corresponding join engine, driven through
+    :class:`repro.core.StreamMonitor` (incremental NNT maintenance).
+``ggrep``
+    GraphGrep: mirror graphs + per-timestamp fingerprint refresh.
+``gindex1`` / ``gindex2``
+    gIndex: mirror graphs + per-timestamp feature re-mining (the paper's
+    dominant cost).  Expensive methods honour the scale profile's
+    ``baseline_timestamp_cap``.
+
+Static methods
+--------------
+``npv`` / ``ggrep`` / ``gindex1`` / ``gindex2`` over a
+:class:`~repro.experiments.workloads.StaticWorkload`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..baselines.gindex import GIndex, GIndexConfig, GIndexStreamFilter
+from ..baselines.graphgrep import GraphGrepFilter, GraphGrepStreamFilter
+from ..core.database import GraphDatabase
+from ..core.metrics import candidate_ratio
+from ..core.monitor import StreamMonitor
+from ..graph.operations import apply_operation
+from .config import Scale
+from .workloads import StaticWorkload, StreamWorkload
+
+ENGINE_METHODS = ("nl", "dsc", "skyline")
+STREAM_METHODS = ENGINE_METHODS + ("ggrep", "gindex1", "gindex2")
+STATIC_METHODS = ("npv", "ggrep", "gindex1", "gindex2")
+
+
+@dataclass(frozen=True)
+class StreamRunResult:
+    """One method's measurements over one stream workload."""
+
+    method: str
+    workload: str
+    num_queries: int
+    num_streams: int
+    timestamps: int
+    mean_ms_per_timestamp: float
+    candidate_ratio: float
+    setup_seconds: float
+    candidates_per_timestamp: tuple[int, ...] = ()
+    # Engine runs split the per-timestamp cost into NNT maintenance
+    # (independent of the query count) and join/answering (the part the
+    # paper's scalability figures exercise); baselines leave these at 0.
+    mean_maintain_ms_per_timestamp: float = 0.0
+    mean_join_ms_per_timestamp: float = 0.0
+
+    def ratio_over(self, first_n: int) -> float:
+        """Candidate ratio over the first ``first_n`` timestamps only —
+        lets methods measured over different horizons (the capped gIndex
+        runs) be compared on a common window."""
+        window = self.candidates_per_timestamp[:first_n]
+        pairs = len(window) * self.num_streams * self.num_queries
+        return sum(window) / pairs if pairs else 0.0
+
+
+@dataclass(frozen=True)
+class StaticRunResult:
+    """One method's measurements over one static query set."""
+
+    method: str
+    workload: str
+    query_size: int
+    candidate_ratio: float
+    mean_query_ms: float
+    build_seconds: float
+
+
+def _stream_gindex_config(method: str, scale: Scale) -> GIndexConfig:
+    if method == "gindex1":
+        return GIndexConfig(
+            max_fragment_edges=scale.gindex1_stream_max_edges,
+            min_support_ratio=0.1,
+        )
+    return GIndexConfig(max_fragment_edges=3, min_support_absolute=1)
+
+
+def run_stream_method(
+    workload: StreamWorkload, method: str, scale: Scale
+) -> StreamRunResult:
+    """Replay a stream workload under one method, timing every timestamp
+    (apply the batch, then read the candidate pair set)."""
+    if method in ENGINE_METHODS:
+        return _run_engine(workload, method)
+    if method == "ggrep":
+        return _run_graphgrep(workload, scale)
+    if method in ("gindex1", "gindex2"):
+        return _run_gindex(workload, method, scale)
+    raise ValueError(f"unknown stream method {method!r}; expected {STREAM_METHODS}")
+
+
+def _replay_timestamps(workload: StreamWorkload) -> int:
+    return min(len(stream.operations) for stream in workload.streams.values())
+
+
+def _run_engine(workload: StreamWorkload, method: str) -> StreamRunResult:
+    setup_start = time.perf_counter()
+    monitor = StreamMonitor(workload.queries, method=method)
+    for stream_id, stream in workload.streams.items():
+        monitor.add_stream(stream_id, stream.initial)
+    setup_seconds = time.perf_counter() - setup_start
+
+    timestamps = _replay_timestamps(workload)
+    pairs_total = timestamps * len(workload.streams) * len(workload.queries)
+    per_timestamp: list[int] = []
+    maintain = 0.0
+    join = 0.0
+    for t in range(timestamps):
+        tick_start = time.perf_counter()
+        for stream_id, stream in workload.streams.items():
+            monitor.apply(stream_id, stream.operations[t])
+        maintain_done = time.perf_counter()
+        per_timestamp.append(len(monitor.matches()))
+        join_done = time.perf_counter()
+        maintain += maintain_done - tick_start
+        join += join_done - maintain_done
+    candidates = sum(per_timestamp)
+    elapsed = maintain + join
+    return StreamRunResult(
+        method=method,
+        workload=workload.name,
+        num_queries=len(workload.queries),
+        num_streams=len(workload.streams),
+        timestamps=timestamps,
+        mean_ms_per_timestamp=elapsed / timestamps * 1000 if timestamps else 0.0,
+        candidate_ratio=candidates / pairs_total if pairs_total else 0.0,
+        setup_seconds=setup_seconds,
+        candidates_per_timestamp=tuple(per_timestamp),
+        mean_maintain_ms_per_timestamp=maintain / timestamps * 1000 if timestamps else 0.0,
+        mean_join_ms_per_timestamp=join / timestamps * 1000 if timestamps else 0.0,
+    )
+
+
+def _run_graphgrep(workload: StreamWorkload, scale: Scale) -> StreamRunResult:
+    setup_start = time.perf_counter()
+    flt = GraphGrepStreamFilter(workload.queries)
+    mirrors = {
+        stream_id: stream.initial.copy() for stream_id, stream in workload.streams.items()
+    }
+    for stream_id, mirror in mirrors.items():
+        flt.update_stream(stream_id, mirror)
+    setup_seconds = time.perf_counter() - setup_start
+
+    # GraphGrep's per-timestamp fingerprint refresh is cheap on sparse
+    # graphs but explodes on dense ones (vertex-simple path enumeration);
+    # it shares the baselines' timestamp cap.
+    timestamps = min(_replay_timestamps(workload), scale.baseline_timestamp_cap)
+    pairs_total = timestamps * len(workload.streams) * len(workload.queries)
+    per_timestamp: list[int] = []
+    elapsed = 0.0
+    for t in range(timestamps):
+        tick_start = time.perf_counter()
+        for stream_id, stream in workload.streams.items():
+            apply_operation(mirrors[stream_id], stream.operations[t])
+            flt.update_stream(stream_id, mirrors[stream_id])
+        per_timestamp.append(len(flt.candidates()))
+        elapsed += time.perf_counter() - tick_start
+    candidates = sum(per_timestamp)
+    return StreamRunResult(
+        method="ggrep",
+        workload=workload.name,
+        num_queries=len(workload.queries),
+        num_streams=len(workload.streams),
+        timestamps=timestamps,
+        mean_ms_per_timestamp=elapsed / timestamps * 1000 if timestamps else 0.0,
+        candidate_ratio=candidates / pairs_total if pairs_total else 0.0,
+        setup_seconds=setup_seconds,
+        candidates_per_timestamp=tuple(per_timestamp),
+    )
+
+
+def _run_gindex(workload: StreamWorkload, method: str, scale: Scale) -> StreamRunResult:
+    config = _stream_gindex_config(method, scale)
+    setup_start = time.perf_counter()
+    flt = GIndexStreamFilter(workload.queries, config)
+    mirrors = {
+        stream_id: stream.initial.copy() for stream_id, stream in workload.streams.items()
+    }
+    setup_seconds = time.perf_counter() - setup_start
+
+    timestamps = min(_replay_timestamps(workload), scale.baseline_timestamp_cap)
+    pairs_total = timestamps * len(workload.streams) * len(workload.queries)
+    per_timestamp: list[int] = []
+    elapsed = 0.0
+    for t in range(timestamps):
+        tick_start = time.perf_counter()
+        for stream_id, stream in workload.streams.items():
+            apply_operation(mirrors[stream_id], stream.operations[t])
+        flt.refresh(mirrors)  # per-timestamp re-mining: gIndex's cost
+        per_timestamp.append(len(flt.candidates()))
+        elapsed += time.perf_counter() - tick_start
+    candidates = sum(per_timestamp)
+    return StreamRunResult(
+        method=method,
+        workload=workload.name,
+        num_queries=len(workload.queries),
+        num_streams=len(workload.streams),
+        timestamps=timestamps,
+        mean_ms_per_timestamp=elapsed / timestamps * 1000 if timestamps else 0.0,
+        candidate_ratio=candidates / pairs_total if pairs_total else 0.0,
+        setup_seconds=setup_seconds,
+        candidates_per_timestamp=tuple(per_timestamp),
+    )
+
+
+# ----------------------------------------------------------------------
+# static experiments
+# ----------------------------------------------------------------------
+def build_static_filter(workload: StaticWorkload, method: str, scale: Scale, depth_limit: int = 3):
+    """Build one static filter over the workload's graph DB."""
+    if method == "npv":
+        return GraphDatabase(workload.graphs, depth_limit=depth_limit)
+    if method == "ggrep":
+        return GraphGrepFilter(workload.graphs)
+    if method == "gindex1":
+        config = GIndexConfig(
+            max_fragment_edges=scale.gindex1_static_max_edges, min_support_ratio=0.1
+        )
+        return GIndex(workload.graphs, config)
+    if method == "gindex2":
+        return GIndex(workload.graphs, GIndexConfig(max_fragment_edges=3, min_support_absolute=1))
+    raise ValueError(f"unknown static method {method!r}; expected {STATIC_METHODS}")
+
+
+def _static_candidates(filter_obj, query) -> set:
+    if isinstance(filter_obj, GraphDatabase):
+        return filter_obj.filter_candidates(query)
+    return filter_obj.candidates_for(query)
+
+
+def run_static_method(
+    workload: StaticWorkload, method: str, scale: Scale, depth_limit: int = 3
+) -> list[StaticRunResult]:
+    """Candidate ratio + per-query time of one method over every Q_m set."""
+    build_start = time.perf_counter()
+    filter_obj = build_static_filter(workload, method, scale, depth_limit)
+    build_seconds = time.perf_counter() - build_start
+    results: list[StaticRunResult] = []
+    db_size = len(workload.graphs)
+    for query_size, queries in sorted(workload.query_sets.items()):
+        total_candidates = 0
+        query_start = time.perf_counter()
+        for query in queries:
+            total_candidates += len(_static_candidates(filter_obj, query))
+        query_seconds = time.perf_counter() - query_start
+        results.append(
+            StaticRunResult(
+                method=method,
+                workload=workload.name,
+                query_size=query_size,
+                candidate_ratio=candidate_ratio(total_candidates, db_size, len(queries)),
+                mean_query_ms=query_seconds / len(queries) * 1000 if queries else 0.0,
+                build_seconds=build_seconds,
+            )
+        )
+    return results

@@ -1,0 +1,140 @@
+"""Result containers and rendering (text / CSV / JSON / Markdown) for
+the figure drivers."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 10:
+            return f"{value:.3f}"
+        return f"{value:.1f}"
+    return str(value)
+
+
+@dataclass
+class FigureResult:
+    """Rows reproducing one paper figure, plus provenance notes."""
+
+    figure_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row: object) -> None:
+        """Append one result row (column -> value)."""
+        self.rows.append(row)
+
+    def columns(self) -> list[str]:
+        """Union of column names, in first-appearance order."""
+        seen: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    def format_table(self) -> str:
+        """The rows as an aligned plain-text table."""
+        columns = self.columns()
+        if not columns:
+            return "(no rows)"
+        table = [columns] + [
+            [_format_cell(row.get(column, "")) for column in columns] for row in self.rows
+        ]
+        widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+        lines = []
+        header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(table[0]))
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for line in table[1:]:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Header + table + notes, ready to print."""
+        parts = [f"== {self.figure_id}: {self.title} ==", self.format_table()]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        """Print :meth:`render` to stdout."""
+        print(self.render())
+
+    # ------------------------------------------------------------------
+    # machine-readable exports
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Rows as CSV text (header = the union of columns)."""
+        columns = self.columns()
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({column: row.get(column, "") for column in columns})
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """The whole result (id, title, rows, notes) as a JSON document."""
+        return json.dumps(
+            {
+                "figure_id": self.figure_id,
+                "title": self.title,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=str,
+        )
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored Markdown section with the rows as a table."""
+        columns = self.columns()
+        lines = [f"## {self.figure_id} — {self.title}", ""]
+        if columns:
+            lines.append("| " + " | ".join(columns) + " |")
+            lines.append("|" + "|".join("---" for _ in columns) + "|")
+            for row in self.rows:
+                lines.append(
+                    "| "
+                    + " | ".join(_format_cell(row.get(column, "")) for column in columns)
+                    + " |"
+                )
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str | Path) -> None:
+        """Write the result in the format implied by the path suffix
+        (.csv / .json / .md; anything else gets the plain-text table)."""
+        path = Path(path)
+        if path.suffix == ".csv":
+            text = self.to_csv()
+        elif path.suffix == ".json":
+            text = self.to_json()
+        elif path.suffix == ".md":
+            text = self.to_markdown()
+        else:
+            text = self.render() + "\n"
+        path.write_text(text, encoding="utf-8")
+
+    def series(self, key_column: str, value_column: str, **filters: object) -> list[tuple]:
+        """Extract an (x, y) series from the rows (used by tests to check
+        the paper's qualitative shapes)."""
+        out = []
+        for row in self.rows:
+            if all(row.get(column) == wanted for column, wanted in filters.items()):
+                out.append((row[key_column], row[value_column]))
+        return out

@@ -1,0 +1,43 @@
+"""Shared stream-method comparison backing Figures 14 and 15.
+
+Both figures report the same runs (one measures candidate ratio, the
+other per-timestamp cost), so the runs are executed once per scale
+profile and cached in-process.
+"""
+
+from __future__ import annotations
+
+from .config import Scale
+from .harness import StreamRunResult, run_stream_method
+from .workloads import (
+    build_reality_stream_workload,
+    build_synthetic_stream_workload,
+)
+
+STREAM_COMPARISON_METHODS = ("gindex1", "gindex2", "ggrep", "dsc")
+
+_CACHE: dict[str, dict[str, list[StreamRunResult]]] = {}
+
+
+def comparison_workloads(scale: Scale) -> dict:
+    """The three stream datasets of the paper's Section V-B."""
+    return {
+        "reality-like": build_reality_stream_workload(scale),
+        "synthetic-sparse": build_synthetic_stream_workload(scale, "sparse"),
+        "synthetic-dense": build_synthetic_stream_workload(scale, "dense"),
+    }
+
+
+def stream_comparison_results(scale: Scale) -> dict[str, list[StreamRunResult]]:
+    """Per-workload results of every comparison method (cached)."""
+    cached = _CACHE.get(scale.name)
+    if cached is not None:
+        return cached
+    results: dict[str, list[StreamRunResult]] = {}
+    for name, workload in comparison_workloads(scale).items():
+        results[name] = [
+            run_stream_method(workload, method, scale)
+            for method in STREAM_COMPARISON_METHODS
+        ]
+    _CACHE[scale.name] = results
+    return results

@@ -1,0 +1,174 @@
+"""Workload builders shared by all figure drivers.
+
+Each builder is deterministic given the scale profile and a seed, so
+figures are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..datasets.ggen import GGen, GGenConfig
+from ..datasets.molecules import generate_molecule_set
+from ..datasets.queries import extract_connected_query, make_query_set
+from ..datasets.reality import RealityConfig, generate_reality_streams
+from ..datasets.stream_gen import DENSE, SPARSE, inflate_graph, synthesize_streams
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.stream import GraphStream
+from .config import Scale
+
+
+@dataclass
+class StaticWorkload:
+    """A static graph DB plus the paper's Q_m query sets."""
+
+    name: str
+    graphs: dict[int, LabeledGraph]
+    query_sets: dict[int, list[LabeledGraph]]  # m (edges) -> queries
+
+
+@dataclass
+class StreamWorkload:
+    """Fixed query patterns plus recorded graph streams."""
+
+    name: str
+    queries: dict[str, LabeledGraph]
+    streams: dict[int, GraphStream]
+
+    @property
+    def timestamps(self) -> int:
+        return min(len(stream) for stream in self.streams.values())
+
+    def limited(
+        self,
+        num_queries: int | None = None,
+        num_streams: int | None = None,
+        timestamps: int | None = None,
+    ) -> "StreamWorkload":
+        """A restriction of the workload (for the scalability sweeps)."""
+        query_ids = list(self.queries)[: num_queries or len(self.queries)]
+        stream_ids = list(self.streams)[: num_streams or len(self.streams)]
+        streams = {sid: self.streams[sid] for sid in stream_ids}
+        if timestamps is not None:
+            streams = {sid: stream.truncated(timestamps) for sid, stream in streams.items()}
+        return StreamWorkload(
+            name=self.name,
+            queries={qid: self.queries[qid] for qid in query_ids},
+            streams=streams,
+        )
+
+
+# ----------------------------------------------------------------------
+# static workloads (Figures 12-13)
+# ----------------------------------------------------------------------
+def build_aids_workload(scale: Scale, seed: int = 11) -> StaticWorkload:
+    """AIDS-like molecule DB + Q_m query sets (paper Section V-A)."""
+    graphs = generate_molecule_set(scale.static_db_size, seed=seed)
+    query_sets = {
+        m: make_query_set(graphs, m, scale.static_queries_per_set, seed=seed + m)
+        for m in scale.static_query_sizes
+    }
+    return StaticWorkload("aids-like", dict(enumerate(graphs)), query_sets)
+
+
+def build_synthetic_static_workload(scale: Scale, seed: int = 23) -> StaticWorkload:
+    """ggen DB (paper: D=10k, L=200, I=10, T=50, V=4, E=1, scaled here)."""
+    config = GGenConfig(
+        num_graphs=scale.static_db_size,
+        num_seeds=max(4, scale.static_db_size // 8),
+        seed_size=6.0,
+        graph_size=20.0,
+        num_vertex_labels=4,
+        num_edge_labels=1,
+        seed=seed,
+    )
+    graphs = GGen(config).generate()
+    query_sets = {
+        m: make_query_set(graphs, m, scale.static_queries_per_set, seed=seed + m)
+        for m in scale.static_query_sizes
+    }
+    return StaticWorkload("synthetic-static", dict(enumerate(graphs)), query_sets)
+
+
+# ----------------------------------------------------------------------
+# stream workloads (Figures 2, 14-17)
+# ----------------------------------------------------------------------
+def build_synthetic_stream_workload(
+    scale: Scale,
+    density: str = "dense",
+    seed: int = 31,
+    num_queries: int | None = None,
+    num_streams: int | None = None,
+    timestamps: int | None = None,
+) -> StreamWorkload:
+    """The paper's synthetic stream setup: ggen basic query graphs,
+    streams = 1.5x-inflated copies evolving by per-pair coin flips."""
+    if density == "dense":
+        p_appear, p_disappear = DENSE
+    elif density == "sparse":
+        p_appear, p_disappear = SPARSE
+    else:
+        raise ValueError(f"density must be 'dense' or 'sparse', got {density!r}")
+    num_queries = num_queries or scale.syn_num_queries
+    num_streams = num_streams or scale.syn_num_streams
+    timestamps = timestamps or scale.syn_timestamps
+
+    config = GGenConfig(
+        num_graphs=max(num_queries, num_streams),
+        num_seeds=8,
+        seed_size=max(4.0, scale.syn_base_size * 0.8),
+        graph_size=float(scale.syn_base_size),
+        num_vertex_labels=scale.syn_num_labels,
+        num_edge_labels=1,
+        seed=seed,
+        seed_extra_edge_ratio=1.2,
+    )
+    generator = GGen(config)
+    bases = generator.generate()
+    queries = {f"q{i}": bases[i] for i in range(num_queries)}
+
+    rng = random.Random(seed + 1)
+    stream_bases = [
+        inflate_graph(bases[i], 1.5, rng, generator.vertex_labels, generator.edge_labels)
+        for i in range(num_streams)
+    ]
+    streams = synthesize_streams(
+        stream_bases,
+        p_appear,
+        p_disappear,
+        timestamps,
+        seed=seed + 2,
+        all_pairs=scale.syn_all_pairs,
+    )
+    return StreamWorkload(
+        name=f"synthetic-{density}",
+        queries=queries,
+        streams=dict(enumerate(streams)),
+    )
+
+
+def build_reality_stream_workload(
+    scale: Scale,
+    seed: int = 47,
+    num_queries: int | None = None,
+    num_streams: int | None = None,
+    timestamps: int | None = None,
+) -> StreamWorkload:
+    """Reality-Mining-like Device Span workload (paper Section V-B)."""
+    num_queries = num_queries or scale.real_num_queries
+    num_streams = num_streams or scale.real_num_streams
+    timestamps = timestamps or scale.real_timestamps
+    config = RealityConfig(num_devices=scale.real_num_devices)
+    streams = generate_reality_streams(num_streams, timestamps, seed=seed, config=config)
+    rng = random.Random(seed + 1)
+    snapshots = [stream.initial for stream in streams if stream.initial.num_edges > 0]
+    queries = {
+        f"q{i}": extract_connected_query(
+            snapshots[i % len(snapshots)], scale.real_query_edges, rng
+        )
+        for i in range(num_queries)
+    }
+    return StreamWorkload(
+        name="reality-like", queries=queries, streams=dict(enumerate(streams))
+    )

@@ -1,0 +1,303 @@
+"""Mutable undirected labeled graph (Definitions 2.1-2.3 of the paper).
+
+The graph model is the one the paper operates on: vertices carry labels,
+edges carry labels, edges are undirected, and there is at most one edge
+between a pair of vertices.  Vertex identifiers are arbitrary hashable
+values (the test suite and generators use ints and strings).
+
+This module is dependency-free; it is the substrate under the stream
+machinery (:mod:`repro.graph.stream`), the NNT index (:mod:`repro.nnt`)
+and both baselines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable, Iterable, Iterator
+
+VertexId = Hashable
+Label = Any
+
+DEFAULT_EDGE_LABEL = "-"
+
+
+class GraphError(Exception):
+    """Raised on invalid structural operations (missing vertex, duplicate edge...)."""
+
+
+def edge_key(u: VertexId, v: VertexId) -> tuple[VertexId, VertexId]:
+    """Canonical (order-independent) key for an undirected edge.
+
+    Vertex ids of mixed types are compared by ``(type name, value)`` so the
+    ordering is total even for heterogeneous id sets.
+    """
+    ku = (type(u).__name__, u)
+    kv = (type(v).__name__, v)
+    try:
+        return (u, v) if ku <= kv else (v, u)
+    except TypeError:
+        return (u, v) if repr(ku) <= repr(kv) else (v, u)
+
+
+class LabeledGraph:
+    """An undirected graph with labeled vertices and labeled edges.
+
+    >>> g = LabeledGraph()
+    >>> g.add_vertex(1, "A")
+    >>> g.add_vertex(2, "B")
+    >>> g.add_edge(1, 2, "x")
+    >>> g.vertex_label(1)
+    'A'
+    >>> g.edge_label(2, 1)
+    'x'
+    """
+
+    __slots__ = ("_labels", "_adj", "_num_edges")
+
+    def __init__(self) -> None:
+        self._labels: dict[VertexId, Label] = {}
+        self._adj: dict[VertexId, dict[VertexId, Label]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_vertices_and_edges(
+        cls,
+        vertices: Iterable[tuple[VertexId, Label]],
+        edges: Iterable[tuple[VertexId, VertexId, Label]] = (),
+    ) -> "LabeledGraph":
+        """Build a graph from ``(vertex, label)`` and ``(u, v, label)`` tuples."""
+        graph = cls()
+        for vertex, label in vertices:
+            graph.add_vertex(vertex, label)
+        for u, v, label in edges:
+            graph.add_edge(u, v, label)
+        return graph
+
+    def copy(self) -> "LabeledGraph":
+        """Return an independent deep copy of the structure."""
+        clone = LabeledGraph()
+        clone._labels = dict(self._labels)
+        clone._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # vertices
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: VertexId, label: Label) -> None:
+        """Add a vertex with the given label; error if it already exists."""
+        if vertex in self._labels:
+            raise GraphError(f"vertex {vertex!r} already exists")
+        self._labels[vertex] = label
+        self._adj[vertex] = {}
+
+    def remove_vertex(self, vertex: VertexId) -> None:
+        """Remove a vertex and all edges incident to it."""
+        if vertex not in self._labels:
+            raise GraphError(f"vertex {vertex!r} does not exist")
+        for neighbor in list(self._adj[vertex]):
+            self.remove_edge(vertex, neighbor)
+        del self._adj[vertex]
+        del self._labels[vertex]
+
+    def has_vertex(self, vertex: VertexId) -> bool:
+        """Is ``vertex`` present?"""
+        return vertex in self._labels
+
+    def vertex_label(self, vertex: VertexId) -> Label:
+        """Label of ``vertex``; GraphError if absent."""
+        try:
+            return self._labels[vertex]
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} does not exist") from None
+
+    def vertices(self) -> Iterator[VertexId]:
+        """Iterate all vertex ids."""
+        return iter(self._labels)
+
+    def vertex_items(self) -> Iterator[tuple[VertexId, Label]]:
+        """Iterate ``(vertex, label)`` pairs."""
+        return iter(self._labels.items())
+
+    @property
+    def labels(self) -> dict:
+        """The live vertex->label mapping.  Treat as read-only: it is the
+        graph's own storage, exposed for hot-path lookups (the NNT index
+        resolves two labels per tree edge)."""
+        return self._labels
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    def degree(self, vertex: VertexId) -> int:
+        """Number of incident edges; GraphError if absent."""
+        try:
+            return len(self._adj[vertex])
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} does not exist") from None
+
+    def max_degree(self) -> int:
+        """Maximum vertex degree (0 for the empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def neighbors(self, vertex: VertexId) -> Iterator[VertexId]:
+        """Iterate the neighbors of ``vertex``."""
+        try:
+            return iter(self._adj[vertex])
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} does not exist") from None
+
+    def neighbor_items(self, vertex: VertexId) -> Iterator[tuple[VertexId, Label]]:
+        """Iterate ``(neighbor, edge_label)`` pairs of ``vertex``."""
+        try:
+            return iter(self._adj[vertex].items())
+        except KeyError:
+            raise GraphError(f"vertex {vertex!r} does not exist") from None
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def add_edge(self, u: VertexId, v: VertexId, label: Label = DEFAULT_EDGE_LABEL) -> None:
+        """Add an undirected edge; both endpoints must already exist."""
+        if u == v:
+            raise GraphError("self loops are not supported")
+        if u not in self._labels:
+            raise GraphError(f"vertex {u!r} does not exist")
+        if v not in self._labels:
+            raise GraphError(f"vertex {v!r} does not exist")
+        if v in self._adj[u]:
+            raise GraphError(f"edge ({u!r}, {v!r}) already exists")
+        self._adj[u][v] = label
+        self._adj[v][u] = label
+        self._num_edges += 1
+
+    def remove_edge(self, u: VertexId, v: VertexId) -> None:
+        """Remove the undirected edge; GraphError if absent."""
+        if u not in self._adj or v not in self._adj[u]:
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+
+    def has_edge(self, u: VertexId, v: VertexId) -> bool:
+        """Is the undirected edge ``{u, v}`` present?"""
+        return u in self._adj and v in self._adj[u]
+
+    def edge_label(self, u: VertexId, v: VertexId) -> Label:
+        """Label of the edge ``{u, v}``; GraphError if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        return self._adj[u][v]
+
+    def edges(self) -> Iterator[tuple[VertexId, VertexId, Label]]:
+        """Iterate each undirected edge once, as ``(u, v, label)``."""
+        seen: set[tuple[VertexId, VertexId]] = set()
+        for u, nbrs in self._adj.items():
+            for v, label in nbrs.items():
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield key[0], key[1], label
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[set[VertexId]]:
+        """All connected components as vertex sets."""
+        components: list[set[VertexId]] = []
+        unvisited = set(self._labels)
+        while unvisited:
+            root = next(iter(unvisited))
+            component = {root}
+            frontier = deque([root])
+            while frontier:
+                vertex = frontier.popleft()
+                for neighbor in self._adj[vertex]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            components.append(component)
+            unvisited -= component
+        return components
+
+    def is_connected(self) -> bool:
+        """True for connected graphs; the empty graph counts as connected."""
+        if self.num_vertices <= 1:
+            return True
+        return len(self.connected_components()) == 1
+
+    def subgraph(self, keep: Iterable[VertexId]) -> "LabeledGraph":
+        """Vertex-induced subgraph on ``keep`` (labels preserved)."""
+        keep_set = set(keep)
+        sub = LabeledGraph()
+        for vertex in keep_set:
+            sub.add_vertex(vertex, self.vertex_label(vertex))
+        for u, v, label in self.edges():
+            if u in keep_set and v in keep_set:
+                sub.add_edge(u, v, label)
+        return sub
+
+    def largest_component_subgraph(self) -> "LabeledGraph":
+        """Induced subgraph on the largest connected component."""
+        components = self.connected_components()
+        if not components:
+            return LabeledGraph()
+        return self.subgraph(max(components, key=len))
+
+    def relabeled(self, mapping: dict[VertexId, VertexId]) -> "LabeledGraph":
+        """Return a copy whose vertex ids are renamed through ``mapping``.
+
+        Ids missing from ``mapping`` are kept as-is; the mapping must be
+        injective on the vertex set.
+        """
+        new_ids = [mapping.get(v, v) for v in self._labels]
+        if len(set(new_ids)) != len(new_ids):
+            raise GraphError("relabeling mapping is not injective")
+        out = LabeledGraph()
+        for vertex, label in self._labels.items():
+            out.add_vertex(mapping.get(vertex, vertex), label)
+        for u, v, label in self.edges():
+            out.add_edge(mapping.get(u, u), mapping.get(v, v), label)
+        return out
+
+    def label_histogram(self) -> dict[Label, int]:
+        """Count of vertices per vertex label."""
+        histogram: dict[Label, int] = {}
+        for label in self._labels.values():
+            histogram[label] = histogram.get(label, 0) + 1
+        return histogram
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: VertexId) -> bool:
+        return vertex in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same ids, labels, edges and edge labels."""
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        return self._labels == other._labels and self._adj == other._adj
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    def __repr__(self) -> str:
+        return (
+            f"LabeledGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )

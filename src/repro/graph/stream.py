@@ -1,0 +1,87 @@
+"""Graph streams (Definition 2.6 of the paper).
+
+A :class:`GraphStream` couples a starting graph ``G_0`` with a graph change
+operation stream ``[GC_1, GC_2, ...]``.  The graph at timestamp ``t`` is
+``GC_t -> (... -> (GC_1 -> G_0))``.  Streams can be replayed lazily
+(:meth:`GraphStream.replay`, one shared mutable cursor graph) or
+materialized per timestamp (:meth:`GraphStream.graph_at`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .labeled_graph import LabeledGraph
+from .operations import GraphChangeOperation, apply_operation
+
+
+class GraphStream:
+    """A starting graph plus a finite recorded change-operation stream.
+
+    The recorded form is what the experiment harness replays; the live
+    :class:`repro.core.monitor.StreamMonitor` accepts unbounded operation
+    feeds instead.
+    """
+
+    def __init__(
+        self,
+        initial: LabeledGraph,
+        operations: Iterable[GraphChangeOperation] = (),
+        name: str = "",
+    ) -> None:
+        self.initial = initial
+        self.operations: list[GraphChangeOperation] = list(operations)
+        self.name = name
+
+    def __len__(self) -> int:
+        """Number of timestamps, including timestamp 0 (the initial graph)."""
+        return len(self.operations) + 1
+
+    def append(self, operation: GraphChangeOperation) -> None:
+        """Record one more timestamp's batch."""
+        self.operations.append(operation)
+
+    def graph_at(self, timestamp: int) -> LabeledGraph:
+        """Materialize the graph at ``timestamp`` (0 = the initial graph)."""
+        if not 0 <= timestamp < len(self):
+            raise IndexError(
+                f"timestamp {timestamp} out of range for stream of length {len(self)}"
+            )
+        graph = self.initial.copy()
+        for operation in self.operations[:timestamp]:
+            apply_operation(graph, operation)
+        return graph
+
+    def replay(self) -> Iterator[tuple[int, LabeledGraph]]:
+        """Yield ``(timestamp, graph)`` for every timestamp.
+
+        The yielded graph is a single shared cursor mutated in place between
+        yields; copy it if you need to keep a snapshot.
+        """
+        cursor = self.initial.copy()
+        yield 0, cursor
+        for timestamp, operation in enumerate(self.operations, start=1):
+            apply_operation(cursor, operation)
+            yield timestamp, cursor
+
+    def truncated(self, timestamps: int) -> "GraphStream":
+        """A copy limited to the first ``timestamps`` timestamps."""
+        if timestamps < 1:
+            raise ValueError("a stream has at least timestamp 0")
+        return GraphStream(
+            self.initial.copy(), self.operations[: timestamps - 1], name=self.name
+        )
+
+    def final_graph(self) -> LabeledGraph:
+        """The graph at the last timestamp."""
+        return self.graph_at(len(self) - 1)
+
+    def total_changes(self) -> int:
+        """Total number of individual edge changes across all timestamps."""
+        return sum(len(operation) for operation in self.operations)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStream(name={self.name!r}, timestamps={len(self)}, "
+            f"changes={self.total_changes()})"
+        )

@@ -1,0 +1,17 @@
+"""Exact isomorphism machinery: the VF2-style matcher used as ground truth."""
+
+from .vf2 import (
+    SubgraphMatcher,
+    are_isomorphic,
+    find_all_subgraph_isomorphisms,
+    find_subgraph_isomorphism,
+    is_subgraph_isomorphic,
+)
+
+__all__ = [
+    "SubgraphMatcher",
+    "are_isomorphic",
+    "find_all_subgraph_isomorphisms",
+    "find_subgraph_isomorphism",
+    "is_subgraph_isomorphic",
+]

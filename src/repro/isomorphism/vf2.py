@@ -1,0 +1,219 @@
+"""Exact subgraph isomorphism (Definition 2.3 of the paper).
+
+A subgraph isomorphism from query ``Q`` into target ``G`` is an injective
+mapping ``f`` of vertices such that vertex labels are preserved and every
+query edge ``(u, v)`` maps to a target edge ``(f(u), f(v))`` with the same
+edge label.  This is *monomorphism* semantics (non-edges of ``Q`` may map
+onto edges of ``G``), exactly as the paper defines it.
+
+The matcher is a VF2-style backtracking search with:
+
+* a static query vertex order that keeps the matched part connected and
+  visits rare-labeled, high-degree vertices first;
+* candidate generation from the neighborhood of already-matched vertices
+  (falling back to a label index for vertices starting a new component);
+* degree and label-neighborhood pruning at every extension.
+
+It is the ground-truth oracle for all effectiveness experiments and the
+optional verification stage behind the streaming filter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..graph.labeled_graph import Label, LabeledGraph, VertexId
+
+Mapping = dict[VertexId, VertexId]
+
+
+class SubgraphMatcher:
+    """Reusable matcher for one target graph.
+
+    Pre-computes per-label vertex lists and per-vertex label-degree
+    signatures of the target so repeated queries (the common case in the
+    experiment harness) avoid rescanning the target.
+    """
+
+    def __init__(self, target: LabeledGraph) -> None:
+        self.target = target
+        self._by_label: dict[Label, list[VertexId]] = {}
+        self._signature: dict[VertexId, dict[tuple[Label, Label], int]] = {}
+        for vertex, label in target.vertex_items():
+            self._by_label.setdefault(label, []).append(vertex)
+            self._signature[vertex] = _label_degree_signature(target, vertex)
+
+    # ------------------------------------------------------------------
+    def is_subgraph(self, query: LabeledGraph) -> bool:
+        """True iff ``query`` is subgraph isomorphic to the target."""
+        return next(self.find_all(query), None) is not None
+
+    def find(self, query: LabeledGraph) -> Mapping | None:
+        """One subgraph isomorphism mapping, or ``None``."""
+        return next(self.find_all(query), None)
+
+    def find_all(self, query: LabeledGraph, limit: int | None = None) -> Iterator[Mapping]:
+        """Yield subgraph isomorphism mappings (up to ``limit``)."""
+        if query.num_vertices == 0:
+            yield {}
+            return
+        if query.num_vertices > self.target.num_vertices:
+            return
+        if query.num_edges > self.target.num_edges:
+            return
+        if not self._labels_feasible(query):
+            return
+
+        order = _query_order(query)
+        mapping: Mapping = {}
+        used: set[VertexId] = set()
+        count = 0
+        for full in self._extend(query, order, 0, mapping, used):
+            yield dict(full)
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+    # ------------------------------------------------------------------
+    def _labels_feasible(self, query: LabeledGraph) -> bool:
+        """Cheap necessary condition: enough target vertices per label."""
+        target_histogram: dict[Label, int] = {
+            label: len(vertices) for label, vertices in self._by_label.items()
+        }
+        for label, needed in query.label_histogram().items():
+            if target_histogram.get(label, 0) < needed:
+                return False
+        return True
+
+    def _candidates(
+        self, query: LabeledGraph, vertex: VertexId, mapping: Mapping, used: set[VertexId]
+    ) -> Iterator[VertexId]:
+        """Target vertices that could host query ``vertex`` next."""
+        label = query.vertex_label(vertex)
+        mapped_neighbors = [n for n in query.neighbors(vertex) if n in mapping]
+        if mapped_neighbors:
+            # Every mapped query neighbor constrains the image to the target
+            # neighborhood of its image; intersect starting from the
+            # smallest neighborhood.
+            anchor = min(mapped_neighbors, key=lambda n: self.target.degree(mapping[n]))
+            anchor_image = mapping[anchor]
+            required = query.edge_label(vertex, anchor)
+            for candidate, edge_label in self.target.neighbor_items(anchor_image):
+                if (
+                    edge_label == required
+                    and candidate not in used
+                    and self.target.vertex_label(candidate) == label
+                ):
+                    yield candidate
+        else:
+            for candidate in self._by_label.get(label, ()):
+                if candidate not in used:
+                    yield candidate
+
+    def _feasible(
+        self, query: LabeledGraph, vertex: VertexId, candidate: VertexId, mapping: Mapping
+    ) -> bool:
+        """Check all already-mapped constraints plus lookahead pruning."""
+        if self.target.degree(candidate) < query.degree(vertex):
+            return False
+        for neighbor, edge_label in query.neighbor_items(vertex):
+            if neighbor in mapping:
+                image = mapping[neighbor]
+                if not self.target.has_edge(candidate, image):
+                    return False
+                if self.target.edge_label(candidate, image) != edge_label:
+                    return False
+        # Lookahead: the candidate must offer at least as many
+        # (edge label, neighbor label) incidences as the query vertex needs.
+        candidate_signature = self._signature[candidate]
+        for key, needed in _label_degree_signature(query, vertex).items():
+            if candidate_signature.get(key, 0) < needed:
+                return False
+        return True
+
+    def _extend(
+        self,
+        query: LabeledGraph,
+        order: list[VertexId],
+        depth: int,
+        mapping: Mapping,
+        used: set[VertexId],
+    ) -> Iterator[Mapping]:
+        if depth == len(order):
+            yield mapping
+            return
+        vertex = order[depth]
+        for candidate in self._candidates(query, vertex, mapping, used):
+            if self._feasible(query, vertex, candidate, mapping):
+                mapping[vertex] = candidate
+                used.add(candidate)
+                yield from self._extend(query, order, depth + 1, mapping, used)
+                del mapping[vertex]
+                used.discard(candidate)
+
+
+def _label_degree_signature(
+    graph: LabeledGraph, vertex: VertexId
+) -> dict[tuple[Label, Label], int]:
+    """Multiset of ``(edge label, neighbor label)`` pairs around ``vertex``."""
+    signature: dict[tuple[Label, Label], int] = {}
+    for neighbor, edge_label in graph.neighbor_items(vertex):
+        key = (edge_label, graph.vertex_label(neighbor))
+        signature[key] = signature.get(key, 0) + 1
+    return signature
+
+
+def _query_order(query: LabeledGraph) -> list[VertexId]:
+    """Static match order: connected expansion, high degree first."""
+    remaining = set(query.vertices())
+    order: list[VertexId] = []
+    frontier_scores: dict[VertexId, int] = {}
+
+    def pick_root() -> VertexId:
+        return max(remaining, key=lambda v: (query.degree(v), str(v)))
+
+    while remaining:
+        if not frontier_scores:
+            root = pick_root()
+        else:
+            root = max(
+                frontier_scores,
+                key=lambda v: (frontier_scores[v], query.degree(v), str(v)),
+            )
+            del frontier_scores[root]
+        order.append(root)
+        remaining.discard(root)
+        for neighbor in query.neighbors(root):
+            if neighbor in remaining:
+                frontier_scores[neighbor] = frontier_scores.get(neighbor, 0) + 1
+        frontier_scores = {v: s for v, s in frontier_scores.items() if v in remaining}
+    return order
+
+
+# ----------------------------------------------------------------------
+# convenience functions
+# ----------------------------------------------------------------------
+def is_subgraph_isomorphic(query: LabeledGraph, target: LabeledGraph) -> bool:
+    """True iff ``query`` is subgraph isomorphic to ``target``."""
+    return SubgraphMatcher(target).is_subgraph(query)
+
+
+def find_subgraph_isomorphism(query: LabeledGraph, target: LabeledGraph) -> Mapping | None:
+    """One query-to-target vertex mapping, or ``None`` if none exists."""
+    return SubgraphMatcher(target).find(query)
+
+
+def find_all_subgraph_isomorphisms(
+    query: LabeledGraph, target: LabeledGraph, limit: int | None = None
+) -> list[Mapping]:
+    """All (or the first ``limit``) subgraph isomorphism mappings."""
+    return list(SubgraphMatcher(target).find_all(query, limit=limit))
+
+
+def are_isomorphic(a: LabeledGraph, b: LabeledGraph) -> bool:
+    """Exact graph isomorphism via two-sided subgraph checks on equal sizes."""
+    if a.num_vertices != b.num_vertices or a.num_edges != b.num_edges:
+        return False
+    if a.label_histogram() != b.label_histogram():
+        return False
+    return is_subgraph_isomorphic(a, b)

@@ -1,0 +1,146 @@
+"""Shared query-side preprocessing and the join-engine interface.
+
+A *join engine* answers, continuously, which (stream, query) pairs
+currently satisfy the Lemma 4.2 dominance condition: every node-projected
+vector of the query is dominated by some vector of the stream graph.  The
+query set is fixed up front (Definition 2.7 assumes this); engines react
+to stream-side NPV deltas pushed by :class:`repro.nnt.NNTIndex` and can
+report the candidate pair set at any timestamp.
+
+Engines only ever consult dimensions that occur in some query vector
+("subspace search within the non-zero dimensions of the query vectors",
+Section IV-B.2) — stream activity on other dimensions cannot change any
+dominance verdict and is dropped at the boundary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+from ..graph.labeled_graph import LabeledGraph, VertexId
+from ..nnt.builder import project_graph
+from ..nnt.projection import Dimension, DimensionScheme, NPV, PAPER_SCHEME
+
+QueryId = Hashable
+StreamId = Hashable
+Pair = tuple  # (StreamId, QueryId)
+
+
+@dataclass(frozen=True)
+class QueryVector:
+    """One query vertex's NPV, flattened into the engine-wide vector list."""
+
+    index: int
+    query_id: QueryId
+    vertex: VertexId
+    vector: NPV
+    num_dims: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "num_dims", len(self.vector))
+
+
+class QuerySet:
+    """Fixed set of query graphs, pre-projected to NPVs once."""
+
+    def __init__(
+        self,
+        queries: Mapping[QueryId, LabeledGraph],
+        depth_limit: int = 3,
+        scheme: DimensionScheme = PAPER_SCHEME,
+    ) -> None:
+        self.depth_limit = depth_limit
+        self.scheme = scheme
+        self.queries: dict[QueryId, LabeledGraph] = dict(queries)
+        self.vectors: list[QueryVector] = []
+        self.by_query: dict[QueryId, list[int]] = {}
+        self.dimension_universe: set[Dimension] = set()
+        for query_id, graph in self.queries.items():
+            indices: list[int] = []
+            for vertex, vector in sorted(
+                project_graph(graph, depth_limit, scheme).items(), key=lambda kv: str(kv[0])
+            ):
+                record = QueryVector(len(self.vectors), query_id, vertex, vector)
+                self.vectors.append(record)
+                indices.append(record.index)
+                self.dimension_universe.update(vector)
+            self.by_query[query_id] = indices
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def query_ids(self) -> list[QueryId]:
+        """Ids of the registered query graphs."""
+        return list(self.queries)
+
+
+class JoinEngine(ABC):
+    """Continuous dominance join between registered streams and the query set."""
+
+    def __init__(self, query_set: QuerySet) -> None:
+        self.query_set = query_set
+
+    # -- stream lifecycle ------------------------------------------------
+    @abstractmethod
+    def register_stream(self, stream_id: StreamId, npvs: Mapping[VertexId, NPV]) -> None:
+        """Attach a stream with its current per-vertex NPVs."""
+
+    @abstractmethod
+    def remove_stream(self, stream_id: StreamId) -> None:
+        """Detach a stream entirely."""
+
+    # -- NPV evolution (forwarded from the NNT index) ---------------------
+    @abstractmethod
+    def on_vertex_added(self, stream_id: StreamId, vertex: VertexId) -> None:
+        """A vertex (empty NPV) joined the stream graph."""
+
+    @abstractmethod
+    def on_vertex_removed(self, stream_id: StreamId, vertex: VertexId) -> None:
+        """A vertex (already zeroed) left the stream graph."""
+
+    @abstractmethod
+    def on_dimension_delta(
+        self, stream_id: StreamId, vertex: VertexId, dim: Dimension, delta: int
+    ) -> None:
+        """One NPV entry of a stream vertex changed by ``delta``."""
+
+    # -- results ----------------------------------------------------------
+    @abstractmethod
+    def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
+        """Does the pair currently pass the dominance filter?"""
+
+    def candidates(self) -> set[Pair]:
+        """All currently passing (stream, query) pairs."""
+        return {
+            (stream_id, query_id)
+            for stream_id in self.stream_ids()
+            for query_id in self.query_set.query_ids()
+            if self.is_candidate(stream_id, query_id)
+        }
+
+    @abstractmethod
+    def stream_ids(self) -> list[StreamId]:
+        """Ids of the currently attached streams."""
+
+
+class StreamListenerAdapter:
+    """Adapts one stream's :class:`~repro.nnt.incremental.NPVListener`
+    callbacks onto a join engine by tagging them with the stream id."""
+
+    def __init__(self, engine: JoinEngine, stream_id: StreamId) -> None:
+        self.engine = engine
+        self.stream_id = stream_id
+
+    def on_vertex_added(self, vertex: VertexId) -> None:
+        """Forward with this adapter's stream id."""
+        self.engine.on_vertex_added(self.stream_id, vertex)
+
+    def on_vertex_removed(self, vertex: VertexId) -> None:
+        """Forward with this adapter's stream id."""
+        self.engine.on_vertex_removed(self.stream_id, vertex)
+
+    def on_dimension_delta(self, vertex: VertexId, dim: Dimension, delta: int) -> None:
+        """Forward with this adapter's stream id."""
+        self.engine.on_dimension_delta(self.stream_id, vertex, dim, delta)

@@ -1,0 +1,67 @@
+"""Dominance utilities over sparse node-projected vectors (Section IV-B).
+
+The paper adapts the skyline vocabulary to its join problem: a stream
+vector ``v`` *dominates* a query vector ``u`` when ``v[d] >= u[d]`` on
+every non-zero dimension of ``u`` (Lemma 4.2's direction).  This module
+provides the sparse dominance predicate, the *maximal vector* set of a
+query graph (its monochromatic skyline — the only vectors the skyline
+join needs to probe), and brute-force oracles the tests compare the
+engines against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from ..nnt.projection import dominates
+
+Vector = Mapping[Hashable, int]
+
+
+def maximal_vectors(vectors: Sequence[Vector]) -> list[int]:
+    """Indices of the vectors not dominated by any *other* vector.
+
+    This is the monochromatic skyline of the set under the paper's
+    dominance order.  Duplicates: exactly one representative of each
+    maximal duplicate group is kept (checking one of them suffices — a
+    stream vector dominates either all duplicates or none).
+    """
+    kept: list[int] = []
+    for i, candidate in enumerate(vectors):
+        dominated = False
+        for j, other in enumerate(vectors):
+            if i == j:
+                continue
+            if dominates(other, candidate):
+                if dict(other) != dict(candidate):
+                    dominated = True
+                    break
+                if j < i:
+                    # Duplicate group: keep only the first occurrence.
+                    dominated = True
+                    break
+        if not dominated:
+            kept.append(i)
+    return kept
+
+
+def dominated_count(vector: Vector, others: Iterable[Vector]) -> int:
+    """How many of ``others`` the given vector dominates (ordering heuristic
+    for the skyline join's fail-fast probe order)."""
+    return sum(1 for other in others if dominates(vector, other))
+
+
+def is_bichromatic_skyline(query_vector: Vector, stream_vectors: Iterable[Vector]) -> bool:
+    """True iff no stream vector dominates ``query_vector`` (brute force)."""
+    return not any(dominates(v, query_vector) for v in stream_vectors)
+
+
+def pair_joinable_bruteforce(
+    query_vectors: Iterable[Vector], stream_vectors: Sequence[Vector]
+) -> bool:
+    """Reference predicate: every query vector finds a dominating stream
+    vector.  All three join engines must agree with this oracle."""
+    return all(
+        any(dominates(stream_vec, query_vec) for stream_vec in stream_vectors)
+        for query_vec in query_vectors
+    )

@@ -1,0 +1,173 @@
+"""Dominated-set-cover join (Theorem 4.1 / Figure 8 of the paper).
+
+Query vectors are projected once into each of their non-zero single
+dimensions and kept sorted there.  For every stream vector the engine
+derives, per dimension, a *position counter* (how many query values it is
+>= of, recovered by binary search) and, per query vector it has ever
+covered in some dimension, a *dominant counter* (in how many of that
+query vector's non-zero dimensions it currently dominates it).  A query
+vector whose dominant counter reaches its non-zero-dimension count is
+dominated in the full space; a (stream, query) pair is a candidate when
+every vector of the query is dominated by some vector of the stream —
+tracked by per-pair uncovered counts so the answer set is read off in
+O(streams x queries).
+
+When one NPV entry changes, only the query vectors whose sorted position
+the stream value crossed have their counters touched — this is the
+incremental update illustrated around Figure 9.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Mapping
+
+from ..graph.labeled_graph import VertexId
+from ..nnt.projection import Dimension, NPV
+from .base import JoinEngine, QueryId, QuerySet, StreamId
+
+
+class _StreamState:
+    """All per-stream counters of the DSC engine."""
+
+    __slots__ = ("vectors", "dominant", "cover", "uncovered")
+
+    def __init__(self, uncovered: dict) -> None:
+        self.vectors: dict[VertexId, NPV] = {}
+        # dominant[vertex][qv_index] -> in how many of qv's non-zero dims
+        # this stream vertex currently dominates it (zeros dropped).
+        self.dominant: dict[VertexId, dict[int, int]] = {}
+        # cover[qv_index] -> number of stream vertices fully dominating it.
+        self.cover: dict[int, int] = {}
+        # uncovered[query_id] -> number of its (non-trivial) query vectors
+        # not yet dominated by any stream vertex.
+        self.uncovered: dict[QueryId, int] = uncovered
+
+
+class DominatedSetCoverJoin(JoinEngine):
+    """The ``DSC`` engine (Procedure Dominated_Set_Cover_Join)."""
+
+    def __init__(self, query_set: QuerySet) -> None:
+        super().__init__(query_set)
+        # Sorted per-dimension projections of the query vectors.
+        self._dim_values: dict[Dimension, list[int]] = {}
+        self._dim_entries: dict[Dimension, list[int]] = {}
+        for record in query_set.vectors:
+            for dim, value in record.vector.items():
+                self._dim_values.setdefault(dim, []).append(value)
+                self._dim_entries.setdefault(dim, []).append(record.index)
+        for dim in self._dim_values:
+            paired = sorted(zip(self._dim_values[dim], self._dim_entries[dim]))
+            self._dim_values[dim] = [value for value, _ in paired]
+            self._dim_entries[dim] = [index for _, index in paired]
+        self._required = [record.num_dims for record in query_set.vectors]
+        # Trivial (all-zero) query vectors are dominated by any existing
+        # vertex; they are excluded from the counter machinery and handled
+        # by a non-empty-stream test instead.
+        self._trivial_per_query: dict[QueryId, int] = {
+            query_id: sum(1 for i in indices if self._required[i] == 0)
+            for query_id, indices in query_set.by_query.items()
+        }
+        self._base_uncovered: dict[QueryId, int] = {
+            query_id: len(indices) - self._trivial_per_query[query_id]
+            for query_id, indices in query_set.by_query.items()
+        }
+        self._streams: dict[StreamId, _StreamState] = {}
+
+    # -- stream lifecycle ------------------------------------------------
+    def register_stream(self, stream_id: StreamId, npvs: Mapping[VertexId, NPV]) -> None:
+        if stream_id in self._streams:
+            raise ValueError(f"stream {stream_id!r} is already registered")
+        self._streams[stream_id] = _StreamState(dict(self._base_uncovered))
+        for vertex, vector in npvs.items():
+            self.on_vertex_added(stream_id, vertex)
+            for dim, value in vector.items():
+                self.on_dimension_delta(stream_id, vertex, dim, value)
+
+    def remove_stream(self, stream_id: StreamId) -> None:
+        del self._streams[stream_id]
+
+    def stream_ids(self) -> list[StreamId]:
+        return list(self._streams)
+
+    # -- NPV evolution ----------------------------------------------------
+    def on_vertex_added(self, stream_id: StreamId, vertex: VertexId) -> None:
+        state = self._streams[stream_id]
+        state.vectors[vertex] = {}
+        state.dominant[vertex] = {}
+
+    def on_vertex_removed(self, stream_id: StreamId, vertex: VertexId) -> None:
+        state = self._streams[stream_id]
+        vector = state.vectors.pop(vertex, None)
+        if vector:
+            for dim, value in vector.items():
+                self._value_changed(state, vertex, dim, value, 0)
+        state.dominant.pop(vertex, None)
+
+    def on_dimension_delta(
+        self, stream_id: StreamId, vertex: VertexId, dim: Dimension, delta: int
+    ) -> None:
+        if dim not in self._dim_values:
+            # Dimension absent from every query vector: cannot matter.
+            return
+        state = self._streams[stream_id]
+        vector = state.vectors[vertex]
+        old = vector.get(dim, 0)
+        new = old + delta
+        if new:
+            vector[dim] = new
+        else:
+            vector.pop(dim, None)
+        self._value_changed(state, vertex, dim, old, new)
+
+    # -- counter maintenance ----------------------------------------------
+    def _value_changed(
+        self, state: _StreamState, vertex: VertexId, dim: Dimension, old: int, new: int
+    ) -> None:
+        """Walk the sorted query projection of ``dim`` between the old and
+        new positions of this stream value, adjusting dominant counters."""
+        values = self._dim_values[dim]
+        old_pos = bisect_right(values, old) if old > 0 else 0
+        new_pos = bisect_right(values, new) if new > 0 else 0
+        if new_pos == old_pos:
+            return
+        entries = self._dim_entries[dim]
+        dominant = state.dominant[vertex]
+        if new_pos > old_pos:
+            for qv_index in entries[old_pos:new_pos]:
+                count = dominant.get(qv_index, 0) + 1
+                dominant[qv_index] = count
+                if count == self._required[qv_index]:
+                    self._cover_gained(state, qv_index)
+        else:
+            for qv_index in entries[new_pos:old_pos]:
+                count = dominant[qv_index]
+                if count == self._required[qv_index]:
+                    self._cover_lost(state, qv_index)
+                if count == 1:
+                    del dominant[qv_index]
+                else:
+                    dominant[qv_index] = count - 1
+
+    def _cover_gained(self, state: _StreamState, qv_index: int) -> None:
+        count = state.cover.get(qv_index, 0) + 1
+        state.cover[qv_index] = count
+        if count == 1:
+            state.uncovered[self.query_set.vectors[qv_index].query_id] -= 1
+
+    def _cover_lost(self, state: _StreamState, qv_index: int) -> None:
+        count = state.cover[qv_index]
+        if count == 1:
+            del state.cover[qv_index]
+            state.uncovered[self.query_set.vectors[qv_index].query_id] += 1
+        else:
+            state.cover[qv_index] = count - 1
+
+    # -- results ----------------------------------------------------------
+    def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
+        state = self._streams[stream_id]
+        if state.uncovered[query_id]:
+            return False
+        if self._trivial_per_query[query_id] and not state.vectors:
+            return False
+        return True

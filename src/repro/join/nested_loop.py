@@ -1,0 +1,67 @@
+"""Nested-loop dominance join — the paper's baseline search strategy.
+
+Keeps a per-stream mirror of the NPVs (restricted to the query dimension
+universe) and, on every candidate probe, compares each query vector
+against the stream vectors pair by pair.  No cross-timestamp state is
+reused, which is precisely why the improved engines of the paper exist.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..graph.labeled_graph import VertexId
+from ..nnt.projection import Dimension, NPV, dominates
+from .base import JoinEngine, QueryId, QuerySet, StreamId
+
+
+class NestedLoopJoin(JoinEngine):
+    """Baseline ``NL`` engine (Section IV-B)."""
+
+    def __init__(self, query_set: QuerySet) -> None:
+        super().__init__(query_set)
+        self._streams: dict[StreamId, dict[VertexId, NPV]] = {}
+
+    # -- stream lifecycle ------------------------------------------------
+    def register_stream(self, stream_id: StreamId, npvs: Mapping[VertexId, NPV]) -> None:
+        if stream_id in self._streams:
+            raise ValueError(f"stream {stream_id!r} is already registered")
+        universe = self.query_set.dimension_universe
+        self._streams[stream_id] = {
+            vertex: {dim: value for dim, value in vector.items() if dim in universe}
+            for vertex, vector in npvs.items()
+        }
+
+    def remove_stream(self, stream_id: StreamId) -> None:
+        del self._streams[stream_id]
+
+    def stream_ids(self) -> list[StreamId]:
+        return list(self._streams)
+
+    # -- NPV evolution ----------------------------------------------------
+    def on_vertex_added(self, stream_id: StreamId, vertex: VertexId) -> None:
+        self._streams[stream_id][vertex] = {}
+
+    def on_vertex_removed(self, stream_id: StreamId, vertex: VertexId) -> None:
+        self._streams[stream_id].pop(vertex, None)
+
+    def on_dimension_delta(
+        self, stream_id: StreamId, vertex: VertexId, dim: Dimension, delta: int
+    ) -> None:
+        if dim not in self.query_set.dimension_universe:
+            return
+        vector = self._streams[stream_id][vertex]
+        value = vector.get(dim, 0) + delta
+        if value:
+            vector[dim] = value
+        else:
+            vector.pop(dim, None)
+
+    # -- results ----------------------------------------------------------
+    def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
+        stream_vectors = list(self._streams[stream_id].values())
+        for index in self.query_set.by_query[query_id]:
+            query_vector = self.query_set.vectors[index].vector
+            if not any(dominates(v, query_vector) for v in stream_vectors):
+                return False
+        return True

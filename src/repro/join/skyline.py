@@ -1,0 +1,179 @@
+"""Skyline-with-early-stop join (Section IV-B.2 / Figure 11 of the paper).
+
+Instead of proving that every query vector is dominated, this engine
+hunts for one *bichromatic skyline point*: a query vector no stream
+vector dominates.  Finding one prunes the pair immediately (the early
+stop).  Three optimizations from the paper:
+
+1. **Query side, maximality** — only the maximal query vectors (the
+   monochromatic skyline of the query's vector set) are probed: if any
+   query vector escapes domination, a maximal one does (transitivity).
+2. **Query side, ordering** — maximal vectors are probed in fail-fast
+   order: those that dominate many other query vectors (and carry more
+   L1 mass) are the least likely to be dominated, so they go first.
+3. **Stream side, subspace search** — per dimension the engine keeps the
+   member set, its cardinality and (lazily cached) maximum.  A probe
+   first compares against the per-dimension maxima (exceeding one proves
+   skyline-ness without scanning), then scans only the members of the
+   probe's minimum-cardinality non-zero dimension: any dominator must
+   appear in every non-zero dimension of the probe.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..graph.labeled_graph import VertexId
+from ..nnt.projection import Dimension, NPV, dominates, vector_mass
+from .base import JoinEngine, QueryId, QuerySet, StreamId
+from .dominance import dominated_count, maximal_vectors
+
+
+class _StreamState:
+    """Per-stream mirrors and per-dimension statistics."""
+
+    __slots__ = ("vectors", "members", "max_cache", "version")
+
+    def __init__(self) -> None:
+        self.vectors: dict[VertexId, NPV] = {}
+        # members[dim] -> set of vertices with a non-zero entry in dim.
+        self.members: dict[Dimension, set[VertexId]] = {}
+        # max_cache[dim] -> cached maximum value in dim (None = stale).
+        self.max_cache: dict[Dimension, int | None] = {}
+        self.version = 0
+
+    def max_of(self, dim: Dimension) -> int:
+        cached = self.max_cache.get(dim)
+        if cached is None:
+            members = self.members.get(dim)
+            cached = max((self.vectors[v][dim] for v in members), default=0) if members else 0
+            self.max_cache[dim] = cached
+        return cached
+
+
+class SkylineEarlyStopJoin(JoinEngine):
+    """The ``Skyline`` engine (Procedure Skyline_with_Earlystop_Join)."""
+
+    def __init__(self, query_set: QuerySet) -> None:
+        super().__init__(query_set)
+        self._probe_order: dict[QueryId, list[int]] = {}
+        for query_id, indices in query_set.by_query.items():
+            vectors = [query_set.vectors[i].vector for i in indices]
+            maximal = maximal_vectors(vectors)
+            ranked = sorted(
+                maximal,
+                key=lambda local: (
+                    -dominated_count(vectors[local], vectors),
+                    -vector_mass(vectors[local]),
+                ),
+            )
+            self._probe_order[query_id] = [indices[local] for local in ranked]
+        self._streams: dict[StreamId, _StreamState] = {}
+        # verdict cache: (stream, query) -> (stream version, verdict)
+        self._verdicts: dict[tuple, tuple[int, bool]] = {}
+
+    # -- stream lifecycle ------------------------------------------------
+    def register_stream(self, stream_id: StreamId, npvs: Mapping[VertexId, NPV]) -> None:
+        if stream_id in self._streams:
+            raise ValueError(f"stream {stream_id!r} is already registered")
+        self._streams[stream_id] = _StreamState()
+        for vertex, vector in npvs.items():
+            self.on_vertex_added(stream_id, vertex)
+            for dim, value in vector.items():
+                self.on_dimension_delta(stream_id, vertex, dim, value)
+
+    def remove_stream(self, stream_id: StreamId) -> None:
+        del self._streams[stream_id]
+        self._verdicts = {key: v for key, v in self._verdicts.items() if key[0] != stream_id}
+
+    def stream_ids(self) -> list[StreamId]:
+        return list(self._streams)
+
+    # -- NPV evolution ----------------------------------------------------
+    def on_vertex_added(self, stream_id: StreamId, vertex: VertexId) -> None:
+        state = self._streams[stream_id]
+        state.vectors[vertex] = {}
+        state.version += 1
+
+    def on_vertex_removed(self, stream_id: StreamId, vertex: VertexId) -> None:
+        state = self._streams[stream_id]
+        vector = state.vectors.pop(vertex, None)
+        if vector:
+            for dim in vector:
+                self._drop_member(state, dim, vertex)
+        state.version += 1
+
+    def on_dimension_delta(
+        self, stream_id: StreamId, vertex: VertexId, dim: Dimension, delta: int
+    ) -> None:
+        if dim not in self.query_set.dimension_universe:
+            return
+        state = self._streams[stream_id]
+        vector = state.vectors[vertex]
+        old = vector.get(dim, 0)
+        new = old + delta
+        if new:
+            vector[dim] = new
+            members = state.members.setdefault(dim, set())
+            members.add(vertex)
+            cached = state.max_cache.get(dim)
+            if new > old:
+                if cached is not None and new > cached:
+                    state.max_cache[dim] = new
+            elif cached is not None and old == cached:
+                state.max_cache[dim] = None  # the maximum may have shrunk
+        else:
+            vector.pop(dim, None)
+            self._drop_member(state, dim, vertex)
+        state.version += 1
+
+    def _drop_member(self, state: _StreamState, dim: Dimension, vertex: VertexId) -> None:
+        members = state.members.get(dim)
+        if members is not None:
+            members.discard(vertex)
+            if not members:
+                del state.members[dim]
+                state.max_cache.pop(dim, None)
+            else:
+                state.max_cache[dim] = None
+
+    # -- results ----------------------------------------------------------
+    def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
+        state = self._streams[stream_id]
+        key = (stream_id, query_id)
+        cached = self._verdicts.get(key)
+        if cached is not None and cached[0] == state.version:
+            return cached[1]
+        verdict = self._evaluate(state, query_id)
+        self._verdicts[key] = (state.version, verdict)
+        return verdict
+
+    def _evaluate(self, state: _StreamState, query_id: QueryId) -> bool:
+        for qv_index in self._probe_order[query_id]:
+            probe = self.query_set.vectors[qv_index].vector
+            if not probe:
+                # Trivial all-zero probe: dominated by any existing vertex.
+                if not state.vectors:
+                    return False
+                continue
+            best_dim: Dimension | None = None
+            best_cardinality = None
+            skyline = False
+            for dim, value in probe.items():
+                members = state.members.get(dim)
+                cardinality = len(members) if members else 0
+                if cardinality == 0 or value > state.max_of(dim):
+                    # No stream vector can dominate the probe in this dim:
+                    # the probe is a bichromatic skyline point.
+                    skyline = True
+                    break
+                if best_cardinality is None or cardinality < best_cardinality:
+                    best_cardinality = cardinality
+                    best_dim = dim
+            if skyline:
+                return False  # early stop: the pair is pruned
+            assert best_dim is not None
+            vectors = state.vectors
+            if not any(dominates(vectors[v], probe) for v in state.members[best_dim]):
+                return False
+        return True

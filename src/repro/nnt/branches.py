@@ -1,0 +1,100 @@
+"""Branch compatibility between NNTs (Lemma 4.1 of the paper).
+
+``NNT(u)`` is *branch compatible* to ``NNT(v)`` when every simple path
+(branch) of ``NNT(u)`` is contained in the branches of ``NNT(v)``.  We use
+the multiset form — every root-path *signature* (the sequence of
+``(edge label, vertex label)`` pairs from the root) of ``NNT(u)`` must
+appear in ``NNT(v)`` at least as many times — which is still sound: an
+injective subgraph embedding maps distinct simple paths to distinct
+simple paths with identical signatures.
+
+This check is strictly stronger than NPV dominance (the NPV forgets the
+order of labels along a path and ties counts only per depth) but costs a
+full tree walk per comparison; ablation A1 quantifies the trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graph.labeled_graph import Label, LabeledGraph, VertexId
+from .builder import build_all_nnts
+from .tree import NNT
+
+BranchSignature = tuple  # ((edge_label, vertex_label), ...) from the root
+BranchProfile = dict  # BranchSignature -> multiplicity
+
+
+def branch_profile(tree: NNT, label_of: Callable[[VertexId], Label]) -> BranchProfile:
+    """Multiset of root-path signatures of every non-root node.
+
+    Because an NNT contains *all* simple paths up to the depth limit, the
+    profile is prefix-closed: every prefix of a contained signature is
+    itself contained.
+    """
+    profile: BranchProfile = {}
+    stack: list[tuple] = [(tree.root, ())]
+    while stack:
+        node, signature = stack.pop()
+        if node.parent is not None:
+            profile[signature] = profile.get(signature, 0) + 1
+        for child in node.children.values():
+            step = (child.edge_label, label_of(child.graph_vertex))
+            stack.append((child, signature + (step,)))
+    return profile
+
+
+def branch_compatible(
+    query_profile: BranchProfile,
+    stream_profile: BranchProfile,
+    query_root_label: Label,
+    stream_root_label: Label,
+) -> bool:
+    """True iff the query tree's branches all fit inside the stream tree's."""
+    if query_root_label != stream_root_label:
+        return False
+    if len(query_profile) > len(stream_profile):
+        return False
+    for signature, count in query_profile.items():
+        if stream_profile.get(signature, 0) < count:
+            return False
+    return True
+
+
+class BranchFilter:
+    """Lemma 4.1 as a pair filter: every query vertex must find a
+    branch-compatible stream vertex.
+
+    Profiles of the query side are computed once at construction (queries
+    are fixed); the stream side is recomputed per call — this filter is
+    the *expensive* comparison point of ablation A1, not a streaming
+    engine.
+    """
+
+    def __init__(self, query: LabeledGraph, depth_limit: int = 3) -> None:
+        self.query = query
+        self.depth_limit = depth_limit
+        self._query_profiles = {
+            vertex: branch_profile(tree, query.vertex_label)
+            for vertex, tree in build_all_nnts(query, depth_limit).items()
+        }
+
+    def admits(self, stream_graph: LabeledGraph) -> bool:
+        """True iff the pair (query, stream_graph) survives the filter."""
+        stream_profiles = {
+            vertex: branch_profile(tree, stream_graph.vertex_label)
+            for vertex, tree in build_all_nnts(stream_graph, self.depth_limit).items()
+        }
+        for query_vertex, query_prof in self._query_profiles.items():
+            query_label = self.query.vertex_label(query_vertex)
+            if not any(
+                branch_compatible(
+                    query_prof,
+                    stream_prof,
+                    query_label,
+                    stream_graph.vertex_label(stream_vertex),
+                )
+                for stream_vertex, stream_prof in stream_profiles.items()
+            ):
+                return False
+        return True

@@ -1,0 +1,357 @@
+"""Incremental NNT maintenance (Section III, Figures 4-5 of the paper).
+
+:class:`NNTIndex` keeps, for one evolving graph, the NNT of every vertex
+plus two inverted indexes:
+
+* the **edge-tree index** ``I_edge``: graph edge -> the tree nodes whose
+  incoming tree edge crosses it (each such node identifies one appearance
+  of the graph edge in some NNT);
+* the **node-tree index** ``I_node``: graph vertex -> every tree node that
+  is an occurrence of it (across all NNTs, roots included).
+
+Deleting a graph edge removes the subtree under each of its appearances
+(Procedure *Delete-Edge*); inserting edge ``(a, b)`` appends, under every
+pre-existing appearance of ``a`` and of ``b`` where the new edge is not on
+the root path, a new branch expanded BFS-style to the depth limit
+(Procedure *Insert-Edge*).  Per appearance the work is ``O(r^(l-1))`` for
+maximum degree ``r`` (Lemma 3.2).
+
+The index simultaneously maintains the sparse NPV of every vertex
+(Section IV-A): every tree edge spliced in or out produces a ``+/-1``
+delta on one projection dimension, which is applied to the owning
+vertex's NPV and forwarded to registered listeners — this is what lets
+the join engines of :mod:`repro.join` update their counters without ever
+re-projecting a tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Protocol
+
+from ..graph.labeled_graph import GraphError, Label, LabeledGraph, VertexId, edge_key
+from ..graph.operations import GraphChangeOperation, INSERT, EdgeChange
+from .projection import NPV, Dimension, DimensionScheme, PAPER_SCHEME, add_to_vector
+from .tree import NNT, TreeNode
+
+
+class NPVListener(Protocol):
+    """Observer of NPV evolution for one evolving graph."""
+
+    def on_vertex_added(self, vertex: VertexId) -> None:
+        """A vertex (with an initially empty NPV) entered the graph."""
+
+    def on_vertex_removed(self, vertex: VertexId) -> None:
+        """A vertex left the graph (its NPV was already empty)."""
+
+    def on_dimension_delta(self, vertex: VertexId, dim: Dimension, delta: int) -> None:
+        """``NPV(vertex)[dim]`` changed by ``delta`` (+1 or -1 per tree edge)."""
+
+
+def _root_of(node: TreeNode) -> VertexId:
+    """Graph vertex owning the tree that contains ``node`` (O(depth) walk)."""
+    while node.parent is not None:
+        node = node.parent
+    return node.graph_vertex
+
+
+class NNTIndex:
+    """All NNTs + NPVs of one evolving graph, maintained incrementally."""
+
+    def __init__(
+        self,
+        initial: LabeledGraph | None = None,
+        depth_limit: int = 3,
+        scheme: DimensionScheme = PAPER_SCHEME,
+    ) -> None:
+        if depth_limit < 1:
+            raise ValueError("depth_limit must be at least 1")
+        self.depth_limit = depth_limit
+        self.scheme = scheme
+        # Fast path: the paper's scheme builds (depth, label, label)
+        # tuples inline in _add_tree_edge instead of dispatching.
+        self._paper_dims = not scheme.include_edge_label
+        self.graph = LabeledGraph()
+        self.trees: dict[VertexId, NNT] = {}
+        self.node_index: dict[VertexId, set[TreeNode]] = {}
+        self.edge_index: dict[tuple, set[TreeNode]] = {}
+        self.npvs: dict[VertexId, NPV] = {}
+        self.listeners: list[NPVListener] = []
+        self.stats = {
+            "tree_nodes_added": 0,
+            "tree_nodes_removed": 0,
+            "edges_inserted": 0,
+            "edges_deleted": 0,
+        }
+        if initial is not None:
+            self._build_initial(initial)
+
+    # ------------------------------------------------------------------
+    # read API
+    # ------------------------------------------------------------------
+    def npv(self, vertex: VertexId) -> NPV:
+        """The (live, do-not-mutate) NPV of ``vertex``."""
+        return self.npvs[vertex]
+
+    def tree(self, vertex: VertexId) -> NNT:
+        """The live NNT rooted at ``vertex``."""
+        return self.trees[vertex]
+
+    def add_listener(self, listener: NPVListener) -> None:
+        """Subscribe to NPV deltas (changes after this call only)."""
+        self.listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # initial build
+    # ------------------------------------------------------------------
+    def _build_initial(self, initial: LabeledGraph) -> None:
+        """Bulk-load: copy the graph, then grow every NNT edge by edge.
+
+        Reuses the same splice primitives as the streaming path (so the
+        initial state is by construction consistent with incremental
+        updates) but without listener notifications: consumers attach
+        afterwards and read the finished NPVs.
+        """
+        for vertex, label in initial.vertex_items():
+            self._create_vertex(vertex, label, notify=False)
+        for u, v, label in initial.edges():
+            self._insert_edge_internal(u, v, label, notify=False)
+
+    # ------------------------------------------------------------------
+    # change application
+    # ------------------------------------------------------------------
+    def apply(self, operation: GraphChangeOperation) -> None:
+        """Apply a batch: all deletions first, then all insertions."""
+        for change in operation.sequentialized():
+            self.apply_change(change)
+
+    def apply_change(self, change: EdgeChange) -> None:
+        """Apply a single edge insertion or deletion."""
+        if change.op == INSERT:
+            self.insert_edge(
+                change.u, change.v, change.edge_label, change.u_label, change.v_label
+            )
+        else:
+            self.delete_edge(change.u, change.v)
+
+    # ------------------------------------------------------------------
+    # insertion (Figure 5)
+    # ------------------------------------------------------------------
+    def insert_edge(
+        self,
+        a: VertexId,
+        b: VertexId,
+        edge_label: Label,
+        a_label: Label | None = None,
+        b_label: Label | None = None,
+    ) -> None:
+        """Insert graph edge ``(a, b)``, creating missing endpoints."""
+        for vertex, label in ((a, a_label), (b, b_label)):
+            if not self.graph.has_vertex(vertex):
+                if label is None:
+                    raise GraphError(
+                        f"inserting edge ({a!r}, {b!r}) creates vertex "
+                        f"{vertex!r} but no label was provided"
+                    )
+                self._create_vertex(vertex, label, notify=True)
+        self._insert_edge_internal(a, b, edge_label, notify=True)
+        self.stats["edges_inserted"] += 1
+
+    def _insert_edge_internal(
+        self, a: VertexId, b: VertexId, edge_label: Label, notify: bool
+    ) -> None:
+        # Snapshot the pre-existing appearances of both endpoints before
+        # touching anything: the expansion below creates new appearances
+        # of a and b that are already complete w.r.t. the new edge and
+        # must not be re-extended.
+        snapshot_a = list(self.node_index.get(a, ()))
+        snapshot_b = list(self.node_index.get(b, ()))
+        self.graph.add_edge(a, b, edge_label)
+        # Hang the new edge (and its BFS-expanded subtree) below every
+        # pre-existing appearance where the simple-path rule allows it.
+        # Most appearances sit at the depth limit; check that inline
+        # before paying a call (this loop runs once per appearance).
+        limit = self.depth_limit
+        for node in snapshot_a:
+            if node.depth < limit and not node.edge_on_root_path(node.graph_vertex, b):
+                self._expand_subtree(self._add_tree_edge(node, b, edge_label, notify), notify)
+        for node in snapshot_b:
+            if node.depth < limit and not node.edge_on_root_path(node.graph_vertex, a):
+                self._expand_subtree(self._add_tree_edge(node, a, edge_label, notify), notify)
+
+    def _expand_subtree(self, start: TreeNode, notify: bool) -> None:
+        """BFS expansion of a freshly created node down to the depth limit."""
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            if node.depth >= self.depth_limit:
+                continue
+            for neighbor, edge_label in self.graph.neighbor_items(node.graph_vertex):
+                if node.edge_on_root_path(node.graph_vertex, neighbor):
+                    continue
+                child = self._add_tree_edge(node, neighbor, edge_label, notify)
+                queue.append(child)
+
+    # ------------------------------------------------------------------
+    # deletion (Figure 4)
+    # ------------------------------------------------------------------
+    def delete_edge(self, a: VertexId, b: VertexId) -> None:
+        """Delete graph edge ``(a, b)``; endpoints left isolated are dropped."""
+        if not self.graph.has_edge(a, b):
+            raise GraphError(f"edge ({a!r}, {b!r}) does not exist")
+        key = edge_key(a, b)
+        appearances = self.edge_index.get(key)
+        # Appearances of one edge are never nested inside each other (a
+        # simple path uses an edge at most once), but subtree removal can
+        # still shrink the set we are iterating, so drain it destructively.
+        while appearances:
+            child = next(iter(appearances))
+            self._remove_subtree(child, notify=True)
+            appearances = self.edge_index.get(key)
+        self.graph.remove_edge(a, b)
+        self.stats["edges_deleted"] += 1
+        for vertex in (a, b):
+            if self.graph.has_vertex(vertex) and self.graph.degree(vertex) == 0:
+                self._remove_vertex(vertex)
+
+    def _remove_subtree(self, top: TreeNode, notify: bool) -> None:
+        """Detach ``top`` (a non-root tree node) and its whole subtree,
+        unindexing every node and reversing every NPV contribution."""
+        parent = top.parent
+        if parent is None:
+            raise GraphError("cannot remove the root of an NNT as a subtree")
+        root_vertex = top.root_vertex if top.root_vertex is not None else _root_of(top)
+        for node in top.descendants(include_self=True):
+            self.node_index[node.graph_vertex].discard(node)
+            assert node.parent is not None
+            key = edge_key(node.parent.graph_vertex, node.graph_vertex)
+            bucket = self.edge_index.get(key)
+            if bucket is not None:
+                bucket.discard(node)
+                if not bucket:
+                    del self.edge_index[key]
+            dim = node.dim  # cached at creation by _add_tree_edge
+            add_to_vector(self.npvs[root_vertex], dim, -1)
+            self.stats["tree_nodes_removed"] += 1
+            if notify:
+                for listener in self.listeners:
+                    listener.on_dimension_delta(root_vertex, dim, -1)
+        del parent.children[top.graph_vertex]
+        top.parent = None
+
+    # ------------------------------------------------------------------
+    # vertex lifecycle
+    # ------------------------------------------------------------------
+    def _create_vertex(self, vertex: VertexId, label: Label, notify: bool) -> None:
+        self.graph.add_vertex(vertex, label)
+        tree = NNT(vertex, self.depth_limit)
+        tree.root.root_vertex = vertex
+        self.trees[vertex] = tree
+        self.node_index.setdefault(vertex, set()).add(tree.root)
+        self.npvs[vertex] = {}
+        if notify:
+            for listener in self.listeners:
+                listener.on_vertex_added(vertex)
+
+    def _remove_vertex(self, vertex: VertexId) -> None:
+        """Drop a now-isolated vertex.
+
+        Isolation implies its NNT is a bare root and no other tree holds an
+        occurrence of it (every depth >= 1 occurrence crosses one of its
+        incident edges, all already deleted), so the cleanup is local.
+        """
+        tree = self.trees.pop(vertex)
+        bucket = self.node_index.get(vertex, set())
+        bucket.discard(tree.root)
+        if bucket:
+            raise AssertionError(
+                f"isolated vertex {vertex!r} still has NNT occurrences; "
+                "index is corrupt"
+            )
+        self.node_index.pop(vertex, None)
+        leftover = self.npvs.pop(vertex)
+        if leftover:
+            raise AssertionError(
+                f"isolated vertex {vertex!r} has a non-empty NPV; index is corrupt"
+            )
+        self.graph.remove_vertex(vertex)
+        for listener in self.listeners:
+            listener.on_vertex_removed(vertex)
+
+    # ------------------------------------------------------------------
+    # tree-edge splice primitive
+    # ------------------------------------------------------------------
+    def _add_tree_edge(
+        self, parent: TreeNode, graph_vertex: VertexId, edge_label: Label, notify: bool
+    ) -> TreeNode:
+        child = TreeNode(graph_vertex, parent, parent.depth + 1, edge_label)
+        parent.children[graph_vertex] = child
+        self.node_index.setdefault(graph_vertex, set()).add(child)
+        self.edge_index.setdefault(
+            edge_key(parent.graph_vertex, graph_vertex), set()
+        ).add(child)
+        # Hot path: cache the owning root and the node's dimension so
+        # subtree removal never recomputes either.
+        root_vertex = parent.root_vertex if parent.root_vertex is not None else _root_of(child)
+        child.root_vertex = root_vertex
+        if self._paper_dims:
+            labels = self.graph.labels
+            dim = (child.depth, labels[parent.graph_vertex], labels[graph_vertex])
+        else:
+            dim = self.scheme.dimension_of_node(child, self.graph.vertex_label)
+        child.dim = dim
+        add_to_vector(self.npvs[root_vertex], dim, +1)
+        self.stats["tree_nodes_added"] += 1
+        if notify:
+            for listener in self.listeners:
+                listener.on_dimension_delta(root_vertex, dim, +1)
+        return child
+
+    # ------------------------------------------------------------------
+    # integrity checking (used heavily by the test suite)
+    # ------------------------------------------------------------------
+    def check_integrity(self) -> None:
+        """Verify every cross-structure invariant; raise AssertionError if
+        any is violated.  O(total tree size) — for tests and debugging."""
+        from .builder import build_nnt  # local import avoids a cycle
+        from .projection import project_tree
+
+        if set(self.trees) != set(self.graph.vertices()):
+            raise AssertionError("tree set does not match graph vertex set")
+        seen_nodes: set[int] = set()
+        for vertex, tree in self.trees.items():
+            if tree.root_vertex != vertex:
+                raise AssertionError(f"tree of {vertex!r} rooted elsewhere")
+            expected = build_nnt(self.graph, vertex, self.depth_limit)
+            got_form = tree.canonical_form(self.graph.vertex_label)
+            want_form = expected.canonical_form(self.graph.vertex_label)
+            if got_form != want_form:
+                raise AssertionError(f"NNT of {vertex!r} diverged from fresh build")
+            want_npv = project_tree(expected, self.graph.vertex_label, self.scheme)
+            if want_npv != self.npvs[vertex]:
+                raise AssertionError(f"NPV of {vertex!r} diverged from fresh projection")
+            for node in tree.nodes():
+                seen_nodes.add(id(node))
+                if node not in self.node_index.get(node.graph_vertex, set()):
+                    raise AssertionError("tree node missing from node index")
+                if node.parent is not None:
+                    key = edge_key(node.parent.graph_vertex, node.graph_vertex)
+                    if node not in self.edge_index.get(key, set()):
+                        raise AssertionError("tree edge missing from edge index")
+        for vertex, bucket in self.node_index.items():
+            for node in bucket:
+                if id(node) not in seen_nodes:
+                    raise AssertionError(f"stale node-index entry for {vertex!r}")
+        for key, bucket in self.edge_index.items():
+            for node in bucket:
+                if id(node) not in seen_nodes:
+                    raise AssertionError(f"stale edge-index entry for {key!r}")
+
+
+def index_graphs(
+    graphs: Iterable[LabeledGraph],
+    depth_limit: int = 3,
+    scheme: DimensionScheme = PAPER_SCHEME,
+) -> list[NNTIndex]:
+    """Build an :class:`NNTIndex` per graph (bulk helper for experiments)."""
+    return [NNTIndex(graph, depth_limit, scheme) for graph in graphs]

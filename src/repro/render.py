@@ -1,0 +1,68 @@
+"""Plain-text rendering of graphs, NNTs and NPVs for debugging and the
+examples/CLI.  Deterministic output (sorted by vertex id repr) so tests
+can assert on it."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .graph.labeled_graph import LabeledGraph, VertexId
+from .nnt.tree import NNT, TreeNode
+
+
+def format_graph(graph: LabeledGraph, name: str = "") -> str:
+    """Adjacency-list style rendering::
+
+        graph 'g': 3 vertices, 2 edges
+          1[A] -- 2[B](x) 3[C](y)
+    """
+    header = f"graph {name!r}: " if name else "graph: "
+    lines = [f"{header}{graph.num_vertices} vertices, {graph.num_edges} edges"]
+    for vertex in sorted(graph.vertices(), key=repr):
+        neighbors = " ".join(
+            f"{neighbor}[{graph.vertex_label(neighbor)}]({label})"
+            for neighbor, label in sorted(graph.neighbor_items(vertex), key=lambda kv: repr(kv[0]))
+        )
+        lines.append(f"  {vertex}[{graph.vertex_label(vertex)}] -- {neighbors}".rstrip(" -"))
+    return "\n".join(lines)
+
+
+def format_tree(tree: NNT, label_of: Callable[[VertexId], object]) -> str:
+    """Indented rendering of an NNT::
+
+        NNT(1) depth<=2
+        1[A]
+        ├─(-)─ 2[B]
+        │      └─(-)─ 3[C]
+        └─(-)─ 3[C]
+    """
+    lines = [f"NNT({tree.root_vertex}) depth<={tree.depth_limit}"]
+
+    def visit(node: TreeNode, prefix: str, is_last: bool) -> None:
+        if node.parent is None:
+            lines.append(f"{node.graph_vertex}[{label_of(node.graph_vertex)}]")
+            child_prefix = ""
+        else:
+            connector = "└─" if is_last else "├─"
+            lines.append(
+                f"{prefix}{connector}({node.edge_label})─ "
+                f"{node.graph_vertex}[{label_of(node.graph_vertex)}]"
+            )
+            child_prefix = prefix + ("       " if is_last else "│      ")
+        children = sorted(node.children.values(), key=lambda c: repr(c.graph_vertex))
+        for index, child in enumerate(children):
+            visit(child, child_prefix, index == len(children) - 1)
+
+    visit(tree.root, "", True)
+    return "\n".join(lines)
+
+
+def format_npv(vector: dict) -> str:
+    """One-line sparse rendering: ``{(1,A,B):2, (2,B,C):1}``."""
+    if not vector:
+        return "{}"
+    parts = [
+        f"({','.join(str(part) for part in dim)}):{value}"
+        for dim, value in sorted(vector.items(), key=lambda kv: repr(kv[0]))
+    ]
+    return "{" + ", ".join(parts) + "}"

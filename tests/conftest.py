@@ -1,0 +1,93 @@
+"""Shared test fixtures, random-graph helpers and hypothesis strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph import LabeledGraph
+
+VERTEX_LABELS = ("A", "B", "C")
+EDGE_LABELS = ("x", "y")
+
+
+def random_labeled_graph(
+    rng: random.Random,
+    num_vertices: int,
+    extra_edges: int = 0,
+    vertex_labels: tuple = VERTEX_LABELS,
+    edge_labels: tuple = EDGE_LABELS,
+    connected: bool = True,
+) -> LabeledGraph:
+    """Random graph: spanning tree (if connected) plus extra random edges."""
+    graph = LabeledGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, rng.choice(vertex_labels))
+    if connected and num_vertices > 1:
+        order = list(range(num_vertices))
+        rng.shuffle(order)
+        for i in range(1, num_vertices):
+            graph.add_edge(order[i], rng.choice(order[:i]), rng.choice(edge_labels))
+    for _ in range(extra_edges):
+        if num_vertices < 2:
+            break
+        u, v = rng.sample(range(num_vertices), 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v, rng.choice(edge_labels))
+    return graph
+
+
+def extract_connected_subgraph(
+    rng: random.Random, graph: LabeledGraph, num_vertices: int
+) -> LabeledGraph:
+    """Random connected vertex-induced subgraph with ~num_vertices vertices."""
+    start = rng.choice(sorted(graph.vertices(), key=str))
+    chosen = {start}
+    frontier = [start]
+    while len(chosen) < num_vertices and frontier:
+        vertex = rng.choice(frontier)
+        unvisited = [n for n in graph.neighbors(vertex) if n not in chosen]
+        if not unvisited:
+            frontier.remove(vertex)
+            continue
+        neighbor = rng.choice(sorted(unvisited, key=str))
+        chosen.add(neighbor)
+        frontier.append(neighbor)
+    return graph.subgraph(chosen)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def graph_strategy(
+    draw,
+    min_vertices: int = 1,
+    max_vertices: int = 8,
+    vertex_labels: tuple = VERTEX_LABELS,
+    edge_labels: tuple = EDGE_LABELS,
+    connected: bool = True,
+) -> LabeledGraph:
+    """Hypothesis strategy producing small labeled graphs."""
+    num_vertices = draw(st.integers(min_vertices, max_vertices))
+    graph = LabeledGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, draw(st.sampled_from(vertex_labels)))
+    if num_vertices >= 2:
+        if connected:
+            for i in range(1, num_vertices):
+                anchor = draw(st.integers(0, i - 1))
+                graph.add_edge(i, anchor, draw(st.sampled_from(edge_labels)))
+        pairs = [(u, v) for u in range(num_vertices) for v in range(u + 1, num_vertices)]
+        extra = draw(st.lists(st.sampled_from(pairs), max_size=num_vertices, unique=True))
+        for u, v in extra:
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v, draw(st.sampled_from(edge_labels)))
+    return graph

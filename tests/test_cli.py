@@ -1,0 +1,153 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import read_graph_set, read_stream
+
+
+@pytest.fixture
+def molecule_db(tmp_path):
+    path = tmp_path / "db.txt"
+    assert main(["generate", "molecules", "--out", str(path), "--count", "12", "--seed", "1"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_molecules(self, molecule_db):
+        graphs = read_graph_set(molecule_db)
+        assert len(graphs) == 12
+        assert all(g.num_vertices >= 4 for _, g in graphs)
+
+    def test_ggen(self, tmp_path):
+        path = tmp_path / "syn.txt"
+        assert main(
+            ["generate", "ggen", "--out", str(path), "--count", "5", "--size", "10"]
+        ) == 0
+        assert len(read_graph_set(path)) == 5
+
+    def test_queries_from_db(self, tmp_path, molecule_db):
+        out = tmp_path / "q.txt"
+        assert main(
+            [
+                "generate", "queries", "--out", str(out),
+                "--from-db", str(molecule_db), "--count", "4", "--query-edges", "3",
+            ]
+        ) == 0
+        queries = read_graph_set(out)
+        assert len(queries) == 4
+        assert all(q.num_edges <= 3 for _, q in queries)
+
+    def test_queries_requires_db(self, tmp_path):
+        assert main(["generate", "queries", "--out", str(tmp_path / "q.txt")]) == 2
+
+    def test_reality_stream(self, tmp_path):
+        path = tmp_path / "rm.txt"
+        assert main(
+            [
+                "generate", "reality-stream", "--out", str(path),
+                "--timestamps", "6", "--devices", "20",
+            ]
+        ) == 0
+        stream = read_stream(path)
+        assert len(stream) == 6
+        stream.final_graph()  # replayable
+
+    def test_synthetic_stream(self, tmp_path):
+        path = tmp_path / "syn_stream.txt"
+        assert main(
+            [
+                "generate", "synthetic-stream", "--out", str(path),
+                "--timestamps", "5", "--size", "6", "--density", "sparse",
+            ]
+        ) == 0
+        stream = read_stream(path)
+        assert len(stream) == 5
+        stream.final_graph()
+
+
+class TestSearch:
+    def test_search_with_verify(self, tmp_path, molecule_db, capsys):
+        queries = tmp_path / "q.txt"
+        main(
+            [
+                "generate", "queries", "--out", str(queries),
+                "--from-db", str(molecule_db), "--count", "2", "--query-edges", "2",
+            ]
+        )
+        assert main(["search", "--db", str(molecule_db), "--queries", str(queries)]) == 0
+        out = capsys.readouterr().out
+        assert "matches" in out
+        assert out.count("q") >= 2
+
+    def test_search_filter_only(self, tmp_path, molecule_db, capsys):
+        queries = tmp_path / "q.txt"
+        main(
+            [
+                "generate", "queries", "--out", str(queries),
+                "--from-db", str(molecule_db), "--count", "1", "--query-edges", "2",
+            ]
+        )
+        assert main(
+            ["search", "--db", str(molecule_db), "--queries", str(queries), "--no-verify"]
+        ) == 0
+        assert "candidates" in capsys.readouterr().out
+
+
+class TestMonitor:
+    def test_monitor_replay(self, tmp_path, capsys):
+        stream_path = tmp_path / "s.txt"
+        main(
+            [
+                "generate", "synthetic-stream", "--out", str(stream_path),
+                "--timestamps", "8", "--size", "6", "--seed", "3",
+            ]
+        )
+        db_path = tmp_path / "base.txt"
+        main(["generate", "ggen", "--out", str(db_path), "--count", "1", "--size", "6", "--seed", "3"])
+        queries = tmp_path / "q.txt"
+        main(
+            [
+                "generate", "queries", "--out", str(queries),
+                "--from-db", str(db_path), "--count", "2", "--query-edges", "2",
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "monitor", "--queries", str(queries), "--streams", str(stream_path),
+                "--method", "dsc", "--verify",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "final possible pairs:" in out
+
+
+class TestExperiment:
+    def test_experiment_driver(self, capsys):
+        assert main(["experiment", "fig12", "--scale", "smoke"]) == 0
+        assert "Figure 12" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["experiment", "nope", "--scale", "smoke"]) == 2
+
+
+class TestExperimentExport:
+    def test_out_file(self, tmp_path, capsys):
+        out = tmp_path / "fig12.json"
+        assert main(["experiment", "fig12", "--scale", "smoke", "--out", str(out)]) == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["figure_id"] == "Figure 12"
+
+    def test_out_directory_per_figure(self, tmp_path, capsys):
+        # A suffix-less --out is treated as a directory: one file per
+        # figure, named <figure>.<format>.
+        out = tmp_path / "results"
+        assert main(
+            ["experiment", "fig12", "--scale", "smoke", "--out", str(out),
+             "--format", "md"]
+        ) == 0
+        text = (out / "fig12.md").read_text()
+        assert text.startswith("## Figure 12")

@@ -1,0 +1,168 @@
+"""Tests for the closure-tree baseline: closure algebra, pseudo
+subgraph isomorphism, and index soundness."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.ctree import (
+    ABSENT,
+    ClosureGraph,
+    ClosureTree,
+    merge_closures,
+    pseudo_subgraph_isomorphic,
+)
+from repro.graph import LabeledGraph
+from repro.isomorphism import SubgraphMatcher, is_subgraph_isomorphic
+
+from .conftest import extract_connected_subgraph, graph_strategy, random_labeled_graph
+
+
+def chain(labels, edge_label="-"):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1, edge_label)
+    return graph
+
+
+class TestClosureGraph:
+    def test_from_graph_singletons(self):
+        closure = ClosureGraph.from_graph(chain(["A", "B"]))
+        assert closure.num_vertices == 2
+        assert closure.vertex_labels == [frozenset(["A"]), frozenset(["B"])]
+        assert closure.edges == {(0, 1): frozenset(["-"])}
+        assert closure.size == 1
+
+    def test_neighbors_and_degree(self):
+        closure = ClosureGraph.from_graph(chain(["A", "B", "C"]))
+        assert closure.degree(1) == 2
+        assert {v for v, _ in closure.neighbors(1)} == {0, 2}
+
+
+class TestMergeClosures:
+    def test_identical_graphs_merge_tight(self):
+        a = ClosureGraph.from_graph(chain(["A", "B"]))
+        b = ClosureGraph.from_graph(chain(["A", "B"]))
+        merged = merge_closures(a, b)
+        assert merged.size == 2
+        assert merged.num_vertices == 2
+        assert merged.edges[(0, 1)] == frozenset(["-"])  # no ABSENT: shared edge
+
+    def test_label_union(self):
+        a = ClosureGraph.from_graph(chain(["A", "B"]))
+        b = ClosureGraph.from_graph(chain(["A", "C"]))
+        merged = merge_closures(a, b)
+        union = frozenset.union(*merged.vertex_labels)
+        assert {"A", "B", "C"} <= set(union)
+
+    def test_absent_marker_on_unshared_edges(self):
+        triangle = chain(["A", "A", "A"])
+        triangle.add_edge(0, 2, "-")
+        path = chain(["A", "A", "A"])
+        merged = merge_closures(
+            ClosureGraph.from_graph(triangle), ClosureGraph.from_graph(path)
+        )
+        assert any(ABSENT in labels for labels in merged.edges.values())
+
+    def test_size_difference_pads_vertices(self):
+        small = ClosureGraph.from_graph(chain(["A"]))
+        big = ClosureGraph.from_graph(chain(["A", "B", "C"]))
+        merged = merge_closures(small, big)
+        assert merged.num_vertices == 3
+
+
+class TestPseudoIso:
+    def test_exact_member_accepted(self):
+        graph = chain(["A", "B", "C"])
+        closure = ClosureGraph.from_graph(graph)
+        assert pseudo_subgraph_isomorphic(chain(["A", "B"]), closure)
+        assert pseudo_subgraph_isomorphic(graph, closure)
+
+    def test_label_mismatch_rejected(self):
+        closure = ClosureGraph.from_graph(chain(["A", "B"]))
+        assert not pseudo_subgraph_isomorphic(chain(["C", "B"]), closure)
+
+    def test_query_larger_than_closure_rejected(self):
+        closure = ClosureGraph.from_graph(chain(["A", "B"]))
+        assert not pseudo_subgraph_isomorphic(chain(["A", "B", "C"]), closure)
+
+    def test_edge_label_checked(self):
+        closure = ClosureGraph.from_graph(chain(["A", "B"], edge_label="x"))
+        assert not pseudo_subgraph_isomorphic(chain(["A", "B"], edge_label="y"), closure)
+
+    def test_degree_refinement_prunes(self):
+        # Query needs a degree-3 A hub; closure of a path has none.
+        star = LabeledGraph.from_vertices_and_edges(
+            [(0, "A"), (1, "B"), (2, "B"), (3, "B")],
+            [(0, 1, "-"), (0, 2, "-"), (0, 3, "-")],
+        )
+        closure = ClosureGraph.from_graph(chain(["B", "A", "B", "B"]))
+        assert not pseudo_subgraph_isomorphic(star, closure)
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_sound_against_merged_closures(self, trial):
+        rng = random.Random(6600 + trial)
+        members = [random_labeled_graph(rng, rng.randint(4, 7), extra_edges=2) for _ in range(3)]
+        closure = ClosureGraph.from_graph(members[0])
+        for member in members[1:]:
+            closure = merge_closures(closure, ClosureGraph.from_graph(member))
+        source = rng.choice(members)
+        query = extract_connected_subgraph(rng, source, 3)
+        assert pseudo_subgraph_isomorphic(query, closure)
+
+
+class TestClosureTree:
+    def test_fanout_validated(self):
+        with pytest.raises(ValueError):
+            ClosureTree({}, fanout=1)
+
+    def test_empty_db(self):
+        tree = ClosureTree({})
+        assert tree.candidates_for(chain(["A", "B"])) == set()
+        assert tree.node_count() == 0
+
+    def test_empty_query_matches_all(self, rng):
+        graphs = {i: random_labeled_graph(rng, 4, extra_edges=1) for i in range(5)}
+        tree = ClosureTree(graphs)
+        assert tree.candidates_for(LabeledGraph()) == set(graphs)
+
+    def test_tree_shape(self, rng):
+        graphs = {i: random_labeled_graph(rng, 4) for i in range(9)}
+        tree = ClosureTree(graphs, fanout=3)
+        # 9 leaves + 3 level-1 + 1 root
+        assert tree.node_count() == 13
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_no_false_negatives(self, trial):
+        rng = random.Random(6700 + trial)
+        graphs = {
+            i: random_labeled_graph(rng, rng.randint(4, 8), extra_edges=rng.randint(0, 3))
+            for i in range(10)
+        }
+        tree = ClosureTree(graphs, fanout=3)
+        source = rng.choice(list(graphs))
+        query = extract_connected_subgraph(rng, graphs[source], 3)
+        truth = {
+            graph_id
+            for graph_id, graph in graphs.items()
+            if SubgraphMatcher(graph).is_subgraph(query)
+        }
+        candidates = tree.candidates_for(query)
+        assert truth <= candidates
+        assert source in candidates
+
+    def test_candidates_subset_of_db(self, rng):
+        graphs = {i: random_labeled_graph(rng, 5, extra_edges=2) for i in range(7)}
+        tree = ClosureTree(graphs)
+        assert tree.candidates_for(chain(["A", "B"])) <= set(graphs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph_strategy(min_vertices=3, max_vertices=6), graph_strategy(min_vertices=2, max_vertices=4))
+def test_property_ctree_sound(target, query):
+    tree = ClosureTree({0: target}, fanout=2)
+    if is_subgraph_isomorphic(query, target):
+        assert tree.candidates_for(query) == {0}

@@ -1,0 +1,106 @@
+"""Tests for the static GraphDatabase filter-and-verify API."""
+
+import random
+
+import pytest
+
+from repro import GraphDatabase, LabeledGraph
+from repro.isomorphism import SubgraphMatcher
+from repro.nnt.projection import DimensionScheme
+
+from .conftest import extract_connected_subgraph, random_labeled_graph
+
+
+def chain(labels, edge_label="-"):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1, edge_label)
+    return graph
+
+
+class TestConstruction:
+    def test_from_list(self):
+        db = GraphDatabase.from_list([chain(["A", "B"]), chain(["C", "D"])])
+        assert len(db) == 2
+        assert set(db.graphs) == {0, 1}
+
+    def test_custom_scheme(self):
+        db = GraphDatabase(
+            {0: chain(["A", "B"], "x")},
+            scheme=DimensionScheme(include_edge_label=True),
+        )
+        assert db.filter_candidates(chain(["A", "B"], "x")) == {0}
+        assert db.filter_candidates(chain(["A", "B"], "y")) == set()
+
+
+class TestFiltering:
+    def test_basic_filter(self):
+        db = GraphDatabase.from_list([chain(["A", "B", "C"]), chain(["C", "C"])])
+        assert db.filter_candidates(chain(["A", "B"])) == {0}
+
+    def test_search_with_verification(self):
+        db = GraphDatabase.from_list([chain(["A", "B", "C"]), chain(["A", "C", "B"])])
+        query = chain(["A", "B"])
+        assert db.search(query, verify=True) == {0}
+        assert db.search(query, verify=False) >= {0}
+
+    def test_search_without_verify_is_filter(self):
+        db = GraphDatabase.from_list([chain(["A", "B"])])
+        query = chain(["A", "B"])
+        assert db.search(query, verify=False) == db.filter_candidates(query)
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_filter_is_sound(self, trial):
+        rng = random.Random(5100 + trial)
+        graphs = [
+            random_labeled_graph(rng, rng.randint(4, 8), extra_edges=rng.randint(0, 3))
+            for _ in range(6)
+        ]
+        db = GraphDatabase.from_list(graphs)
+        query = extract_connected_subgraph(rng, rng.choice(graphs), 3)
+        truth = {
+            i for i, g in enumerate(graphs) if SubgraphMatcher(g).is_subgraph(query)
+        }
+        candidates = db.filter_candidates(query)
+        assert truth <= candidates
+        assert db.search(query, verify=True) == truth
+
+    def test_deeper_index_never_weaker(self):
+        rng = random.Random(5200)
+        graphs = [random_labeled_graph(rng, 7, extra_edges=3) for _ in range(8)]
+        query = extract_connected_subgraph(rng, graphs[0], 3)
+        shallow = GraphDatabase.from_list(graphs, depth_limit=1)
+        deep = GraphDatabase.from_list(graphs, depth_limit=3)
+        assert deep.filter_candidates(query) <= shallow.filter_candidates(query)
+
+
+class TestVectorized:
+    def test_equivalence_on_molecules(self):
+        from repro.datasets import generate_molecule_set, make_query_set
+
+        molecules = generate_molecule_set(40, seed=3)
+        queries = make_query_set(molecules, 6, 10, seed=4)
+        scalar = GraphDatabase.from_list(molecules)
+        vectorized = GraphDatabase.from_list(molecules, vectorized=True)
+        for query in queries:
+            assert scalar.filter_candidates(query) == vectorized.filter_candidates(query)
+
+    def test_equivalence_random(self):
+        rng = random.Random(5300)
+        graphs = [random_labeled_graph(rng, rng.randint(3, 8), extra_edges=3) for _ in range(8)]
+        scalar = GraphDatabase.from_list(graphs)
+        vectorized = GraphDatabase.from_list(graphs, vectorized=True)
+        for _ in range(10):
+            query = extract_connected_subgraph(rng, rng.choice(graphs), 3)
+            assert scalar.filter_candidates(query) == vectorized.filter_candidates(query)
+            assert scalar.search(query) == vectorized.search(query)
+
+    def test_empty_graph_in_db(self):
+        db = GraphDatabase({0: LabeledGraph(), 1: chain(["A", "B"])}, vectorized=True)
+        assert db.filter_candidates(chain(["A", "B"])) == {1}
+
+    def test_missing_dimension_fast_reject(self):
+        db = GraphDatabase.from_list([chain(["A", "A"])], vectorized=True)
+        assert db.filter_candidates(chain(["B", "B"])) == set()

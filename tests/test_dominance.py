@@ -1,0 +1,95 @@
+"""Tests for the dominance/skyline utilities behind the join engines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.join import (
+    dominated_count,
+    is_bichromatic_skyline,
+    maximal_vectors,
+    pair_joinable_bruteforce,
+)
+from repro.nnt import dominates
+
+
+class TestMaximalVectors:
+    def test_single_vector(self):
+        assert maximal_vectors([{"a": 1}]) == [0]
+
+    def test_chain(self):
+        vectors = [{"a": 1}, {"a": 2}, {"a": 3}]
+        assert maximal_vectors(vectors) == [2]
+
+    def test_incomparable_all_kept(self):
+        vectors = [{"a": 2}, {"b": 2}]
+        assert maximal_vectors(vectors) == [0, 1]
+
+    def test_duplicates_keep_one(self):
+        vectors = [{"a": 1}, {"a": 1}, {"a": 1}]
+        assert maximal_vectors(vectors) == [0]
+
+    def test_mixed(self):
+        vectors = [{"a": 1, "b": 1}, {"a": 1}, {"b": 2}, {"a": 1, "b": 1}]
+        kept = maximal_vectors(vectors)
+        assert 0 in kept and 2 in kept
+        assert 1 not in kept  # dominated by 0
+        assert 3 not in kept  # duplicate of 0
+
+    def test_empty_vector_dominated_by_all(self):
+        vectors = [{}, {"a": 1}]
+        assert maximal_vectors(vectors) == [1]
+
+
+class TestDominatedCount:
+    def test_counts_self_too(self):
+        vectors = [{"a": 1}, {"a": 2}]
+        assert dominated_count({"a": 2}, vectors) == 2
+        assert dominated_count({"a": 1}, vectors) == 1
+
+
+class TestBichromaticSkyline:
+    def test_detected(self):
+        assert is_bichromatic_skyline({"a": 5}, [{"a": 4}, {"b": 9}])
+
+    def test_not_skyline(self):
+        assert not is_bichromatic_skyline({"a": 5}, [{"a": 5, "b": 1}])
+
+
+class TestBruteforceOracle:
+    def test_empty_query_side_joinable(self):
+        assert pair_joinable_bruteforce([], [{"a": 1}])
+        assert pair_joinable_bruteforce([], [])
+
+    def test_all_must_be_covered(self):
+        queries = [{"a": 1}, {"b": 1}]
+        assert pair_joinable_bruteforce(queries, [{"a": 1, "b": 1}])
+        assert pair_joinable_bruteforce(queries, [{"a": 1}, {"b": 2}])
+        assert not pair_joinable_bruteforce(queries, [{"a": 1}])
+
+
+sparse_vectors = st.lists(
+    st.dictionaries(st.sampled_from(["a", "b", "c", "d"]), st.integers(1, 4), max_size=3),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_vectors)
+def test_property_maximal_set_dominates_everything(vectors):
+    kept = maximal_vectors(vectors)
+    for index, vector in enumerate(vectors):
+        assert any(dominates(vectors[k], vector) for k in kept), index
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_vectors, sparse_vectors)
+def test_property_maximal_probe_equivalence(query_vectors, stream_vectors):
+    """Checking only maximal query vectors gives the same verdict as
+    checking all of them (the skyline engine's core optimization)."""
+    full = pair_joinable_bruteforce(query_vectors, stream_vectors)
+    kept = maximal_vectors(query_vectors)
+    reduced = all(
+        any(dominates(sv, query_vectors[k]) for sv in stream_vectors) for k in kept
+    )
+    assert full == reduced

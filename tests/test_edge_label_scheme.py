@@ -1,0 +1,93 @@
+"""End-to-end tests of the edge-labeled dimension scheme (ablation A2's
+extension) through the streaming monitor — the chemistry use case where
+bond types carry signal."""
+
+import random
+
+import pytest
+
+from repro import EdgeChange, LabeledGraph, StreamMonitor
+from repro.isomorphism import SubgraphMatcher
+from repro.nnt.projection import DimensionScheme
+
+from .conftest import extract_connected_subgraph, random_labeled_graph
+
+FINE = DimensionScheme(include_edge_label=True)
+
+
+def bond_chain(labels, bonds):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index, bond in enumerate(bonds):
+        graph.add_edge(index, index + 1, bond)
+    return graph
+
+
+class TestMonitorWithEdgeLabels:
+    @pytest.mark.parametrize("method", ("nl", "dsc", "skyline"))
+    def test_distinguishes_bond_types(self, method):
+        double_bond = bond_chain(["C", "O"], ["2"])
+        monitor = StreamMonitor({"carbonyl": double_bond}, method=method, scheme=FINE)
+        monitor.add_stream("mol")
+        monitor.apply("mol", EdgeChange.insert(0, 1, "1", "C", "O"))  # single bond
+        assert monitor.matches() == set()  # paper scheme would match here
+        monitor.apply("mol", EdgeChange.insert(0, 3, "2", None, "O"))  # C=O appears
+        assert monitor.matches() == {("mol", "carbonyl")}
+        monitor.apply("mol", EdgeChange.delete(0, 3))
+        assert monitor.matches() == set()
+
+    def test_paper_scheme_is_weaker(self):
+        query = bond_chain(["C", "O"], ["2"])
+        stream = bond_chain(["C", "O"], ["1"])
+        coarse = StreamMonitor({"q": query})
+        coarse.add_stream(0, stream)
+        fine = StreamMonitor({"q": query}, scheme=FINE)
+        fine.add_stream(0, stream)
+        assert coarse.matches() == {(0, "q")}  # false positive
+        assert fine.matches() == set()  # pruned by the bond label
+
+    @pytest.mark.parametrize("method", ("nl", "dsc", "skyline"))
+    def test_soundness_preserved(self, method):
+        rng = random.Random(515)
+        for trial in range(5):
+            target = random_labeled_graph(
+                rng, rng.randint(5, 8), extra_edges=3, edge_labels=("1", "2", "a")
+            )
+            queries = {
+                f"q{i}": extract_connected_subgraph(rng, target, 3) for i in range(3)
+            }
+            monitor = StreamMonitor(queries, method=method, scheme=FINE)
+            monitor.add_stream(0, target)
+            truth = {
+                (0, qid)
+                for qid, query in queries.items()
+                if SubgraphMatcher(target).is_subgraph(query)
+            }
+            assert truth <= monitor.matches()
+            assert monitor.verified_matches() == truth
+
+    def test_engines_agree_under_fine_scheme(self):
+        rng = random.Random(616)
+        target = random_labeled_graph(rng, 7, extra_edges=3, edge_labels=("x", "y"))
+        queries = {
+            f"q{i}": random_labeled_graph(rng, 3, extra_edges=1, edge_labels=("x", "y"))
+            for i in range(4)
+        }
+        answers = set()
+        for method in ("nl", "dsc", "skyline"):
+            monitor = StreamMonitor(queries, method=method, scheme=FINE)
+            monitor.add_stream(0, target)
+            answers.add(frozenset(monitor.matches()))
+        assert len(answers) == 1
+
+    def test_fine_never_weaker_than_paper(self):
+        rng = random.Random(717)
+        for trial in range(8):
+            target = random_labeled_graph(rng, 6, extra_edges=3, edge_labels=("x", "y"))
+            query = random_labeled_graph(rng, 3, extra_edges=1, edge_labels=("x", "y"))
+            coarse = StreamMonitor({"q": query})
+            coarse.add_stream(0, target)
+            fine = StreamMonitor({"q": query}, scheme=FINE)
+            fine.add_stream(0, target)
+            assert fine.matches() <= coarse.matches()

@@ -1,0 +1,152 @@
+"""White-box tests of the join engines' internal structures: the DSC
+counters and the skyline engine's per-dimension statistics must match
+their definitions after arbitrary churn."""
+
+import random
+
+from repro.graph import LabeledGraph
+from repro.join import QuerySet, StreamListenerAdapter
+from repro.join.dominated_set_cover import DominatedSetCoverJoin
+from repro.join.skyline import SkylineEarlyStopJoin
+from repro.nnt import NNTIndex, dominates
+
+from .conftest import random_labeled_graph
+
+
+def small_queries(rng, count=3):
+    return {
+        f"q{i}": random_labeled_graph(rng, rng.randint(2, 4), extra_edges=1)
+        for i in range(count)
+    }
+
+
+def churn(rng, index, steps=60):
+    for _ in range(steps):
+        edges = list(index.graph.edges())
+        vertices = list(index.graph.vertices())
+        if edges and rng.random() < 0.45:
+            u, v, _ = rng.choice(edges)
+            index.delete_edge(u, v)
+        elif len(vertices) >= 2:
+            u, v = rng.sample(vertices, 2)
+            if not index.graph.has_edge(u, v):
+                index.insert_edge(u, v, rng.choice("xy"))
+        else:
+            index.insert_edge(0, 1, "x", "A", "B")
+
+
+class TestDSCCounters:
+    def setup_engine(self, seed):
+        rng = random.Random(seed)
+        query_set = QuerySet(small_queries(rng), depth_limit=2)
+        engine = DominatedSetCoverJoin(query_set)
+        index = NNTIndex(random_labeled_graph(rng, 6, extra_edges=3), depth_limit=2)
+        engine.register_stream(0, index.npvs)
+        index.add_listener(StreamListenerAdapter(engine, 0))
+        churn(rng, index)
+        return query_set, engine, index
+
+    def test_dominant_counters_match_definition(self):
+        """dominant[v][qv] must equal the number of qv's non-zero dims in
+        which the (restricted) stream vector value is >= the query's."""
+        query_set, engine, index = self.setup_engine(11)
+        state = engine._streams[0]
+        universe = query_set.dimension_universe
+        for vertex, mirror in state.vectors.items():
+            dominant = state.dominant[vertex]
+            for record in query_set.vectors:
+                expected = sum(
+                    1
+                    for dim, value in record.vector.items()
+                    if mirror.get(dim, 0) >= value
+                )
+                assert dominant.get(record.index, 0) == expected, (vertex, record.index)
+
+    def test_cover_counts_match_definition(self):
+        query_set, engine, index = self.setup_engine(12)
+        state = engine._streams[0]
+        for record in query_set.vectors:
+            expected = sum(
+                1
+                for mirror in state.vectors.values()
+                if dominates(mirror, record.vector)
+            )
+            if record.num_dims == 0:
+                continue  # trivial vectors excluded from counters
+            assert state.cover.get(record.index, 0) == expected
+
+    def test_uncovered_matches_definition(self):
+        query_set, engine, index = self.setup_engine(13)
+        state = engine._streams[0]
+        for query_id, indices in query_set.by_query.items():
+            expected = sum(
+                1
+                for i in indices
+                if query_set.vectors[i].num_dims > 0
+                and not any(
+                    dominates(mirror, query_set.vectors[i].vector)
+                    for mirror in state.vectors.values()
+                )
+            )
+            assert state.uncovered[query_id] == expected
+
+    def test_mirrors_match_restricted_npvs(self):
+        query_set, engine, index = self.setup_engine(14)
+        state = engine._streams[0]
+        universe = query_set.dimension_universe
+        expected = {
+            vertex: {dim: value for dim, value in vector.items() if dim in universe}
+            for vertex, vector in index.npvs.items()
+        }
+        assert state.vectors == expected
+
+
+class TestSkylineInternals:
+    def setup_engine(self, seed):
+        rng = random.Random(seed)
+        query_set = QuerySet(small_queries(rng), depth_limit=2)
+        engine = SkylineEarlyStopJoin(query_set)
+        index = NNTIndex(random_labeled_graph(rng, 6, extra_edges=3), depth_limit=2)
+        engine.register_stream(0, index.npvs)
+        index.add_listener(StreamListenerAdapter(engine, 0))
+        churn(rng, index)
+        return query_set, engine, index
+
+    def test_members_match_mirrors(self):
+        query_set, engine, index = self.setup_engine(21)
+        state = engine._streams[0]
+        expected: dict = {}
+        for vertex, mirror in state.vectors.items():
+            for dim in mirror:
+                expected.setdefault(dim, set()).add(vertex)
+        assert state.members == expected
+
+    def test_max_of_is_true_maximum(self):
+        query_set, engine, index = self.setup_engine(22)
+        state = engine._streams[0]
+        for dim, members in state.members.items():
+            true_max = max(state.vectors[v][dim] for v in members)
+            assert state.max_of(dim) == true_max
+
+    def test_probe_order_covers_maximal_vectors(self):
+        query_set, engine, index = self.setup_engine(23)
+        from repro.join.dominance import maximal_vectors
+
+        for query_id, indices in query_set.by_query.items():
+            vectors = [query_set.vectors[i].vector for i in indices]
+            maximal = {indices[local] for local in maximal_vectors(vectors)}
+            assert set(engine._probe_order[query_id]) == maximal
+
+    def test_verdict_cache_respects_version(self):
+        query_set, engine, index = self.setup_engine(24)
+        query_id = query_set.query_ids()[0]
+        first = engine.is_candidate(0, query_id)
+        version = engine._streams[0].version
+        assert engine._verdicts[(0, query_id)] == (version, first)
+        # any change invalidates
+        vertices = list(index.graph.vertices())
+        if len(vertices) >= 2:
+            u, v = vertices[:2]
+            if not index.graph.has_edge(u, v):
+                index.insert_edge(u, v, "x")
+                assert engine._streams[0].version != version

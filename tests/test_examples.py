@@ -1,0 +1,37 @@
+"""The shipped examples must stay runnable (they are executable docs)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_clean(example, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "network_intrusion.py",
+        "chemical_reactions.py",
+        "proximity_monitoring.py",
+        "windowed_flows.py",
+    } <= set(EXAMPLES)
+
+
+def test_quickstart_soundness_line(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    assert "soundness check passed" in capsys.readouterr().out
+
+
+def test_module_search_path_unpolluted():
+    # Examples must not rely on sys.path side effects.
+    assert str(EXAMPLES_DIR) not in sys.path

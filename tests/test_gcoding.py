@@ -1,0 +1,153 @@
+"""Tests for the GCoding-style spectral baseline: soundness (eigenvalue
+monotonicity under embeddings) and the filter interfaces."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.gcoding import (
+    ALL,
+    GCodingFilter,
+    GCodingStreamFilter,
+    ball,
+    graph_signatures,
+    signature_dominates,
+    spectral_signature,
+)
+from repro.graph import LabeledGraph
+from repro.isomorphism import find_subgraph_isomorphism, is_subgraph_isomorphic
+
+from .conftest import extract_connected_subgraph, graph_strategy, random_labeled_graph
+
+
+def chain(labels):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1, "-")
+    return graph
+
+
+class TestBall:
+    def test_radius_zero(self):
+        graph = chain(["A", "B", "C"])
+        assert ball(graph, 1, 0) == {1}
+
+    def test_radius_growth(self):
+        graph = chain(["A", "B", "C", "D"])
+        assert ball(graph, 0, 1) == {0, 1}
+        assert ball(graph, 0, 2) == {0, 1, 2}
+        assert ball(graph, 0, 99) == {0, 1, 2, 3}
+
+
+class TestSpectralSignature:
+    def test_single_vertex_empty(self):
+        graph = LabeledGraph()
+        graph.add_vertex(0, "A")
+        assert spectral_signature(graph, 0) == {}
+
+    def test_single_edge_eigenvalue(self):
+        graph = chain(["A", "B"])
+        signature = spectral_signature(graph, 0, radius=1)
+        # adjacency of one edge has eigenvalues +-1
+        assert signature[ALL] == pytest.approx(1.0)
+        assert signature[("A", "B")] == pytest.approx(1.0)
+
+    def test_star_eigenvalue(self):
+        star = LabeledGraph.from_vertices_and_edges(
+            [(0, "A"), (1, "B"), (2, "B"), (3, "B")],
+            [(0, 1, "-"), (0, 2, "-"), (0, 3, "-")],
+        )
+        signature = spectral_signature(star, 0, radius=1)
+        # K_{1,3} has lambda_max = sqrt(3)
+        assert signature[ALL] == pytest.approx(math.sqrt(3))
+        # restricted to labels {B,B}: no edges among leaves
+        assert ("B", "B") not in signature
+
+    def test_keys_are_sorted_label_pairs(self):
+        graph = chain(["B", "A"])
+        signature = spectral_signature(graph, 0, radius=1)
+        assert set(signature) == {ALL, ("A", "B")}
+
+
+class TestDominance:
+    def test_tolerant_comparison(self):
+        assert signature_dominates({ALL: 1.0}, {ALL: 1.0 + 1e-12})
+        assert not signature_dominates({ALL: 1.0}, {ALL: 1.1})
+
+    def test_missing_key(self):
+        assert not signature_dominates({}, {ALL: 0.5})
+        assert signature_dominates({ALL: 0.5}, {})
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_embedding_implies_signature_dominance(self, trial):
+        rng = random.Random(4400 + trial)
+        target = random_labeled_graph(rng, rng.randint(5, 8), extra_edges=rng.randint(0, 4))
+        query = extract_connected_subgraph(rng, target, rng.randint(2, 4))
+        mapping = find_subgraph_isomorphism(query, target)
+        assert mapping is not None
+        query_signatures = graph_signatures(query, radius=2)
+        target_signatures = graph_signatures(target, radius=2)
+        for query_vertex, target_vertex in mapping.items():
+            assert signature_dominates(
+                target_signatures[target_vertex], query_signatures[query_vertex]
+            )
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_filter_no_false_negatives(self, trial):
+        rng = random.Random(4500 + trial)
+        target = random_labeled_graph(rng, rng.randint(5, 8), extra_edges=3)
+        query = extract_connected_subgraph(rng, target, 3)
+        assert GCodingFilter(query, radius=2).admits(target)
+
+    def test_filter_rejects_label_mismatch(self):
+        query = chain(["A", "A"])
+        target = chain(["B", "B", "B"])
+        assert not GCodingFilter(query).admits(target)
+
+
+class TestStreamFilter:
+    def test_update_and_candidates(self):
+        flt = GCodingStreamFilter({"q": chain(["A", "B"])}, radius=1)
+        flt.update_stream(0, chain(["A", "B", "C"]))
+        flt.update_stream(1, chain(["C", "C"]))
+        assert flt.candidates() == {(0, "q")}
+
+    def test_remove_stream(self):
+        flt = GCodingStreamFilter({"q": chain(["A", "B"])})
+        flt.update_stream(0, chain(["A", "B"]))
+        flt.remove_stream(0)
+        assert flt.candidates() == set()
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph_strategy(min_vertices=3, max_vertices=6), graph_strategy(min_vertices=2, max_vertices=4))
+def test_property_spectral_filter_sound(target, query):
+    if is_subgraph_isomorphic(query, target):
+        assert GCodingFilter(query, radius=2).admits(target)
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph_strategy(min_vertices=3, max_vertices=6))
+def test_property_adding_edges_grows_lambda(graph):
+    """lambda_max of every ALL-key signature grows when an edge is added."""
+    vertices = list(graph.vertices())
+    missing = [
+        (u, v)
+        for i, u in enumerate(vertices)
+        for v in vertices[i + 1 :]
+        if not graph.has_edge(u, v)
+    ]
+    if not missing:
+        return
+    before = {v: spectral_signature(graph, v, 2).get(ALL, 0.0) for v in vertices}
+    bigger = graph.copy()
+    bigger.add_edge(*missing[0], "-")
+    after = {v: spectral_signature(bigger, v, 2).get(ALL, 0.0) for v in vertices}
+    for vertex in vertices:
+        assert after[vertex] >= before[vertex] - 1e-9

@@ -1,0 +1,139 @@
+"""Tests for the gIndex baseline (static and streaming forms)."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    GIndex,
+    GIndexConfig,
+    GIndexStreamFilter,
+    gindex1_config,
+    gindex2_config,
+)
+from repro.graph import LabeledGraph
+from repro.isomorphism import SubgraphMatcher
+
+from .conftest import extract_connected_subgraph, random_labeled_graph
+
+
+def chain(labels, edge_label="-"):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1, edge_label)
+    return graph
+
+
+class TestConfig:
+    def test_ratio_support(self):
+        config = GIndexConfig(min_support_ratio=0.1)
+        assert config.min_support(100) == 10
+        assert config.min_support(3) == 1  # floor at 1
+
+    def test_absolute_overrides_ratio(self):
+        config = GIndexConfig(min_support_ratio=0.5, min_support_absolute=2)
+        assert config.min_support(100) == 2
+
+    def test_paper_presets(self):
+        assert gindex1_config().max_fragment_edges == 10
+        assert gindex1_config(6).max_fragment_edges == 6
+        assert gindex2_config().max_fragment_edges == 3
+        assert gindex2_config().min_support(50) == 1
+
+
+class TestStaticGIndex:
+    def make_db(self, rng, count=8):
+        return {
+            i: random_labeled_graph(rng, rng.randint(4, 7), extra_edges=rng.randint(0, 3))
+            for i in range(count)
+        }
+
+    def test_features_mined(self, rng):
+        index = GIndex(self.make_db(rng), gindex2_config())
+        assert index.num_features > 0
+        assert all(f.num_edges <= 3 for f in index.features)
+
+    def test_candidates_subset_of_db(self, rng):
+        db = self.make_db(rng)
+        index = GIndex(db, gindex2_config())
+        query = chain(["A", "B"])
+        assert index.candidates_for(query) <= set(db)
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_no_false_negatives(self, trial):
+        rng = random.Random(7700 + trial)
+        db = self.make_db(rng)
+        index = GIndex(db, GIndexConfig(max_fragment_edges=3, min_support_ratio=0.25))
+        source = rng.choice(list(db))
+        query = extract_connected_subgraph(rng, db[source], 3)
+        truth = {
+            graph_id
+            for graph_id, graph in db.items()
+            if SubgraphMatcher(graph).is_subgraph(query)
+        }
+        candidates = index.candidates_for(query)
+        assert truth <= candidates
+        assert source in candidates
+
+    def test_query_features_are_contained(self, rng):
+        db = self.make_db(rng)
+        index = GIndex(db, gindex2_config())
+        query = db[0]
+        for feature_index in index.query_features(query):
+            feature = index.features[feature_index]
+            assert SubgraphMatcher(query).is_subgraph(feature.graph)
+
+    def test_empty_query_matches_everything(self, rng):
+        db = self.make_db(rng)
+        index = GIndex(db, gindex2_config())
+        assert index.candidates_for(LabeledGraph()) == set(db)
+
+
+class TestStreamGIndex:
+    def test_refresh_and_candidates(self, rng):
+        queries = {"q": chain(["A", "B", "C"])}
+        flt = GIndexStreamFilter(queries, gindex2_config())
+        graphs = {0: chain(["A", "B", "C", "A"]), 1: chain(["C", "C"])}
+        flt.refresh(graphs)
+        assert flt.is_candidate(0, "q")
+        assert not flt.is_candidate(1, "q")
+        assert flt.candidates() == {(0, "q")}
+
+    def test_refresh_replaces_state(self, rng):
+        queries = {"q": chain(["A", "B"])}
+        flt = GIndexStreamFilter(queries, gindex2_config())
+        flt.refresh({0: chain(["A", "B"]), 1: chain(["C", "D"])})
+        assert flt.candidates() == {(0, "q")}
+        flt.refresh({0: chain(["C", "D"]), 1: chain(["A", "B"])})
+        assert flt.candidates() == {(1, "q")}
+
+    def test_no_contained_feature_means_no_pruning(self, rng):
+        """gIndex can only prune with features the query contains; when
+        none of the mined features is a subgraph of the query, every
+        graph stays a candidate (sound, weak)."""
+        flt = GIndexStreamFilter({"q": chain(["A", "B"])}, gindex2_config())
+        flt.refresh({0: chain(["C", "D"])})
+        assert flt.candidates() == {(0, "q")}
+
+    @pytest.mark.parametrize("trial", range(3))
+    def test_stream_soundness(self, trial):
+        rng = random.Random(8800 + trial)
+        graphs = {
+            i: random_labeled_graph(rng, rng.randint(4, 7), extra_edges=2) for i in range(5)
+        }
+        queries = {
+            f"q{i}": extract_connected_subgraph(rng, graphs[i % len(graphs)], 3)
+            for i in range(3)
+        }
+        flt = GIndexStreamFilter(queries, gindex2_config())
+        flt.refresh(graphs)
+        for query_id, query in queries.items():
+            truth = {
+                graph_id
+                for graph_id, graph in graphs.items()
+                if SubgraphMatcher(graph).is_subgraph(query)
+            }
+            reported = {gid for gid, qid in flt.candidates() if qid == query_id}
+            assert truth <= reported

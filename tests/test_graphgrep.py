@@ -1,0 +1,83 @@
+"""Tests for the GraphGrep baseline (static and streaming forms)."""
+
+import random
+
+import pytest
+
+from repro.baselines import GraphGrepFilter, GraphGrepStreamFilter
+from repro.graph import EdgeChange, GraphChangeOperation, LabeledGraph, apply_operation
+from repro.isomorphism import SubgraphMatcher
+
+from .conftest import extract_connected_subgraph, random_labeled_graph
+
+
+def chain(labels):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1, "-")
+    return graph
+
+
+class TestStaticFilter:
+    def test_candidates_for(self, rng):
+        db = {0: chain(["A", "B", "C"]), 1: chain(["C", "C", "C"])}
+        flt = GraphGrepFilter(db)
+        assert flt.candidates_for(chain(["A", "B"])) == {0}
+        assert flt.candidates_for(chain(["C", "C"])) == {1}
+
+    def test_count_dominance(self, rng):
+        # Query needs two A-B paths; graph 0 has only one.
+        two_ab = LabeledGraph.from_vertices_and_edges(
+            [(0, "A"), (1, "B"), (2, "A"), (3, "B")],
+            [(0, 1, "-"), (2, 3, "-"), (1, 2, "-")],
+        )
+        db = {0: chain(["A", "B", "C"]), 1: two_ab}
+        flt = GraphGrepFilter(db)
+        assert 0 not in flt.candidates_for(two_ab)
+        assert 1 in flt.candidates_for(two_ab)
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_no_false_negatives(self, trial):
+        rng = random.Random(6100 + trial)
+        db = {
+            i: random_labeled_graph(rng, rng.randint(4, 8), extra_edges=rng.randint(0, 3))
+            for i in range(6)
+        }
+        source = rng.choice(list(db))
+        query = extract_connected_subgraph(rng, db[source], 3)
+        truth = {
+            graph_id
+            for graph_id, graph in db.items()
+            if SubgraphMatcher(graph).is_subgraph(query)
+        }
+        assert truth <= GraphGrepFilter(db).candidates_for(query)
+
+
+class TestStreamFilter:
+    def test_update_and_candidates(self):
+        flt = GraphGrepStreamFilter({"q": chain(["A", "B"])})
+        flt.update_stream(0, chain(["A", "B", "C"]))
+        flt.update_stream(1, chain(["C", "D"]))
+        assert flt.candidates() == {(0, "q")}
+        assert flt.is_candidate(0, "q")
+        assert not flt.is_candidate(1, "q")
+
+    def test_remove_stream(self):
+        flt = GraphGrepStreamFilter({"q": chain(["A", "B"])})
+        flt.update_stream(0, chain(["A", "B"]))
+        flt.remove_stream(0)
+        assert flt.candidates() == set()
+        flt.remove_stream(0)  # idempotent
+
+    def test_tracks_changes(self):
+        flt = GraphGrepStreamFilter({"q": chain(["A", "B", "C"])})
+        mirror = chain(["A", "B"])
+        flt.update_stream(0, mirror)
+        assert not flt.is_candidate(0, "q")
+        apply_operation(
+            mirror, GraphChangeOperation([EdgeChange.insert(1, 2, "-", v_label="C")])
+        )
+        flt.update_stream(0, mirror)
+        assert flt.is_candidate(0, "q")

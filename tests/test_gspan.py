@@ -1,0 +1,233 @@
+"""gSpan correctness: canonical codes, exact supports, brute-force parity."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines.gspan import (
+    MinedPattern,
+    is_min_code,
+    mine_frequent_subgraphs,
+)
+from repro.graph import LabeledGraph
+from repro.isomorphism import are_isomorphic, is_subgraph_isomorphic
+
+from .conftest import random_labeled_graph
+
+
+def chain(labels, edge_label="-"):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1, edge_label)
+    return graph
+
+
+def triangle(labels=("A", "A", "A")):
+    graph = chain(list(labels))
+    graph.add_edge(0, len(labels) - 1, "-")
+    return graph
+
+
+def all_connected_edge_subgraphs(graph: LabeledGraph, max_edges: int):
+    """Brute-force oracle: every connected edge subgraph up to max_edges."""
+    edges = list(graph.edges())
+    seen = set()
+    frontier = [frozenset([i]) for i in range(len(edges))]
+    seen.update(frontier)
+    out = []
+    while frontier:
+        next_frontier = []
+        for edge_set in frontier:
+            vertices = {v for i in edge_set for v in edges[i][:2]}
+            sub = LabeledGraph()
+            for vertex in vertices:
+                sub.add_vertex(vertex, graph.vertex_label(vertex))
+            for i in edge_set:
+                u, v, label = edges[i]
+                sub.add_edge(u, v, label)
+            out.append(sub)
+            if len(edge_set) < max_edges:
+                for i, (u, v, _) in enumerate(edges):
+                    if i not in edge_set and (u in vertices or v in vertices):
+                        bigger = edge_set | {i}
+                        if bigger not in seen:
+                            seen.add(bigger)
+                            next_frontier.append(bigger)
+        frontier = next_frontier
+    return out
+
+
+def bruteforce_frequent(graphs, min_support, max_edges):
+    representatives = []
+    for graph_index, graph in enumerate(graphs):
+        for sub in all_connected_edge_subgraphs(graph, max_edges):
+            for rec in representatives:
+                if rec[0].num_edges == sub.num_edges and are_isomorphic(rec[0], sub):
+                    rec[1].add(graph_index)
+                    break
+            else:
+                representatives.append((sub, {graph_index}))
+    return [(p, frozenset(s)) for p, s in representatives if len(s) >= min_support]
+
+
+class TestValidation:
+    def test_min_support_positive(self):
+        with pytest.raises(ValueError):
+            mine_frequent_subgraphs([chain(["A", "B"])], 0, 2)
+
+    def test_max_edges_positive(self):
+        with pytest.raises(ValueError):
+            mine_frequent_subgraphs([chain(["A", "B"])], 1, 0)
+
+
+class TestSmallCases:
+    def test_single_edge_db(self):
+        mined = mine_frequent_subgraphs([chain(["A", "B"])], 1, 3)
+        assert len(mined) == 1
+        assert mined[0].support == 1
+        assert mined[0].num_edges == 1
+
+    def test_path_db(self):
+        mined = mine_frequent_subgraphs([chain(["A", "B", "C"])], 1, 3)
+        # patterns: A-B, B-C, A-B-C
+        assert len(mined) == 3
+        assert sorted(p.num_edges for p in mined) == [1, 1, 2]
+
+    def test_triangle_patterns(self):
+        mined = mine_frequent_subgraphs([triangle()], 1, 3)
+        # A-A, A-A-A path, A-A-A triangle
+        assert len(mined) == 3
+        shapes = sorted((p.num_edges, p.graph.num_vertices) for p in mined)
+        assert shapes == [(1, 2), (2, 3), (3, 3)]
+
+    def test_support_counts_graphs_not_embeddings(self):
+        star = LabeledGraph.from_vertices_and_edges(
+            [(0, "A"), (1, "B"), (2, "B")], [(0, 1, "-"), (0, 2, "-")]
+        )
+        mined = mine_frequent_subgraphs([star], 1, 1)
+        edge_pattern = [p for p in mined if p.num_edges == 1][0]
+        assert edge_pattern.support == 1  # two embeddings, one graph
+
+    def test_min_support_prunes(self):
+        graphs = [chain(["A", "B"]), chain(["A", "B"]), chain(["C", "D"])]
+        mined = mine_frequent_subgraphs(graphs, 2, 2)
+        assert len(mined) == 1
+        assert mined[0].support == 2
+
+    def test_min_edges_floor(self):
+        graphs = [chain(["A", "B", "C"])]
+        mined = mine_frequent_subgraphs(graphs, 1, 3, min_edges=2)
+        assert all(p.num_edges >= 2 for p in mined)
+        assert len(mined) == 1
+
+    def test_edge_label_sensitivity(self):
+        graphs = [chain(["A", "B"], edge_label="x"), chain(["A", "B"], edge_label="y")]
+        mined = mine_frequent_subgraphs(graphs, 1, 1)
+        assert len(mined) == 2
+        assert all(p.support == 1 for p in mined)
+
+
+class TestIsMinCode:
+    def test_single_edge_canonical(self):
+        assert is_min_code([(0, 1, "A", "-", "B")])
+        assert not is_min_code([(0, 1, "B", "-", "A")])
+
+    def test_path_codes(self):
+        good = [(0, 1, "A", "-", "B"), (1, 2, "B", "-", "C")]
+        assert is_min_code(good)
+        # Starting from the C end is not minimal.
+        bad = [(0, 1, "B", "-", "C"), (1, 2, "B", "-", "A")]
+        assert not is_min_code(bad)
+
+    def test_every_mined_code_is_min(self):
+        rng = random.Random(77)
+        graphs = [random_labeled_graph(rng, 6, extra_edges=2) for _ in range(3)]
+        for pattern in mine_frequent_subgraphs(graphs, 1, 3):
+            assert is_min_code(list(pattern.code))
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("trial", range(4))
+    @pytest.mark.parametrize("min_support", (1, 2))
+    def test_parity(self, trial, min_support):
+        rng = random.Random(600 + trial)
+        graphs = [
+            random_labeled_graph(
+                rng, rng.randint(4, 6), extra_edges=rng.randint(0, 2),
+                vertex_labels=("A", "B"), edge_labels=("x",),
+            )
+            for _ in range(4)
+        ]
+        mined = mine_frequent_subgraphs(graphs, min_support, 3)
+        brute = bruteforce_frequent(graphs, min_support, 3)
+        assert len(mined) == len(brute)
+        for pattern, support in brute:
+            matches = [
+                m
+                for m in mined
+                if m.num_edges == pattern.num_edges and are_isomorphic(m.graph, pattern)
+            ]
+            assert len(matches) == 1
+            assert matches[0].containing == support
+
+    def test_no_duplicate_patterns(self):
+        rng = random.Random(88)
+        graphs = [random_labeled_graph(rng, 7, extra_edges=3) for _ in range(4)]
+        mined = mine_frequent_subgraphs(graphs, 2, 4)
+        for a, b in itertools.combinations(mined, 2):
+            if a.num_edges == b.num_edges:
+                assert not are_isomorphic(a.graph, b.graph)
+
+    def test_supports_are_exact(self):
+        rng = random.Random(89)
+        graphs = [random_labeled_graph(rng, 8, extra_edges=2) for _ in range(5)]
+        for pattern in mine_frequent_subgraphs(graphs, 2, 3):
+            true_support = frozenset(
+                i for i, g in enumerate(graphs) if is_subgraph_isomorphic(pattern.graph, g)
+            )
+            assert true_support == pattern.containing
+
+
+class TestAntiMonotonicity:
+    def test_support_never_grows_with_size(self):
+        rng = random.Random(90)
+        graphs = [random_labeled_graph(rng, 7, extra_edges=2) for _ in range(5)]
+        mined = mine_frequent_subgraphs(graphs, 1, 3)
+        # every (k+1)-edge pattern's support <= some k-edge subpattern's
+        by_edges: dict[int, list[MinedPattern]] = {}
+        for pattern in mined:
+            by_edges.setdefault(pattern.num_edges, []).append(pattern)
+        for size in (2, 3):
+            for pattern in by_edges.get(size, []):
+                smaller = by_edges.get(size - 1, [])
+                parents = [
+                    s for s in smaller if is_subgraph_isomorphic(s.graph, pattern.graph)
+                ]
+                assert parents, pattern.code
+                assert all(pattern.support <= parent.support for parent in parents)
+
+
+class TestTreesOnly:
+    def test_all_patterns_are_trees(self):
+        rng = random.Random(91)
+        graphs = [random_labeled_graph(rng, 7, extra_edges=3) for _ in range(4)]
+        for pattern in mine_frequent_subgraphs(graphs, 1, 4, trees_only=True):
+            assert pattern.graph.num_edges == pattern.graph.num_vertices - 1
+            assert pattern.graph.is_connected()
+
+    def test_matches_full_mining_restricted_to_trees(self):
+        rng = random.Random(92)
+        graphs = [random_labeled_graph(rng, 6, extra_edges=2) for _ in range(4)]
+        full = mine_frequent_subgraphs(graphs, 2, 3)
+        trees = mine_frequent_subgraphs(graphs, 2, 3, trees_only=True)
+        full_tree_codes = {
+            p.code for p in full if p.graph.num_edges == p.graph.num_vertices - 1
+        }
+        assert {p.code for p in trees} == full_tree_codes
+        # supports agree pattern by pattern
+        by_code = {p.code: p for p in full}
+        for pattern in trees:
+            assert pattern.containing == by_code[pattern.code].containing

@@ -1,0 +1,191 @@
+"""Unit tests for the labeled-graph substrate."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import GraphError, LabeledGraph, edge_key
+
+from .conftest import graph_strategy
+
+
+def simple_graph() -> LabeledGraph:
+    return LabeledGraph.from_vertices_and_edges(
+        [(1, "A"), (2, "B"), (3, "C")],
+        [(1, 2, "x"), (2, 3, "y")],
+    )
+
+
+class TestVertices:
+    def test_add_and_query(self):
+        graph = LabeledGraph()
+        graph.add_vertex("v", "L")
+        assert graph.has_vertex("v")
+        assert graph.vertex_label("v") == "L"
+        assert graph.num_vertices == 1
+
+    def test_duplicate_vertex_rejected(self):
+        graph = LabeledGraph()
+        graph.add_vertex(1, "A")
+        with pytest.raises(GraphError):
+            graph.add_vertex(1, "B")
+
+    def test_missing_vertex_label_raises(self):
+        with pytest.raises(GraphError):
+            LabeledGraph().vertex_label("nope")
+
+    def test_remove_vertex_drops_incident_edges(self):
+        graph = simple_graph()
+        graph.remove_vertex(2)
+        assert not graph.has_vertex(2)
+        assert graph.num_edges == 0
+        assert graph.degree(1) == 0
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(GraphError):
+            simple_graph().remove_vertex(99)
+
+    def test_label_histogram(self):
+        graph = simple_graph()
+        graph.add_vertex(4, "A")
+        assert graph.label_histogram() == {"A": 2, "B": 1, "C": 1}
+
+    def test_contains_and_len(self):
+        graph = simple_graph()
+        assert 1 in graph
+        assert 99 not in graph
+        assert len(graph) == 3
+
+
+class TestEdges:
+    def test_add_edge_both_directions_visible(self):
+        graph = simple_graph()
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+        assert graph.edge_label(2, 1) == "x"
+
+    def test_self_loop_rejected(self):
+        graph = simple_graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1, "z")
+
+    def test_duplicate_edge_rejected(self):
+        graph = simple_graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(2, 1, "z")
+
+    def test_edge_to_missing_vertex_rejected(self):
+        graph = simple_graph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 42, "z")
+
+    def test_remove_edge(self):
+        graph = simple_graph()
+        graph.remove_edge(2, 1)
+        assert not graph.has_edge(1, 2)
+        assert graph.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        graph = simple_graph()
+        with pytest.raises(GraphError):
+            graph.remove_edge(1, 3)
+
+    def test_edge_label_missing_raises(self):
+        with pytest.raises(GraphError):
+            simple_graph().edge_label(1, 3)
+
+    def test_edges_iterates_each_once(self):
+        graph = simple_graph()
+        edges = list(graph.edges())
+        assert len(edges) == 2
+        assert len({edge_key(u, v) for u, v, _ in edges}) == 2
+
+    def test_degree_and_neighbors(self):
+        graph = simple_graph()
+        assert graph.degree(2) == 2
+        assert set(graph.neighbors(2)) == {1, 3}
+        assert dict(graph.neighbor_items(2)) == {1: "x", 3: "y"}
+
+    def test_max_degree(self):
+        assert simple_graph().max_degree() == 2
+        assert LabeledGraph().max_degree() == 0
+
+
+class TestStructure:
+    def test_connected_components(self):
+        graph = simple_graph()
+        graph.add_vertex(4, "D")
+        components = graph.connected_components()
+        assert sorted(len(c) for c in components) == [1, 3]
+        assert not graph.is_connected()
+
+    def test_empty_and_singleton_connected(self):
+        assert LabeledGraph().is_connected()
+        single = LabeledGraph()
+        single.add_vertex(0, "A")
+        assert single.is_connected()
+
+    def test_subgraph_is_induced(self):
+        graph = simple_graph()
+        sub = graph.subgraph([1, 2])
+        assert sub.num_vertices == 2
+        assert sub.has_edge(1, 2)
+        assert not sub.has_vertex(3)
+
+    def test_largest_component_subgraph(self):
+        graph = simple_graph()
+        graph.add_vertex(4, "D")
+        largest = graph.largest_component_subgraph()
+        assert largest.num_vertices == 3
+        assert not largest.has_vertex(4)
+
+    def test_relabeled(self):
+        graph = simple_graph()
+        renamed = graph.relabeled({1: "a", 2: "b"})
+        assert renamed.has_edge("a", "b")
+        assert renamed.vertex_label("a") == "A"
+        assert renamed.has_vertex(3)  # unmapped ids survive
+        assert graph.has_vertex(1)  # original untouched
+
+    def test_relabeled_requires_injective(self):
+        with pytest.raises(GraphError):
+            simple_graph().relabeled({1: 3})
+
+    def test_copy_is_independent(self):
+        graph = simple_graph()
+        clone = graph.copy()
+        clone.remove_edge(1, 2)
+        assert graph.has_edge(1, 2)
+        assert not clone.has_edge(1, 2)
+
+    def test_equality(self):
+        assert simple_graph() == simple_graph()
+        other = simple_graph()
+        other.remove_edge(1, 2)
+        assert simple_graph() != other
+        assert simple_graph() != "not a graph"
+
+
+class TestEdgeKey:
+    def test_symmetric(self):
+        assert edge_key(1, 2) == edge_key(2, 1)
+
+    def test_mixed_types_total(self):
+        assert edge_key("a", 1) == edge_key(1, "a")
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_strategy(connected=True))
+def test_generated_graphs_are_connected(graph):
+    assert graph.is_connected()
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_strategy())
+def test_copy_equals_original(graph):
+    assert graph.copy() == graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_strategy())
+def test_degree_sum_is_twice_edges(graph):
+    assert sum(graph.degree(v) for v in graph.vertices()) == 2 * graph.num_edges

@@ -1,0 +1,160 @@
+"""End-to-end tests for the StreamMonitor public API."""
+
+import random
+
+import pytest
+
+from repro import EdgeChange, GraphChangeOperation, LabeledGraph, StreamMonitor
+from repro.isomorphism import SubgraphMatcher
+
+from .conftest import extract_connected_subgraph, random_labeled_graph
+
+
+def chain(labels):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1, "-")
+    return graph
+
+
+def make_monitor(method="dsc"):
+    return StreamMonitor(
+        {"ab": chain(["A", "B"]), "abc": chain(["A", "B", "C"])}, method=method
+    )
+
+
+class TestLifecycle:
+    def test_add_remove_stream(self):
+        monitor = make_monitor()
+        monitor.add_stream("s")
+        assert monitor.stream_ids() == ["s"]
+        monitor.remove_stream("s")
+        assert monitor.stream_ids() == []
+        assert monitor.matches() == set()
+
+    def test_duplicate_stream_rejected(self):
+        monitor = make_monitor()
+        monitor.add_stream("s")
+        with pytest.raises(ValueError):
+            monitor.add_stream("s")
+
+    def test_add_stream_with_initial_graph(self):
+        monitor = make_monitor()
+        monitor.add_stream("s", chain(["A", "B", "C"]))
+        assert monitor.matches() == {("s", "ab"), ("s", "abc")}
+
+    def test_graph_accessor(self):
+        monitor = make_monitor()
+        monitor.add_stream("s", chain(["A", "B"]))
+        assert monitor.graph("s").num_edges == 1
+
+
+class TestUpdates:
+    @pytest.mark.parametrize("method", ("nl", "dsc", "skyline"))
+    def test_single_change_and_batch(self, method):
+        monitor = make_monitor(method)
+        monitor.add_stream("s")
+        monitor.apply("s", EdgeChange.insert(0, 1, "-", "A", "B"))
+        assert monitor.matches() == {("s", "ab")}
+        monitor.apply(
+            "s", GraphChangeOperation([EdgeChange.insert(1, 2, "-", v_label="C")])
+        )
+        assert monitor.matches() == {("s", "ab"), ("s", "abc")}
+        monitor.apply("s", EdgeChange.delete(0, 1))
+        assert monitor.matches() == set()
+
+    def test_apply_many(self):
+        monitor = make_monitor()
+        monitor.add_stream("x")
+        monitor.add_stream("y")
+        monitor.apply_many(
+            {
+                "x": GraphChangeOperation([EdgeChange.insert(0, 1, "-", "A", "B")]),
+                "y": GraphChangeOperation([EdgeChange.insert(0, 1, "-", "B", "C")]),
+            }
+        )
+        assert monitor.matches() == {("x", "ab")}
+
+    def test_is_match(self):
+        monitor = make_monitor()
+        monitor.add_stream("s", chain(["A", "B"]))
+        assert monitor.is_match("s", "ab")
+        assert not monitor.is_match("s", "abc")
+
+
+class TestVerification:
+    def test_verified_subset_of_matches(self):
+        monitor = make_monitor()
+        monitor.add_stream("s", chain(["A", "B", "C"]))
+        assert monitor.verified_matches() <= monitor.matches()
+
+    def test_verified_specific_pairs(self):
+        monitor = make_monitor()
+        monitor.add_stream("s", chain(["A", "B"]))
+        assert monitor.verified_matches({("s", "ab")}) == {("s", "ab")}
+        assert monitor.verified_matches({("s", "abc")}) == set()
+
+    @pytest.mark.parametrize("method", ("nl", "dsc", "skyline"))
+    def test_no_false_negatives_random(self, method):
+        rng = random.Random(31337)
+        for trial in range(5):
+            target = random_labeled_graph(rng, rng.randint(5, 8), extra_edges=3)
+            queries = {
+                f"q{i}": extract_connected_subgraph(rng, target, rng.randint(2, 4))
+                for i in range(3)
+            }
+            monitor = StreamMonitor(queries, method=method)
+            monitor.add_stream(0, target)
+            filtered = monitor.matches()
+            truth = {
+                (0, query_id)
+                for query_id, query in queries.items()
+                if SubgraphMatcher(target).is_subgraph(query)
+            }
+            assert truth <= filtered
+            assert monitor.verified_matches() == truth
+
+
+class TestMethodEquivalence:
+    def test_methods_identical_over_stream(self):
+        rng = random.Random(4000)
+        queries = {
+            f"q{i}": random_labeled_graph(rng, rng.randint(2, 4), extra_edges=1)
+            for i in range(3)
+        }
+        monitors = {m: StreamMonitor(queries, method=m) for m in ("nl", "dsc", "skyline")}
+        for monitor in monitors.values():
+            monitor.add_stream(0)
+        timeline = []
+        mirror = LabeledGraph()
+        for _ in range(60):
+            vertices = list(mirror.vertices())
+            edges = list(mirror.edges())
+            if edges and rng.random() < 0.4:
+                u, v, _ = rng.choice(edges)
+                timeline.append(EdgeChange.delete(u, v))
+            else:
+                new_id = max([v for v in vertices if isinstance(v, int)], default=-1) + 1
+                if vertices and rng.random() < 0.6 and len(vertices) >= 2:
+                    u, v = rng.sample(vertices, 2)
+                    if mirror.has_edge(u, v):
+                        continue
+                    timeline.append(EdgeChange.insert(u, v, "-"))
+                elif vertices:
+                    timeline.append(
+                        EdgeChange.insert(
+                            rng.choice(vertices), new_id, "-", None, rng.choice("ABC")
+                        )
+                    )
+                else:
+                    timeline.append(EdgeChange.insert(0, 1, "-", "A", "B"))
+            from repro.graph import apply_change
+
+            apply_change(mirror, timeline[-1])
+            results = set()
+            for name, monitor in monitors.items():
+                monitor.apply(0, timeline[-1])
+                results.add(frozenset(monitor.matches()))
+            assert len(results) == 1  # all engines agree at every step

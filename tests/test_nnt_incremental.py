@@ -1,0 +1,236 @@
+"""Incremental NNT maintenance must always agree with a fresh rebuild.
+
+These are the paper's Figures 4-5 procedures; the tests drive random
+insert/delete sequences and check the full cross-structure invariants
+(`NNTIndex.check_integrity`) plus listener-delta consistency.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeChange, GraphChangeOperation, GraphError, LabeledGraph
+from repro.nnt import NNTIndex, project_graph
+from repro.nnt.projection import DimensionScheme
+
+from .conftest import random_labeled_graph
+
+
+def paper_graph() -> LabeledGraph:
+    return LabeledGraph.from_vertices_and_edges(
+        [(1, "A"), (2, "B"), (3, "C"), (4, "B"), (5, "C")],
+        [(1, 2, "-"), (1, 3, "-"), (2, 3, "-"), (3, 4, "-"), (4, 5, "-")],
+    )
+
+
+class RecordingListener:
+    """Mirrors NPVs from deltas; used to validate the listener protocol."""
+
+    def __init__(self):
+        self.vectors = {}
+
+    def on_vertex_added(self, vertex):
+        assert vertex not in self.vectors
+        self.vectors[vertex] = {}
+
+    def on_vertex_removed(self, vertex):
+        assert self.vectors.pop(vertex) == {}
+
+    def on_dimension_delta(self, vertex, dim, delta):
+        vector = self.vectors[vertex]
+        value = vector.get(dim, 0) + delta
+        assert value >= 0
+        if value:
+            vector[dim] = value
+        else:
+            del vector[dim]
+
+
+class TestInitialBuild:
+    def test_matches_fresh_projection(self):
+        graph = paper_graph()
+        index = NNTIndex(graph, depth_limit=2)
+        assert index.npvs == project_graph(graph, 2)
+        index.check_integrity()
+
+    def test_owns_a_copy_of_the_graph(self):
+        graph = paper_graph()
+        index = NNTIndex(graph, depth_limit=2)
+        graph.remove_edge(1, 2)  # external mutation must not desync
+        index.check_integrity()
+
+    def test_empty_start(self):
+        index = NNTIndex(depth_limit=3)
+        assert index.npvs == {}
+        index.check_integrity()
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            NNTIndex(depth_limit=0)
+
+
+class TestInsert:
+    def test_insert_between_existing(self):
+        index = NNTIndex(paper_graph(), depth_limit=2)
+        index.insert_edge(1, 4, "-")
+        index.check_integrity()
+        assert index.graph.has_edge(1, 4)
+
+    def test_insert_creates_vertex(self):
+        index = NNTIndex(paper_graph(), depth_limit=2)
+        index.insert_edge(5, 6, "-", b_label="D")
+        index.check_integrity()
+        assert index.graph.vertex_label(6) == "D"
+        assert 6 in index.trees
+
+    def test_insert_new_vertex_without_label_fails(self):
+        index = NNTIndex(paper_graph(), depth_limit=2)
+        with pytest.raises(GraphError):
+            index.insert_edge(5, 6, "-")
+
+    def test_duplicate_edge_rejected(self):
+        index = NNTIndex(paper_graph(), depth_limit=2)
+        with pytest.raises(GraphError):
+            index.insert_edge(1, 2, "-")
+
+    def test_first_edge_of_empty_index(self):
+        index = NNTIndex(depth_limit=2)
+        index.insert_edge("a", "b", "-", "A", "B")
+        index.check_integrity()
+        assert index.npv("a") == {(1, "A", "B"): 1}
+        assert index.npv("b") == {(1, "B", "A"): 1}
+
+
+class TestDelete:
+    def test_delete_edge(self):
+        index = NNTIndex(paper_graph(), depth_limit=2)
+        index.delete_edge(1, 3)
+        index.check_integrity()
+        assert not index.graph.has_edge(1, 3)
+
+    def test_delete_missing_edge_rejected(self):
+        index = NNTIndex(paper_graph(), depth_limit=2)
+        with pytest.raises(GraphError):
+            index.delete_edge(1, 4)
+
+    def test_delete_isolating_drops_vertex(self):
+        index = NNTIndex(paper_graph(), depth_limit=2)
+        index.delete_edge(4, 5)
+        index.check_integrity()
+        assert not index.graph.has_vertex(5)
+        assert 5 not in index.trees
+        assert 5 not in index.npvs
+
+    def test_delete_last_edge_empties_index(self):
+        index = NNTIndex(depth_limit=2)
+        index.insert_edge("a", "b", "-", "A", "B")
+        index.delete_edge("a", "b")
+        index.check_integrity()
+        assert index.graph.num_vertices == 0
+        assert index.npvs == {}
+
+
+class TestBatches:
+    def test_apply_runs_deletions_first(self):
+        index = NNTIndex(paper_graph(), depth_limit=2)
+        index.apply(
+            GraphChangeOperation(
+                [
+                    EdgeChange.insert(2, 4, "-"),
+                    EdgeChange.delete(3, 4),
+                ]
+            )
+        )
+        index.check_integrity()
+        assert index.graph.has_edge(2, 4)
+        assert not index.graph.has_edge(3, 4)
+
+    def test_stats_accumulate(self):
+        index = NNTIndex(paper_graph(), depth_limit=2)
+        index.insert_edge(1, 4, "-")
+        index.delete_edge(1, 4)
+        assert index.stats["edges_inserted"] == 1
+        assert index.stats["edges_deleted"] == 1
+        assert index.stats["tree_nodes_added"] > 0
+        assert index.stats["tree_nodes_removed"] > 0
+
+
+class TestListeners:
+    def test_listener_mirror_tracks_npvs(self):
+        rng = random.Random(99)
+        index = NNTIndex(paper_graph(), depth_limit=3)
+        listener = RecordingListener()
+        for vertex in index.graph.vertices():
+            listener.vectors[vertex] = dict(index.npv(vertex))
+        index.add_listener(listener)
+        for _ in range(120):
+            _random_step(rng, index)
+        assert listener.vectors == index.npvs
+
+    def test_no_notifications_during_initial_build(self):
+        listener = RecordingListener()
+        index = NNTIndex(depth_limit=2)
+        index.add_listener(listener)
+        # Listener attached before any change: sees everything from zero.
+        index.insert_edge(1, 2, "-", "A", "B")
+        assert listener.vectors == index.npvs
+
+
+def _random_step(rng: random.Random, index: NNTIndex) -> None:
+    edges = list(index.graph.edges())
+    vertices = list(index.graph.vertices())
+    if edges and rng.random() < 0.45:
+        u, v, _ = rng.choice(edges)
+        index.delete_edge(u, v)
+    elif len(vertices) >= 2 and rng.random() < 0.8:
+        u, v = rng.sample(vertices, 2)
+        if not index.graph.has_edge(u, v):
+            index.insert_edge(u, v, rng.choice(["-", "="]))
+    else:
+        new_id = max([v for v in vertices if isinstance(v, int)], default=0) + 1
+        anchor = rng.choice(vertices) if vertices else None
+        if anchor is None:
+            index.insert_edge(new_id, new_id + 1, "-", "A", "B")
+        else:
+            index.insert_edge(anchor, new_id, "-", None, rng.choice(["A", "B", "C"]))
+
+
+class TestFuzz:
+    @pytest.mark.parametrize("depth", (1, 2, 3))
+    def test_random_sequences_keep_integrity(self, depth):
+        rng = random.Random(500 + depth)
+        index = NNTIndex(random_labeled_graph(rng, 6, extra_edges=3), depth_limit=depth)
+        for step in range(150):
+            _random_step(rng, index)
+            if step % 30 == 0:
+                index.check_integrity()
+        index.check_integrity()
+        assert index.npvs == project_graph(index.graph, depth)
+
+    def test_edge_label_scheme_fuzz(self):
+        rng = random.Random(4242)
+        scheme = DimensionScheme(include_edge_label=True)
+        index = NNTIndex(
+            random_labeled_graph(rng, 6, extra_edges=3), depth_limit=2, scheme=scheme
+        )
+        for _ in range(100):
+            _random_step(rng, index)
+        index.check_integrity()
+        assert index.npvs == project_graph(index.graph, 2, scheme)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 10_000), min_size=5, max_size=40))
+def test_property_operation_stream_consistency(seeds):
+    """Any operation sequence leaves the index equal to a fresh build."""
+    rng = random.Random(1)
+    index = NNTIndex(depth_limit=2)
+    index.insert_edge(0, 1, "-", "A", "B")
+    for seed in seeds:
+        _random_step(random.Random(seed), index)
+        if index.graph.num_vertices == 0:
+            index.insert_edge(0, 1, "-", "A", "B")
+    assert index.npvs == project_graph(index.graph, 2)
+    index.check_integrity()

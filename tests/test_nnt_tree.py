@@ -1,0 +1,153 @@
+"""Unit tests for the NNT structure and its reference builder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import LabeledGraph
+from repro.nnt import build_all_nnts, build_nnt, enumerate_simple_paths
+from repro.nnt.tree import NNT, TreeNode
+
+from .conftest import graph_strategy, random_labeled_graph
+
+
+def paper_graph() -> LabeledGraph:
+    """The running example's shape: a triangle with a pendant path."""
+    return LabeledGraph.from_vertices_and_edges(
+        [(1, "A"), (2, "B"), (3, "C"), (4, "B"), (5, "C")],
+        [(1, 2, "-"), (1, 3, "-"), (2, 3, "-"), (3, 4, "-"), (4, 5, "-")],
+    )
+
+
+class TestTreeNode:
+    def test_root_properties(self):
+        root = TreeNode("v")
+        assert root.is_root()
+        assert root.depth == 0
+        assert root.edge_label is None
+        assert root.root_path_vertices() == ["v"]
+
+    def test_root_path(self):
+        root = TreeNode(1)
+        child = TreeNode(2, root, 1, "x")
+        grandchild = TreeNode(3, child, 2, "y")
+        assert grandchild.root_path_vertices() == [1, 2, 3]
+
+    def test_edge_on_root_path(self):
+        root = TreeNode(1)
+        child = TreeNode(2, root, 1, "x")
+        grandchild = TreeNode(3, child, 2, "y")
+        assert grandchild.edge_on_root_path(1, 2)
+        assert grandchild.edge_on_root_path(2, 1)
+        assert grandchild.edge_on_root_path(3, 2)
+        assert not grandchild.edge_on_root_path(1, 3)
+
+    def test_descendants(self):
+        root = TreeNode(1)
+        a = TreeNode(2, root, 1, "x")
+        b = TreeNode(3, root, 1, "x")
+        c = TreeNode(4, a, 2, "x")
+        root.children = {2: a, 3: b}
+        a.children = {4: c}
+        assert {n.graph_vertex for n in root.descendants()} == {1, 2, 3, 4}
+        assert {n.graph_vertex for n in root.descendants(include_self=False)} == {2, 3, 4}
+
+
+class TestBuildNNT:
+    def test_depth_limit_validated(self):
+        with pytest.raises(ValueError):
+            NNT("v", 0)
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(ValueError):
+            build_nnt(LabeledGraph(), "v", 2)
+
+    def test_isolated_vertex_tree_is_root_only(self):
+        graph = LabeledGraph()
+        graph.add_vertex(1, "A")
+        tree = build_nnt(graph, 1, 3)
+        assert tree.size() == 1
+        assert tree.num_tree_edges() == 0
+
+    def test_nodes_match_simple_paths(self):
+        graph = paper_graph()
+        for vertex in graph.vertices():
+            for depth in (1, 2, 3):
+                tree = build_nnt(graph, vertex, depth)
+                paths = enumerate_simple_paths(graph, vertex, depth)
+                assert tree.size() == len(paths), (vertex, depth)
+
+    def test_tree_paths_are_simple(self):
+        graph = paper_graph()
+        tree = build_nnt(graph, 1, 3)
+        for branch in tree.branches():
+            edges = [
+                frozenset((a.graph_vertex, b.graph_vertex))
+                for a, b in zip(branch, branch[1:])
+            ]
+            assert len(edges) == len(set(edges))  # no repeated edge
+
+    def test_depth_respected(self):
+        tree = build_nnt(paper_graph(), 1, 2)
+        assert all(node.depth <= 2 for node in tree.nodes())
+
+    def test_edge_labels_recorded(self):
+        graph = LabeledGraph.from_vertices_and_edges(
+            [(1, "A"), (2, "B")], [(1, 2, "bond")]
+        )
+        tree = build_nnt(graph, 1, 1)
+        child = tree.root.children[2]
+        assert child.edge_label == "bond"
+
+    def test_build_all(self):
+        graph = paper_graph()
+        trees = build_all_nnts(graph, 2)
+        assert set(trees) == set(graph.vertices())
+        assert all(tree.root_vertex == vertex for vertex, tree in trees.items())
+
+    def test_triangle_depth3_revisits_vertex(self):
+        # In a triangle, the depth-3 path 1-2-3-1 revisits vertex 1 but
+        # repeats no edge, so it must be in the tree (simple = edge-simple).
+        graph = LabeledGraph.from_vertices_and_edges(
+            [(1, "A"), (2, "B"), (3, "C")],
+            [(1, 2, "-"), (2, 3, "-"), (3, 1, "-")],
+        )
+        tree = build_nnt(graph, 1, 3)
+        deep = [n for n in tree.nodes() if n.depth == 3]
+        assert {n.graph_vertex for n in deep} == {1}
+        assert len(deep) == 2  # both directions around the triangle
+
+    def test_canonical_form_isomorphic_roots_equal(self):
+        graph = paper_graph()
+        renamed = graph.relabeled({1: 10, 2: 20, 3: 30, 4: 40, 5: 50})
+        t1 = build_nnt(graph, 1, 3).canonical_form(graph.vertex_label)
+        t2 = build_nnt(renamed, 10, 3).canonical_form(renamed.vertex_label)
+        assert t1 == t2
+
+    def test_canonical_form_differs_for_different_structure(self):
+        graph = paper_graph()
+        t1 = build_nnt(graph, 1, 3).canonical_form(graph.vertex_label)
+        t5 = build_nnt(graph, 5, 3).canonical_form(graph.vertex_label)
+        assert t1 != t5
+
+
+class TestSizeBound:
+    @pytest.mark.parametrize("trial", range(5))
+    def test_size_bounded_by_degree_power(self, trial):
+        rng = random.Random(300 + trial)
+        graph = random_labeled_graph(rng, 8, extra_edges=4)
+        r = graph.max_degree()
+        depth = 3
+        for vertex in graph.vertices():
+            size = build_nnt(graph, vertex, depth).size()
+            bound = sum(r**k for k in range(depth + 1))
+            assert size <= bound
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_strategy(max_vertices=7))
+def test_property_tree_size_equals_path_count(graph):
+    for vertex in list(graph.vertices())[:3]:
+        tree = build_nnt(graph, vertex, 3)
+        assert tree.size() == len(enumerate_simple_paths(graph, vertex, 3))

@@ -1,0 +1,163 @@
+"""Unit tests for graph change operations (Definitions 2.4-2.5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import (
+    DELETE,
+    INSERT,
+    EdgeChange,
+    GraphChangeOperation,
+    GraphError,
+    LabeledGraph,
+    apply_change,
+    apply_operation,
+    diff_graphs,
+)
+
+from .conftest import graph_strategy
+
+
+def base_graph() -> LabeledGraph:
+    return LabeledGraph.from_vertices_and_edges(
+        [(1, "A"), (2, "B"), (3, "C")],
+        [(1, 2, "x"), (2, 3, "y")],
+    )
+
+
+class TestEdgeChange:
+    def test_insert_factory(self):
+        change = EdgeChange.insert(1, 2, "x", "A", "B")
+        assert change.op == INSERT
+        assert (change.u, change.v) == (1, 2)
+        assert (change.u_label, change.v_label) == ("A", "B")
+
+    def test_delete_factory(self):
+        change = EdgeChange.delete(1, 2)
+        assert change.op == DELETE
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeChange("upsert", 1, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeChange.insert(1, 1)
+
+    def test_frozen(self):
+        change = EdgeChange.delete(1, 2)
+        with pytest.raises(AttributeError):
+            change.u = 9
+
+
+class TestGraphChangeOperation:
+    def test_iteration_and_len(self):
+        operation = GraphChangeOperation([EdgeChange.delete(1, 2), EdgeChange.insert(3, 4, "x")])
+        assert len(operation) == 2
+        assert [c.op for c in operation] == [DELETE, INSERT]
+        assert bool(operation)
+        assert not GraphChangeOperation()
+
+    def test_sequentialized_deletions_first(self):
+        operation = GraphChangeOperation(
+            [EdgeChange.insert(3, 4, "x"), EdgeChange.delete(1, 2), EdgeChange.insert(5, 6, "x")]
+        )
+        ops = [c.op for c in operation.sequentialized()]
+        assert ops == [DELETE, INSERT, INSERT]
+        assert len(operation.deletions) == 1
+        assert len(operation.insertions) == 2
+
+
+class TestApply:
+    def test_insert_existing_vertices(self):
+        graph = base_graph()
+        apply_change(graph, EdgeChange.insert(1, 3, "z"))
+        assert graph.edge_label(1, 3) == "z"
+
+    def test_insert_creates_vertex_with_label(self):
+        graph = base_graph()
+        apply_change(graph, EdgeChange.insert(1, 9, "z", v_label="D"))
+        assert graph.vertex_label(9) == "D"
+
+    def test_insert_new_vertex_without_label_fails(self):
+        graph = base_graph()
+        with pytest.raises(GraphError):
+            apply_change(graph, EdgeChange.insert(1, 9, "z"))
+
+    def test_delete_drops_isolated_vertices(self):
+        graph = base_graph()
+        apply_change(graph, EdgeChange.delete(2, 3))
+        assert not graph.has_vertex(3)  # 3 became isolated
+        assert graph.has_vertex(2)  # 2 still has the (1,2) edge
+
+    def test_apply_operation_batch(self):
+        graph = base_graph()
+        apply_operation(
+            graph,
+            GraphChangeOperation(
+                [
+                    # Deletion runs first and isolates vertex 1 (dropping
+                    # it), so the insertion must re-supply its label.
+                    EdgeChange.insert(1, 3, "z", u_label="A"),
+                    EdgeChange.delete(1, 2),
+                ]
+            ),
+        )
+        assert graph.has_edge(1, 3)
+        assert graph.vertex_label(1) == "A"
+        assert not graph.has_edge(1, 2)
+        assert graph.has_vertex(2)  # still holds the (2,3) edge
+
+    def test_delete_missing_edge_raises(self):
+        with pytest.raises(GraphError):
+            apply_change(base_graph(), EdgeChange.delete(1, 3))
+
+
+class TestDiffGraphs:
+    def test_identical_graphs_empty_diff(self):
+        assert len(diff_graphs(base_graph(), base_graph())) == 0
+
+    def test_diff_reconstructs_target(self):
+        old = base_graph()
+        new = base_graph()
+        new.remove_edge(1, 2)
+        new.add_edge(1, 3, "z")  # keep vertex 1 non-isolated
+        new.add_vertex(4, "D")
+        new.add_edge(3, 4, "w")
+        delta = diff_graphs(old, new)
+        apply_operation(old, delta)
+        assert old == new
+
+    def test_label_change_is_delete_plus_insert(self):
+        old = base_graph()
+        new = base_graph()
+        new.remove_edge(1, 2)
+        new.add_edge(1, 2, "CHANGED")
+        delta = diff_graphs(old, new)
+        assert len(delta.deletions) == 1
+        assert len(delta.insertions) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_strategy(), graph_strategy(min_vertices=2))
+def test_diff_then_apply_reaches_target(old, new):
+    # Share vertex labels where ids overlap (diff requires consistency).
+    aligned = new.copy()
+    for vertex in list(aligned.vertices()):
+        if old.has_vertex(vertex) and old.vertex_label(vertex) != aligned.vertex_label(vertex):
+            label = old.vertex_label(vertex)
+            rebuilt = aligned.relabeled({})
+            # rebuild with the shared label
+            replacement = LabeledGraph()
+            for v, lab in rebuilt.vertex_items():
+                replacement.add_vertex(v, label if v == vertex else lab)
+            for a, b, lab in rebuilt.edges():
+                replacement.add_edge(a, b, lab)
+            aligned = replacement
+    working = old.copy()
+    apply_operation(working, diff_graphs(old, aligned))
+    # Compare edge sets and labels of shared structure; isolated vertices
+    # are dropped by deletion semantics, so compare edges only.
+    assert {frozenset((u, v)): l for u, v, l in working.edges()} == {
+        frozenset((u, v)): l for u, v, l in aligned.edges()
+    }

@@ -1,0 +1,125 @@
+"""Tests for GraphGrep's path-fingerprint substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.paths import fingerprint_dominates, path_fingerprint
+from repro.graph import LabeledGraph
+from repro.isomorphism import find_subgraph_isomorphism
+
+from .conftest import extract_connected_subgraph, graph_strategy, random_labeled_graph
+
+
+def chain(labels):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1, "-")
+    return graph
+
+
+class TestPathFingerprint:
+    def test_single_vertex(self):
+        fp = path_fingerprint(chain(["A"]), num_buckets=None)
+        assert fp == {("A",): 1}
+
+    def test_edge_counts_both_orientations_once(self):
+        fp = path_fingerprint(chain(["A", "B"]), num_buckets=None)
+        assert fp[("A",)] == 1
+        assert fp[("B",)] == 1
+        assert fp[("A", "B")] == 1  # the undirected path counted once
+        assert ("B", "A") not in fp  # canonical direction only
+
+    def test_palindromic_path_counted_once(self):
+        fp = path_fingerprint(chain(["A", "B", "A"]), num_buckets=None)
+        assert fp[("A", "B", "A")] == 1
+
+    def test_length_limit(self):
+        fp = path_fingerprint(chain(["A", "B", "C", "D"]), max_length=2, num_buckets=None)
+        assert all(len(key) <= 3 for key in fp)  # <= 2 edges -> <= 3 labels
+
+    def test_edge_labels_optional(self):
+        graph = LabeledGraph.from_vertices_and_edges(
+            [(0, "A"), (1, "B")], [(0, 1, "bond")]
+        )
+        plain = path_fingerprint(graph, num_buckets=None)
+        labeled = path_fingerprint(graph, include_edge_labels=True, num_buckets=None)
+        assert ("A", "B") in plain
+        assert ("A", ("bond", "B")) not in plain
+        assert any("bond" in repr(key) for key in labeled)
+
+    def test_hashed_buckets_conserve_mass(self):
+        graph = random_labeled_graph(random.Random(5), 7, extra_edges=3)
+        exact = path_fingerprint(graph, num_buckets=None)
+        hashed = path_fingerprint(graph, num_buckets=64)
+        assert sum(exact.values()) == sum(hashed.values())
+        assert all(isinstance(key, int) and 0 <= key < 64 for key in hashed)
+
+    def test_star_multiplicity(self):
+        star = LabeledGraph.from_vertices_and_edges(
+            [(0, "A"), (1, "B"), (2, "B"), (3, "B")],
+            [(0, 1, "-"), (0, 2, "-"), (0, 3, "-")],
+        )
+        fp = path_fingerprint(star, num_buckets=None)
+        assert fp[("A", "B")] == 3
+        assert fp[("B", "A", "B")] == 3  # the three unordered B-A-B pairs
+
+
+class TestFingerprintDominates:
+    def test_reflexive(self):
+        fp = path_fingerprint(chain(["A", "B", "C"]), num_buckets=None)
+        assert fingerprint_dominates(fp, fp)
+
+    def test_count_sensitive(self):
+        small = {("A", "B"): 1}
+        big = {("A", "B"): 2}
+        assert fingerprint_dominates(big, small)
+        assert not fingerprint_dominates(small, big)
+
+    def test_missing_feature_fails(self):
+        assert not fingerprint_dominates({("A",): 5}, {("B",): 1})
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("buckets", (None, 128))
+    @pytest.mark.parametrize("trial", range(6))
+    def test_no_false_negatives(self, trial, buckets):
+        rng = random.Random(9900 + trial)
+        target = random_labeled_graph(rng, rng.randint(5, 9), extra_edges=rng.randint(0, 4))
+        query = extract_connected_subgraph(rng, target, rng.randint(2, 4))
+        assert find_subgraph_isomorphism(query, target) is not None
+        target_fp = path_fingerprint(target, num_buckets=buckets)
+        query_fp = path_fingerprint(query, num_buckets=buckets)
+        assert fingerprint_dominates(target_fp, query_fp)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_strategy(min_vertices=2, max_vertices=6))
+def test_property_graph_dominates_own_fingerprint(graph):
+    fp = path_fingerprint(graph)
+    assert fingerprint_dominates(fp, fp)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph_strategy(min_vertices=3, max_vertices=6))
+def test_property_hashing_never_strengthens_filter(graph):
+    """Bucketed fingerprints admit everything the exact ones admit."""
+    edges = list(graph.edges())
+    if not edges:
+        return
+    query = graph.copy()
+    query.remove_edge(edges[0][0], edges[0][1])
+    for vertex in list(query.vertices()):
+        if query.has_vertex(vertex) and query.degree(vertex) == 0:
+            query.remove_vertex(vertex)
+    exact_ok = fingerprint_dominates(
+        path_fingerprint(graph, num_buckets=None), path_fingerprint(query, num_buckets=None)
+    )
+    hashed_ok = fingerprint_dominates(
+        path_fingerprint(graph, num_buckets=32), path_fingerprint(query, num_buckets=32)
+    )
+    if exact_ok:
+        assert hashed_ok

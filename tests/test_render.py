@@ -1,0 +1,60 @@
+"""Tests for the plain-text rendering helpers."""
+
+from repro.graph import LabeledGraph
+from repro.nnt import build_nnt, project_graph
+from repro.render import format_graph, format_npv, format_tree
+
+
+def demo_graph() -> LabeledGraph:
+    return LabeledGraph.from_vertices_and_edges(
+        [(1, "A"), (2, "B"), (3, "C")],
+        [(1, 2, "x"), (2, 3, "y"), (1, 3, "z")],
+    )
+
+
+class TestFormatGraph:
+    def test_header(self):
+        text = format_graph(demo_graph(), "demo")
+        assert text.startswith("graph 'demo': 3 vertices, 3 edges")
+
+    def test_anonymous_header(self):
+        assert format_graph(LabeledGraph()).startswith("graph: 0 vertices")
+
+    def test_every_vertex_listed(self):
+        text = format_graph(demo_graph())
+        for vertex, label in [(1, "A"), (2, "B"), (3, "C")]:
+            assert f"{vertex}[{label}]" in text
+
+    def test_edge_labels_shown(self):
+        text = format_graph(demo_graph())
+        assert "2[B](x)" in text
+        assert "3[C](z)" in text
+
+    def test_deterministic(self):
+        assert format_graph(demo_graph()) == format_graph(demo_graph())
+
+
+class TestFormatTree:
+    def test_structure(self):
+        graph = demo_graph()
+        text = format_tree(build_nnt(graph, 1, 2), graph.vertex_label)
+        assert text.splitlines()[0] == "NNT(1) depth<=2"
+        assert "├─(x)─ 2[B]" in text
+        assert "└─(z)─ 3[C]" in text
+
+    def test_singleton_tree(self):
+        graph = LabeledGraph()
+        graph.add_vertex(0, "A")
+        text = format_tree(build_nnt(graph, 0, 3), graph.vertex_label)
+        assert text.splitlines() == ["NNT(0) depth<=3", "0[A]"]
+
+
+class TestFormatNpv:
+    def test_empty(self):
+        assert format_npv({}) == "{}"
+
+    def test_sorted_entries(self):
+        graph = demo_graph()
+        text = format_npv(project_graph(graph, 2)[1])
+        assert text.startswith("{(1,A,B):1")
+        assert text.endswith("}")

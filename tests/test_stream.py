@@ -1,0 +1,70 @@
+"""Unit tests for graph streams (Definition 2.6)."""
+
+import pytest
+
+from repro.graph import EdgeChange, GraphChangeOperation, GraphStream, LabeledGraph
+
+
+def make_stream() -> GraphStream:
+    initial = LabeledGraph.from_vertices_and_edges([(1, "A"), (2, "B")], [(1, 2, "x")])
+    return GraphStream(
+        initial,
+        [
+            GraphChangeOperation([EdgeChange.insert(2, 3, "y", v_label="C")]),
+            GraphChangeOperation([EdgeChange.delete(1, 2)]),
+            GraphChangeOperation([EdgeChange.insert(3, 4, "x", v_label="D")]),
+        ],
+        name="s",
+    )
+
+
+class TestGraphStream:
+    def test_length_counts_timestamp_zero(self):
+        assert len(make_stream()) == 4
+
+    def test_graph_at_zero_is_initial_copy(self):
+        stream = make_stream()
+        graph = stream.graph_at(0)
+        assert graph == stream.initial
+        graph.remove_edge(1, 2)
+        assert stream.initial.has_edge(1, 2)  # copies, not views
+
+    def test_graph_at_applies_prefix(self):
+        stream = make_stream()
+        g2 = stream.graph_at(2)
+        assert g2.has_edge(2, 3)
+        assert not g2.has_edge(1, 2)
+        assert not g2.has_vertex(1)  # isolated vertex dropped
+
+    def test_graph_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_stream().graph_at(4)
+        with pytest.raises(IndexError):
+            make_stream().graph_at(-1)
+
+    def test_replay_matches_graph_at(self):
+        stream = make_stream()
+        for timestamp, cursor in stream.replay():
+            assert cursor == stream.graph_at(timestamp)
+
+    def test_final_graph(self):
+        assert make_stream().final_graph() == make_stream().graph_at(3)
+
+    def test_total_changes(self):
+        assert make_stream().total_changes() == 3
+
+    def test_append(self):
+        stream = make_stream()
+        stream.append(GraphChangeOperation([EdgeChange.delete(2, 3)]))
+        assert len(stream) == 5
+
+    def test_truncated(self):
+        stream = make_stream()
+        short = stream.truncated(2)
+        assert len(short) == 2
+        assert short.final_graph() == stream.graph_at(1)
+        assert len(stream) == 4  # original untouched
+
+    def test_truncated_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_stream().truncated(0)

@@ -1,0 +1,164 @@
+"""Tests for the exact subgraph isomorphism matcher, including an
+independent networkx oracle on random inputs."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from networkx.algorithms import isomorphism as nxiso
+
+from repro.graph import LabeledGraph
+from repro.isomorphism import (
+    SubgraphMatcher,
+    are_isomorphic,
+    find_all_subgraph_isomorphisms,
+    find_subgraph_isomorphism,
+    is_subgraph_isomorphic,
+)
+
+from .conftest import extract_connected_subgraph, graph_strategy, random_labeled_graph
+
+
+def to_networkx(graph: LabeledGraph) -> nx.Graph:
+    out = nx.Graph()
+    for vertex, label in graph.vertex_items():
+        out.add_node(vertex, label=label)
+    for u, v, label in graph.edges():
+        out.add_edge(u, v, label=label)
+    return out
+
+
+def nx_subgraph_iso(query: LabeledGraph, target: LabeledGraph) -> bool:
+    """networkx monomorphism oracle with label matching."""
+    matcher = nxiso.GraphMatcher(
+        to_networkx(target),
+        to_networkx(query),
+        node_match=lambda a, b: a["label"] == b["label"],
+        edge_match=lambda a, b: a["label"] == b["label"],
+    )
+    return matcher.subgraph_is_monomorphic()
+
+
+def path_graph(labels: list, edge_label: str = "x") -> LabeledGraph:
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1, edge_label)
+    return graph
+
+
+class TestBasics:
+    def test_empty_query_matches_anything(self):
+        assert is_subgraph_isomorphic(LabeledGraph(), path_graph(["A"]))
+        assert find_subgraph_isomorphism(LabeledGraph(), LabeledGraph()) == {}
+
+    def test_single_vertex_label_match(self):
+        query = path_graph(["A"])
+        assert is_subgraph_isomorphic(query, path_graph(["B", "A"]))
+        assert not is_subgraph_isomorphic(query, path_graph(["B", "C"]))
+
+    def test_path_in_path(self):
+        assert is_subgraph_isomorphic(path_graph(["A", "B"]), path_graph(["C", "A", "B"]))
+        assert not is_subgraph_isomorphic(path_graph(["A", "A"]), path_graph(["A", "B", "A"]))
+
+    def test_edge_labels_must_match(self):
+        query = path_graph(["A", "B"], edge_label="x")
+        target = path_graph(["A", "B"], edge_label="y")
+        assert not is_subgraph_isomorphic(query, target)
+
+    def test_monomorphism_not_induced(self):
+        # Query path A-B-C maps into triangle A-B-C even though the
+        # triangle has the extra (A,C) edge: monomorphism semantics.
+        query = path_graph(["A", "B", "C"])
+        triangle = path_graph(["A", "B", "C"])
+        triangle.add_edge(0, 2, "x")
+        assert is_subgraph_isomorphic(query, triangle)
+
+    def test_too_many_vertices(self):
+        assert not is_subgraph_isomorphic(path_graph(["A", "A", "A"]), path_graph(["A", "A"]))
+
+    def test_mapping_is_valid(self):
+        query = path_graph(["A", "B", "C"])
+        target = path_graph(["Z", "A", "B", "C"])
+        mapping = find_subgraph_isomorphism(query, target)
+        assert mapping is not None
+        assert len(set(mapping.values())) == len(mapping)  # injective
+        for u, v, label in query.edges():
+            assert target.edge_label(mapping[u], mapping[v]) == label
+        for vertex in query.vertices():
+            assert target.vertex_label(mapping[vertex]) == query.vertex_label(vertex)
+
+    def test_find_all_counts_symmetries(self):
+        # A-A edge in a triangle of A's: 6 ordered embeddings of the edge
+        # ... but the triangle has 3 edges x 2 directions = 6.
+        query = path_graph(["A", "A"])
+        triangle = path_graph(["A", "A", "A"])
+        triangle.add_edge(0, 2, "x")
+        assert len(find_all_subgraph_isomorphisms(query, triangle)) == 6
+
+    def test_find_all_limit(self):
+        query = path_graph(["A", "A"])
+        triangle = path_graph(["A", "A", "A"])
+        triangle.add_edge(0, 2, "x")
+        assert len(find_all_subgraph_isomorphisms(query, triangle, limit=2)) == 2
+
+    def test_disconnected_query(self):
+        query = LabeledGraph.from_vertices_and_edges(
+            [(0, "A"), (1, "B"), (2, "C"), (3, "C")],
+            [(0, 1, "x"), (2, 3, "x")],
+        )
+        target = path_graph(["A", "B", "C", "C"])
+        assert is_subgraph_isomorphic(query, target)
+
+    def test_matcher_reuse(self):
+        target = path_graph(["A", "B", "C"])
+        matcher = SubgraphMatcher(target)
+        assert matcher.is_subgraph(path_graph(["A", "B"]))
+        assert matcher.is_subgraph(path_graph(["B", "C"]))
+        assert not matcher.is_subgraph(path_graph(["C", "A"]))
+
+
+class TestAreIsomorphic:
+    def test_same_graph(self):
+        assert are_isomorphic(path_graph(["A", "B"]), path_graph(["A", "B"]))
+
+    def test_relabeled_ids(self):
+        graph = path_graph(["A", "B", "C"])
+        assert are_isomorphic(graph, graph.relabeled({0: "x", 1: "y", 2: "z"}))
+
+    def test_size_mismatch(self):
+        assert not are_isomorphic(path_graph(["A", "B"]), path_graph(["A", "B", "C"]))
+
+    def test_histogram_mismatch(self):
+        assert not are_isomorphic(path_graph(["A", "B"]), path_graph(["A", "A"]))
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("trial", range(15))
+    def test_random_pairs_agree_with_networkx(self, trial):
+        rng = random.Random(1000 + trial)
+        target = random_labeled_graph(rng, rng.randint(4, 9), extra_edges=rng.randint(0, 4))
+        query = random_labeled_graph(rng, rng.randint(2, 5), extra_edges=rng.randint(0, 2))
+        assert is_subgraph_isomorphic(query, target) == nx_subgraph_iso(query, target)
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_extracted_subgraphs_always_found(self, trial):
+        rng = random.Random(2000 + trial)
+        target = random_labeled_graph(rng, rng.randint(5, 10), extra_edges=rng.randint(0, 5))
+        query = extract_connected_subgraph(rng, target, rng.randint(2, 4))
+        assert is_subgraph_isomorphic(query, target)
+        assert nx_subgraph_iso(query, target)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_strategy(max_vertices=7), graph_strategy(max_vertices=5))
+def test_property_agrees_with_networkx(target, query):
+    assert is_subgraph_isomorphic(query, target) == nx_subgraph_iso(query, target)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_strategy(min_vertices=2, max_vertices=8))
+def test_property_graph_contains_itself(graph):
+    assert is_subgraph_isomorphic(graph, graph)

@@ -1,0 +1,133 @@
+"""Tests for the sliding-window monitor."""
+
+import random
+
+import pytest
+
+from repro import LabeledGraph
+from repro.core.window import SlidingWindowMonitor
+
+
+def chain(labels):
+    graph = LabeledGraph()
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1, "-")
+    return graph
+
+
+def make_monitor(window=3):
+    return SlidingWindowMonitor(
+        {"ab": chain(["A", "B"]), "abc": chain(["A", "B", "C"])}, window=window
+    )
+
+
+class TestBasics:
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMonitor({}, window=0)
+
+    def test_observe_creates_match(self):
+        monitor = make_monitor()
+        monitor.add_stream("s")
+        monitor.observe("s", 1, 2, "-", "A", "B")
+        assert monitor.matches() == {("s", "ab")}
+        assert monitor.verified_matches() == {("s", "ab")}
+
+    def test_expiry_removes_match(self):
+        monitor = make_monitor(window=2)
+        monitor.add_stream("s")
+        monitor.observe("s", 1, 2, "-", "A", "B")
+        assert monitor.tick("s") == 0
+        assert monitor.matches() == {("s", "ab")}
+        assert monitor.tick("s") == 1  # lease ends exactly at window ticks
+        assert monitor.matches() == set()
+        assert monitor.graph("s").num_vertices == 0
+
+    def test_reobservation_refreshes_lease(self):
+        monitor = make_monitor(window=2)
+        monitor.add_stream("s")
+        monitor.observe("s", 1, 2, "-", "A", "B")
+        monitor.tick("s")
+        monitor.observe("s", 1, 2, "-")  # refresh, no labels needed
+        monitor.tick("s")
+        assert monitor.matches() == {("s", "ab")}  # still alive
+        monitor.tick("s")
+        assert monitor.matches() == set()
+
+    def test_retract(self):
+        monitor = make_monitor()
+        monitor.add_stream("s")
+        monitor.observe("s", 1, 2, "-", "A", "B")
+        monitor.retract("s", 2, 1)  # order-insensitive
+        assert monitor.matches() == set()
+        monitor.retract("s", 1, 2)  # idempotent
+
+    def test_clock_per_stream(self):
+        monitor = make_monitor()
+        monitor.add_stream("x")
+        monitor.add_stream("y")
+        monitor.tick("x")
+        assert monitor.clock("x") == 1
+        assert monitor.clock("y") == 0
+
+    def test_remove_stream(self):
+        monitor = make_monitor()
+        monitor.add_stream("s")
+        monitor.observe("s", 1, 2, "-", "A", "B")
+        monitor.remove_stream("s")
+        assert monitor.matches() == set()
+        with pytest.raises(KeyError):
+            monitor.clock("s")
+
+
+class TestWindowSemantics:
+    def test_pattern_forms_within_window_only(self):
+        monitor = make_monitor(window=2)
+        monitor.add_stream("s")
+        monitor.observe("s", 1, 2, "-", "A", "B")
+        monitor.tick("s")
+        monitor.tick("s")  # (1,2) expired
+        monitor.observe("s", 2, 3, "-", "B", "C")
+        # the two observations never coexist: no A-B-C match
+        assert ("s", "abc") not in monitor.matches()
+
+    def test_pattern_forms_when_observations_overlap(self):
+        monitor = make_monitor(window=3)
+        monitor.add_stream("s")
+        monitor.observe("s", 1, 2, "-", "A", "B")
+        monitor.tick("s")
+        monitor.observe("s", 2, 3, "-", None, "C")
+        assert ("s", "abc") in monitor.matches()
+        assert ("s", "abc") in monitor.verified_matches()
+
+    def test_poll_events_through_window(self):
+        monitor = make_monitor(window=1)
+        monitor.add_stream("s")
+        monitor.observe("s", 1, 2, "-", "A", "B")
+        events = monitor.poll_events()
+        assert [(e.kind, e.query_id) for e in events] == [("appeared", "ab")]
+        monitor.tick("s")
+        events = monitor.poll_events()
+        assert [(e.kind, e.query_id) for e in events] == [("vanished", "ab")]
+
+    def test_randomized_window_equivalence(self):
+        """The windowed graph equals a manually maintained mirror."""
+        rng = random.Random(808)
+        monitor = SlidingWindowMonitor({"ab": chain(["A", "B"])}, window=3)
+        monitor.add_stream("s")
+        live: dict = {}  # edge key -> expiry
+        clock = 0
+        for _ in range(120):
+            roll = rng.random()
+            if roll < 0.5:
+                u, v = rng.sample(range(6), 2)
+                monitor.observe("s", u, v, "-", "A" if u % 2 else "B", "A" if v % 2 else "B")
+                live[frozenset((u, v))] = clock + 3
+            else:
+                clock += 1
+                monitor.tick("s")
+                live = {key: exp for key, exp in live.items() if exp > clock}
+            graph = monitor.graph("s")
+            assert {frozenset((u, v)) for u, v, _ in graph.edges()} == set(live)
