@@ -1,0 +1,34 @@
+"""Repo-native static analysis (``repro lint``).
+
+A small AST-based analyzer that machine-checks the invariants the
+reproduction's correctness argument rests on — an isomorphism-free
+filtering path, seeded dataset generation, deterministic result
+ordering — instead of trusting every future PR to preserve them by
+convention.  See ``docs/static_analysis.md`` for the rule catalog.
+
+Public API::
+
+    from repro.analysis import Analyzer, Finding, Severity
+    findings = Analyzer().analyze_paths(["src", "benchmarks"])
+"""
+
+from .engine import Analyzer, iter_python_files
+from .findings import Finding, Severity
+from .layering import ALLOWED_IMPORTS, FILTERING_PATH_UNITS, resolve_unit
+from .rules import REGISTRY, ModuleContext, Rule, all_rules, make_rules, register
+
+__all__ = [
+    "ALLOWED_IMPORTS",
+    "Analyzer",
+    "FILTERING_PATH_UNITS",
+    "Finding",
+    "ModuleContext",
+    "REGISTRY",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "iter_python_files",
+    "make_rules",
+    "register",
+    "resolve_unit",
+]

@@ -1,0 +1,116 @@
+"""Command line for the analyzer.
+
+Usable standalone (``python -m repro.analysis [paths]``) and embedded as
+the ``repro lint`` subcommand.  Exit codes: 0 clean, 1 findings,
+2 usage error — so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .engine import Analyzer
+from .findings import Finding, Severity
+from .rules import REGISTRY, make_rules
+
+DEFAULT_PATHS = ["src", "benchmarks"]
+
+
+def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
+    """The argparse tree (shared by ``repro lint``)."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Static analysis enforcing the reproduction's "
+        "soundness and layering invariants (rules RP001-RP007).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=DEFAULT_PATHS,
+        help=f"files or directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json is one machine-readable object for CI)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _render_text(findings: list[Finding]) -> str:
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(
+        f"found {len(findings)} violation(s) "
+        f"({errors} error(s), {warnings} warning(s))"
+        if findings
+        else "no violations found"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(findings: list[Finding], paths: list[str]) -> str:
+    payload = {
+        "paths": paths,
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": {
+            "total": len(findings),
+            "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+            "warnings": sum(1 for f in findings if f.severity is Severity.WARNING),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _render_catalog() -> str:
+    lines = ["available rules:"]
+    for rule_id in sorted(REGISTRY):
+        rule = REGISTRY[rule_id]
+        scope = "all units" if rule.units is None else ", ".join(sorted(rule.units))
+        lines.append(f"  {rule_id}  {rule.title}")
+        lines.append(f"         scope: {scope}")
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed invocation; returns the exit code."""
+    if args.list_rules:
+        print(_render_catalog())
+        return 0
+    select = None
+    if args.select:
+        select = [part.strip().upper() for part in args.select.split(",") if part.strip()]
+    try:
+        analyzer = Analyzer(make_rules(select))
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        findings = analyzer.analyze_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_render_json(findings, list(args.paths)))
+    else:
+        print(_render_text(findings))
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.analysis``."""
+    return run(build_parser().parse_args(argv))

@@ -1,0 +1,128 @@
+"""The analyzer: file discovery, parsing, rule dispatch, suppression.
+
+Stdlib-only by design (the layering matrix pins ``repro.analysis`` to
+zero internal imports) so it can lint the very tree it lives in without
+import-order hazards.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding, Severity
+from .layering import module_name_for_path, resolve_unit
+from .rules import ModuleContext, Rule, make_rules
+from . import rulepack  # noqa: F401 - importing registers the rule pack
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {
+    ".git",
+    ".hg",
+    "__pycache__",
+    ".mypy_cache",
+    ".pytest_cache",
+    ".venv",
+    "venv",
+    "build",
+    "dist",
+    "results",
+}
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.add(candidate)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+class Analyzer:
+    """Runs a rule set over source files and returns structured findings."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        self.rules: list[Rule] = list(rules) if rules is not None else make_rules()
+
+    # ------------------------------------------------------------------
+    def analyze_source(
+        self,
+        source: str,
+        path: str = "<string>",
+        module_name: str | None = None,
+        unit: str | None = None,
+    ) -> list[Finding]:
+        """Analyze one in-memory module.
+
+        ``module_name`` / ``unit`` override the path-derived identity —
+        fitness tests use this to run fixture files *as if* they lived
+        in a specific package.
+        """
+        if module_name is None:
+            module_name = module_name_for_path(Path(path)) if path != "<string>" else path
+        if unit is None:
+            unit = resolve_unit(module_name)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    path=path,
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) + 1,
+                    rule_id="RP000",
+                    message=f"syntax error: {error.msg}",
+                    severity=Severity.ERROR,
+                )
+            ]
+        context = ModuleContext(
+            path=path, module_name=module_name, unit=unit, tree=tree, source=source
+        )
+        findings: list[Finding] = []
+        for rule in self.rules:
+            if rule.applies_to(context):
+                findings.extend(rule.check(context))
+        return self._apply_suppressions(source, findings)
+
+    def analyze_file(
+        self,
+        path: Path | str,
+        module_name: str | None = None,
+        unit: str | None = None,
+    ) -> list[Finding]:
+        """Analyze one file on disk."""
+        path = Path(path)
+        source = path.read_text(encoding="utf-8")
+        return self.analyze_source(
+            source, path=str(path), module_name=module_name, unit=unit
+        )
+
+    def analyze_paths(self, paths: Sequence[Path | str]) -> list[Finding]:
+        """Analyze files and directory trees; sorted, suppression-filtered."""
+        findings: list[Finding] = []
+        for file in iter_python_files(paths):
+            findings.extend(self.analyze_file(file))
+        return sorted(findings)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_suppressions(
+        source: str, findings: Iterable[Finding]
+    ) -> list[Finding]:
+        from .suppressions import SuppressionIndex
+
+        index = SuppressionIndex(source)
+        return sorted(
+            finding
+            for finding in findings
+            if not index.is_suppressed(finding.line, finding.rule_id)
+        )

@@ -1,0 +1,117 @@
+"""The declarative import-layering matrix of the codebase.
+
+The paper's architecture keeps exact subgraph isomorphism *out of the
+filtering path*: the NNT/NPV maintenance layer (Section III) and the
+dominance-join layer (Section IV) must answer every timestamp without
+ever invoking :mod:`repro.isomorphism` — completeness (no false
+negatives) is guaranteed by Lemma 4.2 alone, and the whole point of the
+filter is that it is cheap.  Verification is an *optional* stage that
+only the orchestration layer (``repro.core``) may reach for.
+
+``ALLOWED_IMPORTS`` encodes that as a DAG over *units* (top-level
+packages under ``repro``, plus the repo-level ``benchmarks`` /
+``examples`` / ``tests`` trees).  Rule RP001 checks every ``repro.*``
+import against this matrix.
+
+Layer order (lower layers may never import higher ones)::
+
+    graph  <  {nnt, isomorphism, datasets}  <  join  <  core  <  cli
+                                  baselines --^          experiments
+
+To let a new package import another, add it here — the diff is the
+review artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Units whose code runs on the per-timestamp filtering path.  These may
+#: never import the exact matcher (completeness must come from dominance
+#: alone, not from hidden isomorphism calls).
+FILTERING_PATH_UNITS = frozenset({"repro.graph", "repro.nnt", "repro.join"})
+
+#: Marker meaning "may import any repro unit".
+ANY = "*"
+
+#: unit -> repro units it may import.  Units absent from the matrix are
+#: treated as closed (may import no repro unit) so new packages must be
+#: added deliberately.
+ALLOWED_IMPORTS: dict[str, frozenset[str] | str] = {
+    # Foundation: the labeled-graph substrate imports nothing.
+    "repro.graph": frozenset(),
+    # Filtering path (Sections III-IV): graph only, never isomorphism.
+    "repro.nnt": frozenset({"repro.graph"}),
+    "repro.join": frozenset({"repro.graph", "repro.nnt"}),
+    # Exact matching: a leaf that only sees the graph substrate.
+    "repro.isomorphism": frozenset({"repro.graph"}),
+    # Dataset generators: graph substrate only (keeps them portable).
+    "repro.datasets": frozenset({"repro.graph"}),
+    # Competing filters may use exact matching for their own verify step.
+    "repro.baselines": frozenset({"repro.graph", "repro.isomorphism"}),
+    # Orchestration: wires filter + optional verification together.
+    "repro.core": frozenset(
+        {"repro.graph", "repro.nnt", "repro.join", "repro.isomorphism"}
+    ),
+    # Rendering helpers for trees/graphs.
+    "repro.render": frozenset({"repro.graph", "repro.nnt"}),
+    # The analyzer itself is stdlib-only.
+    "repro.analysis": frozenset(),
+    # Top layers may import anything.
+    "repro.experiments": ANY,
+    "repro.cli": ANY,
+    "repro.__init__": ANY,
+    "repro.__main__": ANY,
+    "benchmarks": ANY,
+    "examples": ANY,
+    "tests": ANY,
+}
+
+
+def resolve_unit(module_name: str) -> str:
+    """The layering unit of a dotted module name.
+
+    ``repro.nnt.tree`` -> ``repro.nnt``; ``repro.cli`` -> ``repro.cli``;
+    ``benchmarks.bench_micro_join`` -> ``benchmarks``.
+    """
+    parts = module_name.split(".")
+    if parts[0] == "repro":
+        if len(parts) == 1:
+            return "repro.__init__"
+        return ".".join(parts[:2])
+    return parts[0]
+
+
+def module_name_for_path(path: Path) -> str:
+    """Best-effort dotted module name for a source file.
+
+    Files under a ``src/repro`` ancestry map to their real package path;
+    anything else maps to ``<top-dir>.<stem>`` relative to the repo
+    checkout (``benchmarks/bench_x.py`` -> ``benchmarks.bench_x``), and
+    a bare file maps to its stem.
+    """
+    resolved = path.resolve()
+    parts = list(resolved.parts)
+    for anchor in ("repro", "benchmarks", "examples", "tests"):
+        if anchor in parts:
+            # Use the *last* occurrence so nested checkouts resolve to
+            # the innermost package.
+            index = len(parts) - 1 - parts[::-1].index(anchor)
+            # "repro" must sit under a "src" directory to be the package.
+            if anchor == "repro" and (index == 0 or parts[index - 1] != "src"):
+                continue
+            dotted = parts[index:]
+            dotted[-1] = Path(dotted[-1]).stem
+            return ".".join(dotted)
+    return resolved.stem
+
+
+def is_import_allowed(source_unit: str, target_unit: str) -> bool:
+    """May ``source_unit`` import from ``target_unit`` per the matrix?"""
+    if source_unit == target_unit:
+        return True
+    allowed = ALLOWED_IMPORTS.get(source_unit, frozenset())
+    if allowed == ANY:
+        return True
+    assert isinstance(allowed, frozenset)
+    return target_unit in allowed

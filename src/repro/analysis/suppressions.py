@@ -1,0 +1,49 @@
+"""Per-line suppression comments: ``# repro: noqa[RULE-ID]``.
+
+A finding reported at line ``n`` is dropped when line ``n`` carries a
+suppression comment naming its rule id (comma-separated ids allowed),
+or a bare ``# repro: noqa`` which silences every rule on that line.
+Suppressions are deliberately line-scoped — there is no file- or
+block-level escape hatch, so every waiver is visible next to the code
+it excuses.
+"""
+
+from __future__ import annotations
+
+import re
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s-]+)\])?",
+)
+
+
+class SuppressionIndex:
+    """Which rule ids are waived on which physical lines of one file."""
+
+    def __init__(self, source: str) -> None:
+        # line number (1-based) -> set of rule ids, or None for "all"
+        self._by_line: dict[int, set[str] | None] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            ids: set[str] = set()
+            bare = False
+            for match in _NOQA.finditer(text):
+                rules = match.group("rules")
+                if rules is None:
+                    bare = True  # bare noqa: silence everything
+                else:
+                    ids |= {
+                        part.strip().upper()
+                        for part in rules.split(",")
+                        if part.strip()
+                    }
+            if bare:
+                self._by_line[lineno] = None
+            elif ids:
+                self._by_line[lineno] = ids
+
+    def is_suppressed(self, lineno: int, rule_id: str) -> bool:
+        """Is ``rule_id`` waived on ``lineno``?"""
+        if lineno not in self._by_line:
+            return False
+        rules = self._by_line[lineno]
+        return rules is None or rule_id.upper() in rules

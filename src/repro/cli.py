@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro generate ...    # write synthetic datasets to files
     python -m repro search ...      # static filter-and-verify search
     python -m repro monitor ...     # replay streams, print match events
     python -m repro experiment ...  # run a paper-figure driver
+    python -m repro lint ...        # static analysis (RP001-RP007)
 
 Graphs and query sets use the text format of :mod:`repro.graph.io`
 (gSpan-style ``t # / v / e`` blocks); streams add ``op`` blocks.
@@ -94,6 +95,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="md",
         help="file format when --out is a directory (default md)",
     )
+
+    # -- lint ---------------------------------------------------------------
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis of the repo's soundness/layering invariants",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks"], help="files/dirs to analyze"
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--select", help="comma-separated rule ids (default: all)")
+    lint.add_argument("--list-rules", action="store_true", help="print the rule catalog")
     return parser
 
 
@@ -218,6 +231,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import run as run_lint
+
+    return run_lint(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -226,6 +245,7 @@ def main(argv: list[str] | None = None) -> int:
         "search": _cmd_search,
         "monitor": _cmd_monitor,
         "experiment": _cmd_experiment,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

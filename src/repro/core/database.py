@@ -16,9 +16,10 @@ from ..graph.labeled_graph import LabeledGraph
 from ..isomorphism.vf2 import SubgraphMatcher
 from ..join.dominance import pair_joinable_bruteforce
 from ..nnt.builder import project_graph
-from ..nnt.projection import DimensionScheme, PAPER_SCHEME
+from ..nnt.projection import Dimension, DimensionScheme, NPV, PAPER_SCHEME
 
 GraphId = Hashable
+DimIndex = dict[Dimension, int]  # projection dimension -> matrix column
 
 
 class GraphDatabase:
@@ -48,7 +49,7 @@ class GraphDatabase:
             for graph_id, graph in self.graphs.items()
         }
         # graph_id -> (dim -> column index, matrix of shape (n_vertices, n_dims))
-        self._matrices: dict[GraphId, tuple[dict, np.ndarray]] = {}
+        self._matrices: dict[GraphId, tuple[DimIndex, np.ndarray]] = {}
         if vectorized:
             for graph_id, vectors in self._vectors.items():
                 self._matrices[graph_id] = _build_matrix(vectors)
@@ -84,7 +85,7 @@ class GraphDatabase:
             if pair_joinable_bruteforce(query_vectors, stream_vectors)
         }
 
-    def _joinable(self, query_vectors, graph_id: GraphId) -> bool:
+    def _joinable(self, query_vectors: list[NPV], graph_id: GraphId) -> bool:
         if self.vectorized:
             return _joinable_vectorized(query_vectors, *self._matrices[graph_id])
         return pair_joinable_bruteforce(query_vectors, self._vectors[graph_id])
@@ -101,7 +102,7 @@ class GraphDatabase:
         }
 
 
-def _build_matrix(vectors: list) -> tuple[dict, np.ndarray]:
+def _build_matrix(vectors: list[NPV]) -> tuple[DimIndex, np.ndarray]:
     """Dense (vertices x dims) matrix over the union of non-zero dims."""
     dims = sorted({dim for vector in vectors for dim in vector}, key=repr)
     dim_index = {dim: column for column, dim in enumerate(dims)}
@@ -112,7 +113,9 @@ def _build_matrix(vectors: list) -> tuple[dict, np.ndarray]:
     return dim_index, matrix
 
 
-def _joinable_vectorized(query_vectors, dim_index: dict, matrix: np.ndarray) -> bool:
+def _joinable_vectorized(
+    query_vectors: list[NPV], dim_index: DimIndex, matrix: np.ndarray
+) -> bool:
     """Vectorized Lemma 4.2 check: every query vector needs one row of
     ``matrix`` that dominates it on its non-zero dimensions."""
     if matrix.shape[0] == 0:

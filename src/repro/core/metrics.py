@@ -86,7 +86,7 @@ class RunningStats:
     def stdev(self) -> float:
         return math.sqrt(self.variance)
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, float]:
         """Plain-dict snapshot (count/mean/stdev/min/max)."""
         return {
             "count": self.count,

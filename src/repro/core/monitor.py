@@ -23,7 +23,7 @@ subgraph isomorphism.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Literal, Mapping
+from typing import Any, Iterable, Literal, Mapping
 
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.operations import EdgeChange, GraphChangeOperation
@@ -141,6 +141,19 @@ class StreamMonitor:
         """The stream's current graph (live — treat as read-only)."""
         return self._indexes[stream_id].graph
 
+    def mutation_version(self, stream_id: StreamId) -> int:
+        """Monotone per-stream mutation counter.
+
+        Advances on every edge insertion or deletion applied to the
+        stream (all graph mutations are edge changes — vertices appear
+        and vanish with their edges), so two calls returning the same
+        value bracket a quiescent period: the stream's graph, NNT index
+        and NPVs are all unchanged between them.  Verification caches
+        key on this.
+        """
+        stats = self._indexes[stream_id].stats
+        return stats["edges_inserted"] + stats["edges_deleted"]
+
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
@@ -174,10 +187,10 @@ class StreamMonitor:
         """Does one pair currently pass the filter?"""
         return self.engine.is_candidate(stream_id, query_id)
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Aggregate maintenance statistics across all streams: graph
         sizes, NNT index sizes, and cumulative churn counters."""
-        per_stream = {}
+        per_stream: dict[StreamId, dict[str, Any]] = {}
         for stream_id, index in self._indexes.items():
             per_stream[stream_id] = {
                 "num_vertices": index.graph.num_vertices,

@@ -23,11 +23,10 @@ class CachingVerifier:
         self.monitor = monitor
         self._matchers: dict[StreamId, tuple[int, SubgraphMatcher]] = {}
         self._verdicts: dict[Pair, tuple[int, bool]] = {}
-        self.stats = {"verifications": 0, "cache_hits": 0}
+        self.stats: dict[str, int] = {"verifications": 0, "cache_hits": 0}
 
     def _version(self, stream_id: StreamId) -> int:
-        stats = self.monitor._indexes[stream_id].stats
-        return stats["edges_inserted"] + stats["edges_deleted"]
+        return self.monitor.mutation_version(stream_id)
 
     def _matcher(self, stream_id: StreamId, version: int) -> SubgraphMatcher:
         cached = self._matchers.get(stream_id)

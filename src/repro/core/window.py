@@ -18,7 +18,7 @@ from ..graph.labeled_graph import Label, LabeledGraph, VertexId, edge_key
 from ..graph.operations import EdgeChange, GraphChangeOperation
 from ..join.base import Pair, QueryId, StreamId
 from ..nnt.projection import DimensionScheme, PAPER_SCHEME
-from .monitor import StreamMonitor
+from .monitor import MatchEvent, StreamMonitor
 
 
 class SlidingWindowMonitor:
@@ -52,7 +52,7 @@ class SlidingWindowMonitor:
         self.window = window
         self._monitor = StreamMonitor(queries, method, depth_limit, scheme)
         self._clock: dict[StreamId, int] = {}
-        self._expiry: dict[StreamId, dict[tuple, int]] = {}
+        self._expiry: dict[StreamId, dict[tuple[VertexId, VertexId], int]] = {}
 
     # ------------------------------------------------------------------
     # stream lifecycle
@@ -109,7 +109,7 @@ class SlidingWindowMonitor:
         leases = self._expiry[stream_id]
         expired = [key for key, expire_at in leases.items() if expire_at <= now]
         if expired:
-            changes = []
+            changes: list[EdgeChange] = []
             for key in expired:
                 del leases[key]
                 u, v = key
@@ -132,6 +132,6 @@ class SlidingWindowMonitor:
         """Exact joinable pairs over the current windows."""
         return self._monitor.verified_matches()
 
-    def poll_events(self):
+    def poll_events(self) -> list[MatchEvent]:
         """Match transitions since the last poll (see StreamMonitor)."""
         return self._monitor.poll_events()

@@ -25,7 +25,7 @@ from ..nnt.projection import Dimension, DimensionScheme, NPV, PAPER_SCHEME
 
 QueryId = Hashable
 StreamId = Hashable
-Pair = tuple  # (StreamId, QueryId)
+Pair = tuple[StreamId, QueryId]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,1 @@
+"""Architecture fitness tests: machine-checked invariants of the tree."""

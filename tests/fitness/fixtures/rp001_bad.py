@@ -1,0 +1,21 @@
+"""RP001 fixture — analyzed as if it were ``repro.nnt.badmod``.
+
+Never imported at runtime; the fitness tests feed it to the analyzer
+with a unit override and expect each tagged line to fire.
+"""
+
+from repro.isomorphism.vf2 import SubgraphMatcher  # expect-violation
+from ..isomorphism import vf2  # expect-violation
+from repro.core.monitor import StreamMonitor  # expect-violation
+from repro.isomorphism import is_subgraph_isomorphic  # repro: noqa[RP001]
+from repro.isomorphism.vf2 import is_subgraph_isomorphic as also_bad  # repro: noqa[RP002]  # expect-violation
+from repro.graph.labeled_graph import LabeledGraph  # allowed: nnt may import graph
+
+__all__ = [
+    "SubgraphMatcher",
+    "vf2",
+    "StreamMonitor",
+    "is_subgraph_isomorphic",
+    "also_bad",
+    "LabeledGraph",
+]

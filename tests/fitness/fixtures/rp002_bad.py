@@ -1,0 +1,21 @@
+"""RP002 fixture — analyzed as if it were ``repro.datasets.badmod``."""
+
+import random
+
+import numpy as np
+
+
+def draw() -> tuple:
+    value = random.random()  # expect-violation
+    pick = random.choice([1, 2, 3])  # repro: noqa[RP002]
+    unseeded_instance = random.Random()  # expect-violation
+    seeded_instance = random.Random(7)  # allowed: explicit seed
+    wrong_waiver = random.randint(0, 9)  # repro: noqa[RP001]  # expect-violation
+    return value, pick, unseeded_instance, seeded_instance, wrong_waiver
+
+
+def draw_numpy() -> tuple:
+    noise = np.random.rand(3)  # expect-violation
+    unseeded_rng = np.random.default_rng()  # expect-violation
+    seeded_rng = np.random.default_rng(17)  # allowed: explicit seed
+    return noise, unseeded_rng, seeded_rng

@@ -1,0 +1,13 @@
+"""RP003 fixture — analyzed as if it were ``repro.nnt.badmod``."""
+
+
+def classify(score: float) -> int:
+    if score == 0.5:  # expect-violation
+        return 1
+    if score != 1.0:  # repro: noqa[RP003]
+        return 2
+    if -2.5 == score:  # repro: noqa[RP005]  # expect-violation
+        return 3
+    if score == 2:  # allowed: integer literal comparison
+        return 4
+    return 0

@@ -1,0 +1,20 @@
+"""RP004 fixture — analyzed as if it were ``repro.core.badmod``."""
+
+
+def accumulate(items=[]):  # expect-violation
+    return items
+
+
+def lookup(table={}):  # repro: noqa[RP004]
+    return table
+
+
+def tags(values=set()):  # repro: noqa[RP001]  # expect-violation
+    return values
+
+
+def clean(values=None):  # allowed: sentinel default
+    return values if values is not None else []
+
+
+pick_default = lambda acc=[]: acc  # expect-violation  # noqa: E731

@@ -1,0 +1,25 @@
+"""RP005 fixture — analyzed as if it were ``repro.join.badmod``."""
+
+
+def candidate_list(pairs):
+    return list({pair for pair in pairs})  # expect-violation
+
+
+def ordered(pairs):
+    return sorted({pair for pair in pairs})  # allowed: explicit order
+
+
+def comprehension(pairs):
+    return [pair for pair in set(pairs)]  # repro: noqa[RP005]
+
+
+def union_list(known, extra):
+    return list(known | set(extra))  # repro: noqa[RP001]  # expect-violation
+
+
+def generate(pairs):
+    yield from set(pairs)  # expect-violation
+
+
+def generate_sorted(pairs):
+    yield from sorted(set(pairs))  # allowed: explicit order

@@ -1,0 +1,15 @@
+"""RP006 fixture — analyzed as if it were ``benchmarks.bench_badmod``."""
+
+import time
+
+from time import time as now  # expect-violation
+
+
+def run_once(workload) -> float:
+    start = time.time()  # expect-violation
+    workload()
+    finish = time.time()  # repro: noqa[RP006]
+    tick = time.time()  # repro: noqa[RP002]  # expect-violation
+    good_start = time.perf_counter()  # allowed: monotonic timer
+    workload()
+    return (finish - start) + (time.perf_counter() - good_start) + tick + now()

@@ -1,0 +1,20 @@
+"""RP007 fixture — analyzed as if it were ``repro.core.badmod``."""
+
+
+class Owner:
+    def __init__(self) -> None:
+        self._cache: dict = {}
+
+    def peer_total(self, other: "Owner") -> int:
+        return len(other._cache)  # allowed: same-class peer access
+
+
+class Foreign:
+    def poke(self, owner: Owner):
+        return owner._cache  # expect-violation
+
+    def poke_quietly(self, owner: Owner):
+        return owner._cache  # repro: noqa[RP007]
+
+    def poke_wrong(self, owner: Owner):
+        return owner._cache  # repro: noqa[RP003]  # expect-violation

@@ -1,0 +1,102 @@
+"""Every rule fires on its known-bad fixture, and ``# repro: noqa``
+suppresses exactly the named rule on exactly that line.
+
+Fixture protocol: each ``fixtures/rpNNN_bad.py`` is analyzed *as if* it
+lived at a specific module path (unit override); every line carrying an
+``expect-violation`` marker must yield exactly one finding of the rule
+under test, and no other line may yield any.  Lines whose marker
+coexists with a ``# repro: noqa[OTHER-ID]`` comment prove that waiving
+a *different* rule does not silence this one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> (rule id, pretend module name, pretend unit)
+CASES = {
+    "rp001_bad.py": ("RP001", "repro.nnt.badmod", "repro.nnt"),
+    "rp002_bad.py": ("RP002", "repro.datasets.badmod", "repro.datasets"),
+    "rp003_bad.py": ("RP003", "repro.nnt.badmod", "repro.nnt"),
+    "rp004_bad.py": ("RP004", "repro.core.badmod", "repro.core"),
+    "rp005_bad.py": ("RP005", "repro.join.badmod", "repro.join"),
+    "rp006_bad.py": ("RP006", "benchmarks.bench_badmod", "benchmarks"),
+    "rp007_bad.py": ("RP007", "repro.core.badmod", "repro.core"),
+}
+
+
+def _expected_lines(path: Path) -> set[int]:
+    return {
+        lineno
+        for lineno, text in enumerate(path.read_text().splitlines(), start=1)
+        if "expect-violation" in text
+    }
+
+
+@pytest.mark.parametrize("fixture_name", sorted(CASES))
+def test_rule_fires_on_bad_fixture(fixture_name: str) -> None:
+    rule_id, module_name, unit = CASES[fixture_name]
+    path = FIXTURES / fixture_name
+    expected = _expected_lines(path)
+    assert expected, f"fixture {fixture_name} has no expect-violation markers"
+
+    findings = Analyzer().analyze_file(path, module_name=module_name, unit=unit)
+
+    assert {f.line for f in findings} == expected
+    assert {f.rule_id for f in findings} == {rule_id}
+    # Exactly one finding per marked line (markers are unambiguous).
+    assert len(findings) == len(expected)
+
+
+@pytest.mark.parametrize("fixture_name", sorted(CASES))
+def test_matching_noqa_silences_the_rule(fixture_name: str) -> None:
+    """Appending ``# repro: noqa[RULE-ID]`` to every flagged line mutes
+    the fixture completely — proving per-line, per-rule suppression."""
+    rule_id, module_name, unit = CASES[fixture_name]
+    path = FIXTURES / fixture_name
+    lines = path.read_text().splitlines()
+    for lineno in _expected_lines(path):
+        lines[lineno - 1] += f"  # repro: noqa[{rule_id}]"
+    silenced = "\n".join(lines) + "\n"
+
+    findings = Analyzer().analyze_source(
+        silenced, path=str(path), module_name=module_name, unit=unit
+    )
+
+    assert findings == []
+
+
+def test_bare_noqa_silences_every_rule() -> None:
+    source = "def f(items=[]):  # repro: noqa\n    return items\n"
+    findings = Analyzer().analyze_source(
+        source, module_name="repro.core.badmod", unit="repro.core"
+    )
+    assert findings == []
+
+
+def test_noqa_is_line_scoped() -> None:
+    """A waiver on one line must not leak to the next."""
+    source = (
+        "def f(items=[]):  # repro: noqa[RP004]\n"
+        "    return items\n"
+        "def g(table={}):\n"
+        "    return table\n"
+    )
+    findings = Analyzer().analyze_source(
+        source, module_name="repro.core.badmod", unit="repro.core"
+    )
+    assert [(f.rule_id, f.line) for f in findings] == [("RP004", 3)]
+
+
+def test_noqa_accepts_comma_separated_ids() -> None:
+    source = "def f(items=[]):  # repro: noqa[RP001, RP004]\n    return items\n"
+    findings = Analyzer().analyze_source(
+        source, module_name="repro.core.badmod", unit="repro.core"
+    )
+    assert findings == []
