@@ -1,0 +1,182 @@
+"""Micro-benchmarks: batched/coalesced NPV delta delivery vs legacy per-delta.
+
+A reality-like temporal-locality stream (proximity edges blinking off and
+back on within the same timestamp window) makes most tree-edge deltas
+cancel inside a batch.  The NNT maintenance work is identical either
+way, so these benchmarks isolate the *delivery* pipeline: the listener
+traffic of both modes is recorded once, then replayed into fresh join
+engines.
+
+* ``per_delta`` replays the ``coalesce=False`` trace — one
+  ``on_dimension_delta`` call per spliced tree edge (the pre-pipeline
+  behavior).
+* ``coalesced`` replays the default trace — one ``batch_update`` per
+  timestamp carrying only the netted survivors.
+
+``test_coalescing_nets_majority_of_deltas`` pins the workload property
+the speedup relies on (no timing involved): the coalesced trace must
+carry well under half the raw delta volume.
+"""
+
+import random
+
+from repro.datasets import RealityConfig, generate_reality_stream
+from repro.datasets.queries import make_query_set
+from repro.graph import EdgeChange, GraphChangeOperation
+from repro.join import QuerySet, make_engine
+from repro.nnt import NNTIndex
+
+DEPTH = 3
+TIMESTAMPS = 30
+_trace_cache = {}
+
+
+class _TraceRecorder:
+    """Raw per-delta listener traffic (``coalesce=False`` index)."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_vertex_added(self, vertex):
+        self.events.append(("add", vertex))
+
+    def on_vertex_removed(self, vertex):
+        self.events.append(("rm", vertex))
+
+    def on_dimension_delta(self, vertex, dim, delta):
+        self.events.append(("delta", vertex, dim, delta))
+
+
+class _BatchTraceRecorder(_TraceRecorder):
+    """Coalesced traffic: netted batches instead of individual deltas."""
+
+    def on_batch_update(self, deltas):
+        self.events.append(("batch", dict(deltas)))
+
+
+def _blink_batch(rng: random.Random, index: NNTIndex) -> GraphChangeOperation:
+    """One timestamp of proximity churn: drop some edges, most reappear."""
+    graph = index.graph
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    changes = []
+    for u, v, label in edges[: max(1, len(edges) // 4)]:
+        changes.append(EdgeChange.delete(u, v))
+        if rng.random() < 0.85:  # the device came back into range
+            changes.append(
+                EdgeChange.insert(
+                    u, v, label, graph.vertex_label(u), graph.vertex_label(v)
+                )
+            )
+    vertices = list(graph.vertices())
+    if len(vertices) >= 2:  # a genuinely new proximity pair
+        u, v = rng.sample(vertices, 2)
+        if not graph.has_edge(u, v) and not any(
+            c.op == "ins" and {c.u, c.v} == {u, v} for c in changes
+        ):
+            changes.append(
+                EdgeChange.insert(
+                    u, v, "near", graph.vertex_label(u), graph.vertex_label(v)
+                )
+            )
+    return GraphChangeOperation(changes)
+
+
+def _record():
+    """Record both delivery modes' listener traffic once, plus the shared
+    initial NPV snapshot and a query set drawn from the same graph."""
+    if _trace_cache:
+        return _trace_cache
+    rng = random.Random(7)
+    base = generate_reality_stream(rng, 1, RealityConfig(num_devices=50)).initial
+    queries = {
+        f"q{i}": graph
+        for i, graph in enumerate(make_query_set([base], num_edges=3, count=8, seed=3))
+    }
+    traces = {}
+    for mode, coalesce, recorder in (
+        ("per_delta", False, _TraceRecorder()),
+        ("coalesced", True, _BatchTraceRecorder()),
+    ):
+        index = NNTIndex(base, depth_limit=DEPTH, coalesce=coalesce)
+        index.add_listener(recorder)
+        for seed in range(TIMESTAMPS):
+            index.apply(_blink_batch(random.Random(seed), index))
+        traces[mode] = recorder.events
+    _trace_cache.update(
+        traces=traces,
+        initial_npvs={v: dict(vec) for v, vec in NNTIndex(base, DEPTH).npvs.items()},
+        query_set=QuerySet(queries, depth_limit=DEPTH),
+    )
+    return _trace_cache
+
+
+def _replay(engine, events):
+    for event in events:
+        kind = event[0]
+        if kind == "delta":
+            engine.on_dimension_delta("s", event[1], event[2], event[3])
+        elif kind == "batch":
+            engine.batch_update("s", event[1])
+        elif kind == "add":
+            engine.on_vertex_added("s", event[1])
+        else:
+            engine.on_vertex_removed("s", event[1])
+    return engine.candidates()
+
+
+def _bench_delivery(benchmark, engine_name: str, mode: str):
+    recorded = _record()
+    events = recorded["traces"][mode]
+
+    def fresh_engine():
+        engine = make_engine(engine_name, recorded["query_set"])
+        engine.register_stream(
+            "s", {v: dict(vec) for v, vec in recorded["initial_npvs"].items()}
+        )
+        return (engine, events), {}
+
+    benchmark.pedantic(_replay, setup=fresh_engine, rounds=20)
+
+
+def test_per_delta_delivery_dsc(benchmark):
+    _bench_delivery(benchmark, "dsc", "per_delta")
+
+
+def test_coalesced_delivery_dsc(benchmark):
+    _bench_delivery(benchmark, "dsc", "coalesced")
+
+
+def test_per_delta_delivery_skyline(benchmark):
+    _bench_delivery(benchmark, "skyline", "per_delta")
+
+
+def test_coalesced_delivery_skyline(benchmark):
+    _bench_delivery(benchmark, "skyline", "coalesced")
+
+
+def test_per_delta_delivery_matrix(benchmark):
+    _bench_delivery(benchmark, "matrix", "per_delta")
+
+
+def test_coalesced_delivery_matrix(benchmark):
+    _bench_delivery(benchmark, "matrix", "coalesced")
+
+
+def test_coalescing_nets_majority_of_deltas():
+    """Workload sanity (not timed): both traces describe the same stream,
+    yet coalescing must net away more than half the raw delta volume."""
+    recorded = _record()
+    raw = sum(1 for e in recorded["traces"]["per_delta"] if e[0] == "delta")
+    net = sum(len(e[1]) for e in recorded["traces"]["coalesced"] if e[0] == "batch")
+    assert raw > 0
+    assert net * 2 < raw, (net, raw)
+    # Both modes end in the same engine state: same final answer.
+    answers = set()
+    for mode in ("per_delta", "coalesced"):
+        engine = make_engine("dsc", recorded["query_set"])
+        engine.register_stream(
+            "s", {v: dict(vec) for v, vec in recorded["initial_npvs"].items()}
+        )
+        answers.add(frozenset(_replay(engine, recorded["traces"][mode])))
+    assert len(answers) == 1

@@ -74,7 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     monitor = subparsers.add_parser("monitor", help="replay streams and print match events")
     monitor.add_argument("--queries", required=True, help="graph-set file of patterns")
     monitor.add_argument("--streams", nargs="+", required=True, help="stream files")
-    monitor.add_argument("--method", choices=["nl", "dsc", "skyline"], default="dsc")
+    monitor.add_argument(
+        "--method", choices=["nl", "dsc", "skyline", "matrix"], default="dsc"
+    )
     monitor.add_argument("--depth", type=int, default=3, help="NNT depth l")
     monitor.add_argument(
         "--verify", action="store_true", help="confirm events with exact isomorphism"

@@ -4,7 +4,9 @@
 projected once (Section IV-A), one incrementally maintained
 :class:`~repro.nnt.incremental.NNTIndex` per registered stream
 (Section III), and a dominance join engine (Section IV-B: ``nl``,
-``dsc`` or ``skyline``) fed by NPV deltas.  At any timestamp
+``dsc`` or ``skyline``; plus the vectorized ``matrix`` backend) fed by
+coalesced NPV delta batches (``docs/performance.md`` describes the
+delivery pipeline and when to pick which engine).  At any timestamp
 :meth:`matches` reports the *possible joinable* pairs of Definition 2.8 —
 guaranteed to include every truly joinable pair (no false negatives) —
 and :meth:`verified_matches` optionally confirms them with exact
@@ -52,11 +54,17 @@ class StreamMonitor:
         The fixed pattern set (Definition 2.7) as ``{query_id: graph}``.
     method:
         Join engine: ``"dsc"`` (default, Figure 8), ``"skyline"``
-        (Figure 11) or ``"nl"`` (the baseline nested loop).
+        (Figure 11), ``"nl"`` (the baseline nested loop) or
+        ``"matrix"`` (dense vectorized dominance, for large query sets).
     depth_limit:
         NNT depth ``l``; the paper's self-test settles on 3.
     scheme:
         NPV dimension scheme (the paper's label-pair scheme by default).
+    coalesce:
+        Net out cancelling NPV deltas per edge change / timestamp batch
+        before delivering them to the engine (default).  ``False``
+        restores one engine call per spliced tree edge — kept for
+        differential testing and benchmarking only.
     """
 
     def __init__(
@@ -65,12 +73,14 @@ class StreamMonitor:
         method: str = "dsc",
         depth_limit: int = 3,
         scheme: DimensionScheme = PAPER_SCHEME,
+        coalesce: bool = True,
     ) -> None:
         self.query_set = QuerySet(queries, depth_limit, scheme)
         self.method = method.lower()
         self.engine = make_engine(self.method, self.query_set)
         self.depth_limit = depth_limit
         self.scheme = scheme
+        self.coalesce = coalesce
         self._indexes: dict[StreamId, NNTIndex] = {}
         self._adapters: dict[StreamId, StreamListenerAdapter] = {}
         self._last_poll: set[Pair] = set()
@@ -82,7 +92,7 @@ class StreamMonitor:
         """Start monitoring a stream, optionally from an initial graph."""
         if stream_id in self._indexes:
             raise ValueError(f"stream {stream_id!r} is already monitored")
-        index = NNTIndex(initial, self.depth_limit, self.scheme)
+        index = NNTIndex(initial, self.depth_limit, self.scheme, coalesce=self.coalesce)
         self.engine.register_stream(stream_id, index.npvs)
         adapter = StreamListenerAdapter(self.engine, stream_id)
         index.add_listener(adapter)
@@ -168,11 +178,13 @@ class StreamMonitor:
             index.apply(update)
 
     def apply_many(
-        self, updates: Mapping[StreamId, GraphChangeOperation]
+        self, updates: Mapping[StreamId, GraphChangeOperation | EdgeChange]
     ) -> None:
-        """Apply one timestamp's batches across several streams."""
-        for stream_id, operation in updates.items():
-            self.apply(stream_id, operation)
+        """Apply one timestamp's updates across several streams; each
+        value may be a whole batch or a single edge change (the same
+        union :meth:`apply` takes)."""
+        for stream_id, update in updates.items():
+            self.apply(stream_id, update)
 
     # ------------------------------------------------------------------
     # results
@@ -195,7 +207,7 @@ class StreamMonitor:
             per_stream[stream_id] = {
                 "num_vertices": index.graph.num_vertices,
                 "num_edges": index.graph.num_edges,
-                "tree_nodes": sum(len(bucket) for bucket in index.node_index.values()),
+                "tree_nodes": index.num_tree_nodes,
                 **index.stats,
             }
         return {

@@ -4,9 +4,10 @@ processing cost.
 
 Stream methods
 --------------
-``nl`` / ``dsc`` / ``skyline``
+``nl`` / ``dsc`` / ``skyline`` / ``matrix``
     Our NPV filter with the corresponding join engine, driven through
-    :class:`repro.core.StreamMonitor` (incremental NNT maintenance).
+    :class:`repro.core.StreamMonitor` (incremental NNT maintenance,
+    coalesced delta delivery).
 ``ggrep``
     GraphGrep: mirror graphs + per-timestamp fingerprint refresh.
 ``gindex1`` / ``gindex2``
@@ -34,7 +35,7 @@ from ..graph.operations import apply_operation
 from .config import Scale
 from .workloads import StaticWorkload, StreamWorkload
 
-ENGINE_METHODS = ("nl", "dsc", "skyline")
+ENGINE_METHODS = ("nl", "dsc", "skyline", "matrix")
 STREAM_METHODS = ENGINE_METHODS + ("ggrep", "gindex1", "gindex2")
 STATIC_METHODS = ("npv", "ggrep", "gindex1", "gindex2")
 

@@ -1,6 +1,15 @@
 """Dominance join engines between graph streams and query patterns."""
 
-from .base import JoinEngine, Pair, QueryId, QuerySet, QueryVector, StreamId, StreamListenerAdapter
+from .base import (
+    BatchDeltas,
+    JoinEngine,
+    Pair,
+    QueryId,
+    QuerySet,
+    QueryVector,
+    StreamId,
+    StreamListenerAdapter,
+)
 from .dominance import (
     dominated_count,
     is_bichromatic_skyline,
@@ -8,6 +17,7 @@ from .dominance import (
     pair_joinable_bruteforce,
 )
 from .dominated_set_cover import DominatedSetCoverJoin
+from .matrix import MatrixJoin
 from .nested_loop import NestedLoopJoin
 from .skyline import SkylineEarlyStopJoin
 
@@ -15,11 +25,13 @@ ENGINES = {
     "nl": NestedLoopJoin,
     "dsc": DominatedSetCoverJoin,
     "skyline": SkylineEarlyStopJoin,
+    "matrix": MatrixJoin,
 }
 
 
 def make_engine(name: str, query_set: QuerySet) -> JoinEngine:
-    """Instantiate a join engine by its short paper name (nl/dsc/skyline)."""
+    """Instantiate a join engine by name (nl/dsc/skyline from the paper,
+    plus the vectorized matrix backend)."""
     try:
         engine_cls = ENGINES[name.lower()]
     except KeyError:
@@ -30,9 +42,11 @@ def make_engine(name: str, query_set: QuerySet) -> JoinEngine:
 
 
 __all__ = [
+    "BatchDeltas",
     "DominatedSetCoverJoin",
     "ENGINES",
     "JoinEngine",
+    "MatrixJoin",
     "NestedLoopJoin",
     "Pair",
     "QueryId",

@@ -27,6 +27,11 @@ QueryId = Hashable
 StreamId = Hashable
 Pair = tuple[StreamId, QueryId]
 
+#: One coalesced delta batch: net non-zero NPV changes keyed by
+#: ``(vertex, dimension)``, as flushed by
+#: :meth:`repro.nnt.incremental.NNTIndex.batch`.
+BatchDeltas = Mapping[tuple[VertexId, Dimension], int]
+
 
 @dataclass(frozen=True)
 class QueryVector:
@@ -106,6 +111,18 @@ class JoinEngine(ABC):
     ) -> None:
         """One NPV entry of a stream vertex changed by ``delta``."""
 
+    def batch_update(self, stream_id: StreamId, deltas: BatchDeltas) -> None:
+        """One coalesced batch of net NPV deltas for a stream.
+
+        Every delta is non-zero and every referenced vertex is currently
+        registered (vertices removed mid-batch had their queued deltas
+        purged at removal time).  The default unrolls the batch into
+        per-delta calls; engines override it with a natively batched
+        update when that is cheaper.
+        """
+        for (vertex, dim), delta in deltas.items():
+            self.on_dimension_delta(stream_id, vertex, dim, delta)
+
     # -- results ----------------------------------------------------------
     @abstractmethod
     def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
@@ -144,3 +161,7 @@ class StreamListenerAdapter:
     def on_dimension_delta(self, vertex: VertexId, dim: Dimension, delta: int) -> None:
         """Forward with this adapter's stream id."""
         self.engine.on_dimension_delta(self.stream_id, vertex, dim, delta)
+
+    def on_batch_update(self, deltas: BatchDeltas) -> None:
+        """Forward one coalesced delta batch with this adapter's stream id."""
+        self.engine.batch_update(self.stream_id, deltas)

@@ -24,7 +24,7 @@ from typing import Mapping
 
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV
-from .base import JoinEngine, QueryId, QuerySet, StreamId
+from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
 
 
 class _StreamState:
@@ -119,6 +119,25 @@ class DominatedSetCoverJoin(JoinEngine):
         else:
             vector.pop(dim, None)
         self._value_changed(state, vertex, dim, old, new)
+
+    def batch_update(self, stream_id: StreamId, deltas: BatchDeltas) -> None:
+        """Apply a coalesced batch: one value transition — hence at most
+        one pair of bisects — per net-changed ``(vertex, dimension)``,
+        instead of one per spliced tree edge."""
+        state = self._streams[stream_id]
+        dim_values = self._dim_values
+        vectors = state.vectors
+        for (vertex, dim), delta in deltas.items():
+            if dim not in dim_values:
+                continue
+            vector = vectors[vertex]
+            old = vector.get(dim, 0)
+            new = old + delta
+            if new:
+                vector[dim] = new
+            else:
+                vector.pop(dim, None)
+            self._value_changed(state, vertex, dim, old, new)
 
     # -- counter maintenance ----------------------------------------------
     def _value_changed(

@@ -12,7 +12,7 @@ from typing import Mapping
 
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV, dominates
-from .base import JoinEngine, QueryId, QuerySet, StreamId
+from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
 
 
 class NestedLoopJoin(JoinEngine):
@@ -56,6 +56,21 @@ class NestedLoopJoin(JoinEngine):
             vector[dim] = value
         else:
             vector.pop(dim, None)
+
+    def batch_update(self, stream_id: StreamId, deltas: BatchDeltas) -> None:
+        """Fold a coalesced batch straight into the mirror (one dict
+        update per net-changed entry, no per-call dispatch)."""
+        universe = self.query_set.dimension_universe
+        vectors = self._streams[stream_id]
+        for (vertex, dim), delta in deltas.items():
+            if dim not in universe:
+                continue
+            vector = vectors[vertex]
+            value = vector.get(dim, 0) + delta
+            if value:
+                vector[dim] = value
+            else:
+                vector.pop(dim, None)
 
     # -- results ----------------------------------------------------------
     def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:

@@ -25,7 +25,7 @@ from typing import Mapping
 
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV, dominates, vector_mass
-from .base import JoinEngine, QueryId, QuerySet, StreamId
+from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
 from .dominance import dominated_count, maximal_vectors
 
 
@@ -109,6 +109,27 @@ class SkylineEarlyStopJoin(JoinEngine):
         if dim not in self.query_set.dimension_universe:
             return
         state = self._streams[stream_id]
+        self._apply_delta(state, vertex, dim, delta)
+        state.version += 1
+
+    def batch_update(self, stream_id: StreamId, deltas: BatchDeltas) -> None:
+        """Apply a coalesced batch: per-dimension statistics are updated
+        per net entry and the verdict-cache version is bumped once for
+        the whole batch."""
+        universe = self.query_set.dimension_universe
+        state = self._streams[stream_id]
+        touched = False
+        for (vertex, dim), delta in deltas.items():
+            if dim not in universe:
+                continue
+            self._apply_delta(state, vertex, dim, delta)
+            touched = True
+        if touched:
+            state.version += 1
+
+    def _apply_delta(
+        self, state: _StreamState, vertex: VertexId, dim: Dimension, delta: int
+    ) -> None:
         vector = state.vectors[vertex]
         old = vector.get(dim, 0)
         new = old + delta
@@ -125,7 +146,6 @@ class SkylineEarlyStopJoin(JoinEngine):
         else:
             vector.pop(dim, None)
             self._drop_member(state, dim, vertex)
-        state.version += 1
 
     def _drop_member(self, state: _StreamState, dim: Dimension, vertex: VertexId) -> None:
         members = state.members.get(dim)

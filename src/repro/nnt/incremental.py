@@ -22,12 +22,27 @@ delta on one projection dimension, which is applied to the owning
 vertex's NPV and forwarded to registered listeners — this is what lets
 the join engines of :mod:`repro.join` update their counters without ever
 re-projecting a tree.
+
+Delta delivery is *batched and coalesced* by default: all the ``+/-1``
+deltas produced while one edge change (or one whole timestamp batch
+applied through :meth:`NNTIndex.apply` / :meth:`NNTIndex.batch`) is in
+flight are accumulated per ``(vertex, dimension)``, cancelling pairs are
+netted out, and listeners receive a single
+``on_batch_update({(vertex, dim): net_delta})`` call per batch (vertex
+lifecycle events still fire eagerly, in order).  On temporal-locality
+streams — where a timestamp deletes and re-inserts overlapping edge
+sets — most deltas cancel, so the join engines see a fraction of the raw
+tree-edge churn.  Listeners without an ``on_batch_update`` method fall
+back to one ``on_dimension_delta`` call per *net* entry; constructing the
+index with ``coalesce=False`` restores the legacy one-call-per-tree-edge
+delivery (kept for differential testing and benchmarking).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Protocol
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Mapping, Protocol
 
 from ..graph.labeled_graph import GraphError, Label, LabeledGraph, VertexId, edge_key
 from ..graph.operations import GraphChangeOperation, INSERT, EdgeChange
@@ -42,10 +57,28 @@ class NPVListener(Protocol):
         """A vertex (with an initially empty NPV) entered the graph."""
 
     def on_vertex_removed(self, vertex: VertexId) -> None:
-        """A vertex left the graph (its NPV was already empty)."""
+        """A vertex left the graph (its index-side NPV is already empty).
+
+        Under coalesced delivery the zeroing deltas are purged rather
+        than flushed, so a listener mirroring NPVs must discard (or
+        reverse) whatever its own copy of the vector still holds —
+        which is what the join engines do.
+        """
 
     def on_dimension_delta(self, vertex: VertexId, dim: Dimension, delta: int) -> None:
         """``NPV(vertex)[dim]`` changed by ``delta`` (+1 or -1 per tree edge)."""
+
+
+class BatchNPVListener(NPVListener, Protocol):
+    """Listener that additionally accepts coalesced delta batches.
+
+    :class:`NNTIndex` probes for :meth:`on_batch_update` at flush time;
+    listeners lacking it receive one :meth:`NPVListener.on_dimension_delta`
+    call per *net* ``(vertex, dimension)`` entry instead.
+    """
+
+    def on_batch_update(self, deltas: Mapping[tuple[VertexId, Dimension], int]) -> None:
+        """One batch's coalesced non-zero NPV deltas (treat as read-only)."""
 
 
 def _root_of(node: TreeNode) -> VertexId:
@@ -63,6 +96,7 @@ class NNTIndex:
         initial: LabeledGraph | None = None,
         depth_limit: int = 3,
         scheme: DimensionScheme = PAPER_SCHEME,
+        coalesce: bool = True,
     ) -> None:
         if depth_limit < 1:
             raise ValueError("depth_limit must be at least 1")
@@ -77,11 +111,20 @@ class NNTIndex:
         self.edge_index: dict[tuple, set[TreeNode]] = {}
         self.npvs: dict[VertexId, NPV] = {}
         self.listeners: list[NPVListener] = []
+        #: Net delta delivery (batched per edge change / timestamp batch)
+        #: vs. the legacy one listener call per spliced tree edge.
+        self.coalesce = coalesce
+        #: Live occurrence count across all NNTs, roots included (O(1)
+        #: alternative to summing the node-index buckets).
+        self.num_tree_nodes = 0
+        self._batch_depth = 0
+        self._pending: dict[tuple[VertexId, Dimension], int] = {}
         self.stats = {
             "tree_nodes_added": 0,
             "tree_nodes_removed": 0,
             "edges_inserted": 0,
             "edges_deleted": 0,
+            "deltas_delivered": 0,
         }
         if initial is not None:
             self._build_initial(initial)
@@ -100,6 +143,69 @@ class NNTIndex:
     def add_listener(self, listener: NPVListener) -> None:
         """Subscribe to NPV deltas (changes after this call only)."""
         self.listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # delta batching / coalescing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def batch(self) -> Iterator["NNTIndex"]:
+        """Scope within which NPV deltas are accumulated and coalesced.
+
+        Scopes nest (only the outermost flushes); every public mutation
+        entry point opens one, so ``with index.batch(): ...`` widens the
+        coalescing window from one edge change to anything — e.g. one
+        whole timestamp batch, which is how :meth:`apply` uses it.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._flush_pending()
+
+    def _emit_delta(self, vertex: VertexId, dim: Dimension, delta: int) -> None:
+        """Queue (coalescing) or immediately deliver one NPV delta."""
+        if self.coalesce and self._batch_depth:
+            key = (vertex, dim)
+            net = self._pending.get(key, 0) + delta
+            if net:
+                self._pending[key] = net
+            else:
+                del self._pending[key]
+            return
+        self.stats["deltas_delivered"] += 1
+        for listener in self.listeners:
+            listener.on_dimension_delta(vertex, dim, delta)
+
+    def _flush_pending(self) -> None:
+        """Deliver the netted deltas of the closing batch scope.
+
+        Listeners exposing ``on_batch_update`` get the whole coalesced
+        mapping in one call; others get one ``on_dimension_delta`` per
+        net entry.  Entries for vertices removed mid-batch were already
+        purged (their listener-side state is torn down by the eager
+        ``on_vertex_removed``), so every delivered delta lands on a
+        vertex the listener still tracks.
+        """
+        if not self._pending:
+            return
+        deltas = self._pending
+        self._pending = {}
+        self.stats["deltas_delivered"] += len(deltas)
+        for listener in self.listeners:
+            batch_method = getattr(listener, "on_batch_update", None)
+            if batch_method is not None:
+                batch_method(deltas)
+            else:
+                for (vertex, dim), net in deltas.items():
+                    listener.on_dimension_delta(vertex, dim, net)
+
+    def _purge_pending(self, vertex: VertexId) -> None:
+        """Drop queued deltas owned by a vertex being removed mid-batch."""
+        if self._pending:
+            for key in [key for key in self._pending if key[0] == vertex]:
+                del self._pending[key]
 
     # ------------------------------------------------------------------
     # initial build
@@ -121,9 +227,15 @@ class NNTIndex:
     # change application
     # ------------------------------------------------------------------
     def apply(self, operation: GraphChangeOperation) -> None:
-        """Apply a batch: all deletions first, then all insertions."""
-        for change in operation.sequentialized():
-            self.apply_change(change)
+        """Apply a batch: all deletions first, then all insertions.
+
+        The whole operation shares one coalescing scope, so deltas that
+        cancel across its changes (e.g. a delete/re-insert pair touching
+        the same tree edges) never reach the listeners.
+        """
+        with self.batch():
+            for change in operation.sequentialized():
+                self.apply_change(change)
 
     def apply_change(self, change: EdgeChange) -> None:
         """Apply a single edge insertion or deletion."""
@@ -146,16 +258,17 @@ class NNTIndex:
         b_label: Label | None = None,
     ) -> None:
         """Insert graph edge ``(a, b)``, creating missing endpoints."""
-        for vertex, label in ((a, a_label), (b, b_label)):
-            if not self.graph.has_vertex(vertex):
-                if label is None:
-                    raise GraphError(
-                        f"inserting edge ({a!r}, {b!r}) creates vertex "
-                        f"{vertex!r} but no label was provided"
-                    )
-                self._create_vertex(vertex, label, notify=True)
-        self._insert_edge_internal(a, b, edge_label, notify=True)
-        self.stats["edges_inserted"] += 1
+        with self.batch():
+            for vertex, label in ((a, a_label), (b, b_label)):
+                if not self.graph.has_vertex(vertex):
+                    if label is None:
+                        raise GraphError(
+                            f"inserting edge ({a!r}, {b!r}) creates vertex "
+                            f"{vertex!r} but no label was provided"
+                        )
+                    self._create_vertex(vertex, label, notify=True)
+            self._insert_edge_internal(a, b, edge_label, notify=True)
+            self.stats["edges_inserted"] += 1
 
     def _insert_edge_internal(
         self, a: VertexId, b: VertexId, edge_label: Label, notify: bool
@@ -200,19 +313,20 @@ class NNTIndex:
         if not self.graph.has_edge(a, b):
             raise GraphError(f"edge ({a!r}, {b!r}) does not exist")
         key = edge_key(a, b)
-        appearances = self.edge_index.get(key)
-        # Appearances of one edge are never nested inside each other (a
-        # simple path uses an edge at most once), but subtree removal can
-        # still shrink the set we are iterating, so drain it destructively.
-        while appearances:
-            child = next(iter(appearances))
-            self._remove_subtree(child, notify=True)
+        with self.batch():
             appearances = self.edge_index.get(key)
-        self.graph.remove_edge(a, b)
-        self.stats["edges_deleted"] += 1
-        for vertex in (a, b):
-            if self.graph.has_vertex(vertex) and self.graph.degree(vertex) == 0:
-                self._remove_vertex(vertex)
+            # Appearances of one edge are never nested inside each other (a
+            # simple path uses an edge at most once), but subtree removal can
+            # still shrink the set we are iterating, so drain it destructively.
+            while appearances:
+                child = next(iter(appearances))
+                self._remove_subtree(child, notify=True)
+                appearances = self.edge_index.get(key)
+            self.graph.remove_edge(a, b)
+            self.stats["edges_deleted"] += 1
+            for vertex in (a, b):
+                if self.graph.has_vertex(vertex) and self.graph.degree(vertex) == 0:
+                    self._remove_vertex(vertex)
 
     def _remove_subtree(self, top: TreeNode, notify: bool) -> None:
         """Detach ``top`` (a non-root tree node) and its whole subtree,
@@ -232,10 +346,10 @@ class NNTIndex:
                     del self.edge_index[key]
             dim = node.dim  # cached at creation by _add_tree_edge
             add_to_vector(self.npvs[root_vertex], dim, -1)
+            self.num_tree_nodes -= 1
             self.stats["tree_nodes_removed"] += 1
             if notify:
-                for listener in self.listeners:
-                    listener.on_dimension_delta(root_vertex, dim, -1)
+                self._emit_delta(root_vertex, dim, -1)
         del parent.children[top.graph_vertex]
         top.parent = None
 
@@ -249,6 +363,7 @@ class NNTIndex:
         self.trees[vertex] = tree
         self.node_index.setdefault(vertex, set()).add(tree.root)
         self.npvs[vertex] = {}
+        self.num_tree_nodes += 1
         if notify:
             for listener in self.listeners:
                 listener.on_vertex_added(vertex)
@@ -275,6 +390,11 @@ class NNTIndex:
                 f"isolated vertex {vertex!r} has a non-empty NPV; index is corrupt"
             )
         self.graph.remove_vertex(vertex)
+        self.num_tree_nodes -= 1
+        # Queued deltas for this vertex net out to minus its pre-batch NPV;
+        # the eager on_vertex_removed below already tears the listener-side
+        # vector down, so delivering them later would double-reverse.
+        self._purge_pending(vertex)
         for listener in self.listeners:
             listener.on_vertex_removed(vertex)
 
@@ -301,10 +421,10 @@ class NNTIndex:
             dim = self.scheme.dimension_of_node(child, self.graph.vertex_label)
         child.dim = dim
         add_to_vector(self.npvs[root_vertex], dim, +1)
+        self.num_tree_nodes += 1
         self.stats["tree_nodes_added"] += 1
         if notify:
-            for listener in self.listeners:
-                listener.on_dimension_delta(root_vertex, dim, +1)
+            self._emit_delta(root_vertex, dim, +1)
         return child
 
     # ------------------------------------------------------------------
@@ -318,6 +438,14 @@ class NNTIndex:
 
         if set(self.trees) != set(self.graph.vertices()):
             raise AssertionError("tree set does not match graph vertex set")
+        recounted = sum(len(bucket) for bucket in self.node_index.values())
+        if self.num_tree_nodes != recounted:
+            raise AssertionError(
+                f"running tree-node counter ({self.num_tree_nodes}) diverged "
+                f"from the node index ({recounted})"
+            )
+        if self._batch_depth or self._pending:
+            raise AssertionError("integrity checked inside an open delta batch")
         seen_nodes: set[int] = set()
         for vertex, tree in self.trees.items():
             if tree.root_vertex != vertex:

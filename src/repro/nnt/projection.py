@@ -102,7 +102,15 @@ def dominates(big: Mapping[Hashable, int], small: Mapping[Hashable, int]) -> boo
 
 def strictly_dominates(big: Mapping[Hashable, int], small: Mapping[Hashable, int]) -> bool:
     """Domination that is not equality (used by skyline computation)."""
-    return dominates(big, small) and dict(big) != dict(small)
+    if not dominates(big, small):
+        return False
+    # Given domination, the vectors are equal iff they have the same
+    # number of non-zero entries and agree on every entry of ``big``
+    # (sparse invariant: no zero entries are stored) — checked without
+    # materializing dict copies, as this sits on the skyline hot path.
+    if len(big) != len(small):
+        return True
+    return any(value != small.get(dim, 0) for dim, value in big.items())
 
 
 def vector_mass(vector: Mapping[Hashable, int]) -> int:

@@ -1,0 +1,205 @@
+"""The batched/coalesced NPV delta pipeline must be invisible to the
+join engines' answers.
+
+Three delivery paths feed the same operation stream to every engine:
+
+* **coalesced** — the default: one ``on_batch_update`` per edge change /
+  timestamp batch with cancelling deltas netted out;
+* **legacy** — ``coalesce=False``: one ``on_dimension_delta`` per
+  spliced tree edge (the pre-pipeline behavior);
+* **fallback** — coalesced flushing into a listener without
+  ``on_batch_update``: one ``on_dimension_delta`` per *net* entry.
+
+All of them must produce candidate sets identical to each other, to the
+brute-force dominance oracle, and (completeness, Lemma 4.2) must never
+miss a VF2-confirmed pair.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeChange, GraphChangeOperation
+from repro.isomorphism.vf2 import SubgraphMatcher
+from repro.join import ENGINES, QuerySet, StreamListenerAdapter, make_engine
+from repro.join.base import JoinEngine
+from repro.nnt import NNTIndex
+
+from .conftest import random_labeled_graph
+from .test_join_engines import oracle, small_queries
+
+
+class LegacyAdapter:
+    """Pre-pipeline listener shape: no ``on_batch_update`` — exercises
+    the index's per-net-entry fallback delivery."""
+
+    def __init__(self, engine: JoinEngine, stream_id) -> None:
+        self.engine = engine
+        self.stream_id = stream_id
+
+    def on_vertex_added(self, vertex):
+        self.engine.on_vertex_added(self.stream_id, vertex)
+
+    def on_vertex_removed(self, vertex):
+        self.engine.on_vertex_removed(self.stream_id, vertex)
+
+    def on_dimension_delta(self, vertex, dim, delta):
+        self.engine.on_dimension_delta(self.stream_id, vertex, dim, delta)
+
+
+def temporal_locality_batch(rng: random.Random, index: NNTIndex) -> GraphChangeOperation:
+    """One timestamp batch biased toward delete/re-insert churn (the
+    reality-like pattern where most deltas cancel within the batch)."""
+    graph = index.graph
+    edges = list(graph.edges())
+    changes = []
+    deleted = []
+    rng.shuffle(edges)
+    for u, v, label in edges[: rng.randint(0, max(1, len(edges) // 2))]:
+        changes.append(EdgeChange.delete(u, v))
+        deleted.append((u, v, label))
+    # Re-insert a random subset of what this same batch deletes: their
+    # tree-edge deltas cancel exactly and must be coalesced away.
+    for u, v, label in deleted:
+        if rng.random() < 0.6:
+            changes.append(
+                EdgeChange.insert(
+                    u, v, label, graph.vertex_label(u), graph.vertex_label(v)
+                )
+            )
+    vertices = list(graph.vertices())
+    if len(vertices) >= 2 and rng.random() < 0.7:
+        u, v = rng.sample(vertices, 2)
+        if not graph.has_edge(u, v) and not any(
+            c.op == "ins" and {c.u, c.v} == {u, v} for c in changes
+        ):
+            # Labels supplied: the batch's deletions may have dropped an
+            # endpoint (isolated vertices vanish), making this a re-creation.
+            changes.append(
+                EdgeChange.insert(
+                    u, v, rng.choice("xy"), graph.vertex_label(u), graph.vertex_label(v)
+                )
+            )
+    if rng.random() < 0.3:
+        new_id = 100 + rng.randint(0, 20)
+        if not graph.has_vertex(new_id) and vertices:
+            anchor = rng.choice(vertices)
+            changes.append(
+                EdgeChange.insert(
+                    anchor, new_id, "x", graph.vertex_label(anchor), rng.choice("ABC")
+                )
+            )
+    return GraphChangeOperation(changes)
+
+
+def _attach(engines, index, adapter_cls):
+    for sid_engine in engines.values():
+        sid_engine.register_stream(0, index.npvs)
+        index.add_listener(adapter_cls(sid_engine, 0))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(0, 100_000), min_size=2, max_size=12))
+def test_property_delivery_paths_agree(seeds):
+    rng = random.Random(77)
+    query_set = QuerySet(small_queries(rng, count=3), depth_limit=2)
+    base = random_labeled_graph(rng, 6, extra_edges=3)
+
+    paths = {
+        "coalesced": (NNTIndex(base, depth_limit=2), StreamListenerAdapter),
+        "legacy": (NNTIndex(base, depth_limit=2, coalesce=False), StreamListenerAdapter),
+        "fallback": (NNTIndex(base, depth_limit=2), LegacyAdapter),
+    }
+    engines = {
+        path: {name: make_engine(name, query_set) for name in ENGINES}
+        for path in paths
+    }
+    for path, (index, adapter_cls) in paths.items():
+        _attach(engines[path], index, adapter_cls)
+
+    for seed in seeds:
+        batches = {
+            path: temporal_locality_batch(random.Random(seed), index)
+            for path, (index, _) in paths.items()
+        }
+        # Identical graphs produce identical batches; apply each path's own.
+        assert len({b.changes for b in batches.values()}) == 1
+        for path, (index, _) in paths.items():
+            index.apply(batches[path])
+
+    reference_index = paths["coalesced"][0]
+    reference_index.check_integrity()
+    expected = oracle({0: reference_index}, query_set)
+    for path, path_engines in engines.items():
+        for name, engine in path_engines.items():
+            assert engine.candidates() == expected, (path, name)
+    # Completeness against exact isomorphism: every VF2-confirmed pair
+    # must survive the filter in every engine under every delivery path.
+    matcher = SubgraphMatcher(reference_index.graph)
+    for query_id, query in query_set.queries.items():
+        if matcher.is_subgraph(query):
+            assert (0, query_id) in expected
+
+
+def test_coalescing_cancels_delete_reinsert_batches():
+    """A batch that deletes and re-inserts the same edges must deliver
+    zero deltas under coalescing (and plenty under legacy delivery).
+
+    The stream graph is a clique so no deletion isolates a vertex —
+    vertex removal purges its queued deltas, which would legitimately
+    leave the re-creation deltas unmatched."""
+    from repro.graph import LabeledGraph
+
+    base = LabeledGraph.from_vertices_and_edges(
+        [(i, "ABC"[i % 3]) for i in range(5)],
+        [(i, j, "x") for i in range(5) for j in range(i + 1, 5)],
+    )
+    coalesced = NNTIndex(base, depth_limit=3)
+    legacy = NNTIndex(base, depth_limit=3, coalesce=False)
+    edges = list(base.edges())[:3]
+    batch = GraphChangeOperation(
+        [EdgeChange.delete(u, v) for u, v, _ in edges]
+        + [
+            EdgeChange.insert(u, v, label, base.vertex_label(u), base.vertex_label(v))
+            for u, v, label in edges
+        ]
+    )
+    for index in (coalesced, legacy):
+        index.apply(batch)
+        index.check_integrity()
+    assert coalesced.npvs == legacy.npvs
+    assert coalesced.stats["deltas_delivered"] == 0
+    assert legacy.stats["deltas_delivered"] > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(0, 100_000), min_size=1, max_size=10))
+def test_property_matrix_never_drops_vf2_pair(seeds):
+    """Soundness of the dense engine: a VF2-confirmed (stream, query)
+    pair is always in the matrix engine's candidate set."""
+    rng = random.Random(31)
+    queries = small_queries(rng, count=4)
+    query_set = QuerySet(queries, depth_limit=3)
+    engine = make_engine("matrix", query_set)
+    index = NNTIndex(random_labeled_graph(rng, 7, extra_edges=3), depth_limit=3)
+    engine.register_stream("s", index.npvs)
+    index.add_listener(StreamListenerAdapter(engine, "s"))
+    for seed in seeds:
+        index.apply(temporal_locality_batch(random.Random(seed), index))
+        matcher = SubgraphMatcher(index.graph)
+        for query_id, query in queries.items():
+            if matcher.is_subgraph(query):
+                assert engine.is_candidate("s", query_id), query_id
+
+
+def test_running_tree_node_counter_matches_recount():
+    """`num_tree_nodes` (the O(1) stats counter) must track the node
+    index exactly through arbitrary churn."""
+    rng = random.Random(13)
+    index = NNTIndex(random_labeled_graph(rng, 5, extra_edges=2), depth_limit=3)
+    for seed in range(25):
+        index.apply(temporal_locality_batch(random.Random(seed), index))
+        recount = sum(len(bucket) for bucket in index.node_index.values())
+        assert index.num_tree_nodes == recount
+    index.check_integrity()

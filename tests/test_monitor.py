@@ -52,7 +52,7 @@ class TestLifecycle:
 
 
 class TestUpdates:
-    @pytest.mark.parametrize("method", ("nl", "dsc", "skyline"))
+    @pytest.mark.parametrize("method", ("nl", "dsc", "skyline", "matrix"))
     def test_single_change_and_batch(self, method):
         monitor = make_monitor(method)
         monitor.add_stream("s")
@@ -77,6 +77,33 @@ class TestUpdates:
         )
         assert monitor.matches() == {("x", "ab")}
 
+    def test_apply_many_accepts_single_edge_changes(self):
+        """`apply_many` takes the same per-stream union `apply` does:
+        whole batches and bare EdgeChange values can be mixed."""
+        monitor = make_monitor()
+        monitor.add_stream("x")
+        monitor.add_stream("y")
+        monitor.apply_many(
+            {
+                "x": EdgeChange.insert(0, 1, "-", "A", "B"),
+                "y": GraphChangeOperation([EdgeChange.insert(0, 1, "-", "B", "C")]),
+            }
+        )
+        assert monitor.matches() == {("x", "ab")}
+        monitor.apply_many({"x": EdgeChange.delete(0, 1)})
+        assert monitor.matches() == set()
+
+    def test_stats_tree_nodes_o1_counter(self):
+        """stats() must report the running per-stream tree-node counter,
+        matching an explicit recount of the node-index buckets."""
+        monitor = make_monitor()
+        monitor.add_stream("s", chain(["A", "B", "C"]))
+        monitor.apply("s", EdgeChange.insert(0, 2, "-"))
+        stats = monitor.stats()
+        index = monitor._indexes["s"]
+        recount = sum(len(bucket) for bucket in index.node_index.values())
+        assert stats["streams"]["s"]["tree_nodes"] == recount > 0
+
     def test_is_match(self):
         monitor = make_monitor()
         monitor.add_stream("s", chain(["A", "B"]))
@@ -96,7 +123,7 @@ class TestVerification:
         assert monitor.verified_matches({("s", "ab")}) == {("s", "ab")}
         assert monitor.verified_matches({("s", "abc")}) == set()
 
-    @pytest.mark.parametrize("method", ("nl", "dsc", "skyline"))
+    @pytest.mark.parametrize("method", ("nl", "dsc", "skyline", "matrix"))
     def test_no_false_negatives_random(self, method):
         rng = random.Random(31337)
         for trial in range(5):
@@ -124,7 +151,10 @@ class TestMethodEquivalence:
             f"q{i}": random_labeled_graph(rng, rng.randint(2, 4), extra_edges=1)
             for i in range(3)
         }
-        monitors = {m: StreamMonitor(queries, method=m) for m in ("nl", "dsc", "skyline")}
+        monitors = {
+            m: StreamMonitor(queries, method=m)
+            for m in ("nl", "dsc", "skyline", "matrix")
+        }
         for monitor in monitors.values():
             monitor.add_stream(0)
         timeline = []

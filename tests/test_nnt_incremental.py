@@ -26,17 +26,27 @@ def paper_graph() -> LabeledGraph:
 
 
 class RecordingListener:
-    """Mirrors NPVs from deltas; used to validate the listener protocol."""
+    """Mirrors NPVs from deltas; used to validate the listener protocol.
 
-    def __init__(self):
+    With ``strict_removal`` (legacy per-delta delivery,
+    ``coalesce=False``) a removed vertex's mirror must already be zero;
+    under coalesced delivery the zeroing deltas are purged instead of
+    flushed, so the mirror discards whatever remains — the contract the
+    join engines implement.
+    """
+
+    def __init__(self, strict_removal=False):
         self.vectors = {}
+        self.strict_removal = strict_removal
 
     def on_vertex_added(self, vertex):
         assert vertex not in self.vectors
         self.vectors[vertex] = {}
 
     def on_vertex_removed(self, vertex):
-        assert self.vectors.pop(vertex) == {}
+        remaining = self.vectors.pop(vertex)
+        if self.strict_removal:
+            assert remaining == {}
 
     def on_dimension_delta(self, vertex, dim, delta):
         vector = self.vectors[vertex]
@@ -158,10 +168,11 @@ class TestBatches:
 
 
 class TestListeners:
-    def test_listener_mirror_tracks_npvs(self):
+    @pytest.mark.parametrize("coalesce", (True, False))
+    def test_listener_mirror_tracks_npvs(self, coalesce):
         rng = random.Random(99)
-        index = NNTIndex(paper_graph(), depth_limit=3)
-        listener = RecordingListener()
+        index = NNTIndex(paper_graph(), depth_limit=3, coalesce=coalesce)
+        listener = RecordingListener(strict_removal=not coalesce)
         for vertex in index.graph.vertices():
             listener.vectors[vertex] = dict(index.npv(vertex))
         index.add_listener(listener)
