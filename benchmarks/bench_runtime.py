@@ -1,0 +1,145 @@
+"""Runtime benchmarks: sharded replay throughput vs worker count.
+
+A dense ggen workload (several independent streams, coin-flip churn,
+poll every timestamp) replayed through the in-process monitor and
+through :class:`repro.runtime.ShardedMonitor` at 1/2/4 workers.  Stream
+independence (Definition 2.8) is what the runtime exploits: each worker
+maintains only its shard's NNTs and join state, so on a multi-core host
+the per-timestamp cost divides across shards while the answer stays
+identical.
+
+``test_four_workers_at_least_double_one`` pins the scaling claim —
+gated on ``os.cpu_count()``, because a single-core container simply
+time-slices the workers and no wall-clock speedup is possible there.
+CI's ``BENCH_runtime.json`` artifact records every configuration's
+timing plus the workload volume in ``extra_info``.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.monitor import StreamMonitor
+from repro.datasets.ggen import generate_graph_set
+from repro.datasets.queries import make_query_set
+from repro.datasets.stream_gen import DENSE, synthesize_stream
+from repro.runtime import ShardedMonitor
+
+NUM_STREAMS = 8
+NUM_QUERIES = 6
+TIMESTAMPS = 10
+_cache = {}
+
+
+def _workload():
+    """(queries, streams) — dense ggen churn, built once per session."""
+    if "workload" not in _cache:
+        rng = random.Random(97)
+        bases = generate_graph_set(
+            NUM_STREAMS, graph_size=16.0, num_vertex_labels=4, seed=97
+        )
+        queries = {
+            f"q{i}": query
+            for i, query in enumerate(make_query_set(bases, 5, NUM_QUERIES, seed=98))
+        }
+        p_appear, p_disappear = DENSE
+        streams = {
+            f"s{i}": synthesize_stream(
+                base, p_appear, p_disappear, TIMESTAMPS, rng, all_pairs=True, name=f"s{i}"
+            )
+            for i, base in enumerate(bases)
+        }
+        _cache["workload"] = (queries, streams)
+    return _cache["workload"]
+
+
+def _total_changes() -> int:
+    _, streams = _workload()
+    return sum(stream.total_changes() for stream in streams.values())
+
+
+def _replay(workers: int) -> None:
+    """One full replay: register streams, apply + poll every timestamp.
+
+    ``workers == 0`` is the in-process baseline (no runtime at all);
+    otherwise a ShardedMonitor fleet of that size, built and torn down
+    inside the measured span (spawn cost is part of deploying the
+    runtime, and it is identical across worker counts up to fork cost).
+    """
+    queries, streams = _workload()
+    if workers == 0:
+        monitor = StreamMonitor(queries, method="dsc")
+        close = None
+    else:
+        monitor = ShardedMonitor(queries, method="dsc", num_workers=workers)
+        close = monitor.close
+    try:
+        for stream_id, stream in streams.items():
+            monitor.add_stream(stream_id, stream.initial)
+        horizon = min(len(stream.operations) for stream in streams.values())
+        for t in range(horizon):
+            for stream_id, stream in streams.items():
+                monitor.apply(stream_id, stream.operations[t])
+            monitor.matches()
+    finally:
+        if close is not None:
+            close()
+
+
+def _timed_replay(workers: int, rounds: int = 3) -> float:
+    """Best-of-N wall-clock seconds for one replay configuration."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        _replay(workers)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("workers", (0, 1, 2, 4), ids=("inproc", "w1", "w2", "w4"))
+def test_replay_throughput(benchmark, workers):
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["num_streams"] = NUM_STREAMS
+    benchmark.extra_info["num_queries"] = NUM_QUERIES
+    benchmark.extra_info["timestamps"] = TIMESTAMPS
+    benchmark.extra_info["total_changes"] = _total_changes()
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.pedantic(_replay, args=(workers,), rounds=3, warmup_rounds=1)
+
+
+def test_answers_identical_across_worker_counts():
+    """The benchmark must compare equal work: every configuration ends
+    at the same candidate set (sharding never changes the answer)."""
+    queries, streams = _workload()
+    finals = []
+    for workers in (0, 2):
+        if workers == 0:
+            monitor = StreamMonitor(queries, method="dsc")
+            close = None
+        else:
+            monitor = ShardedMonitor(queries, method="dsc", num_workers=workers)
+            close = monitor.close
+        try:
+            for stream_id, stream in streams.items():
+                monitor.add_stream(stream_id, stream.initial)
+            horizon = min(len(stream.operations) for stream in streams.values())
+            for t in range(horizon):
+                for stream_id, stream in streams.items():
+                    monitor.apply(stream_id, stream.operations[t])
+            finals.append(monitor.matches())
+        finally:
+            if close is not None:
+                close()
+    assert finals[0] == finals[1]
+
+
+def test_four_workers_at_least_double_one():
+    """The headline scaling claim: 4 workers >= 2x the throughput of 1
+    on the dense workload — only demonstrable with real cores."""
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("parallel speedup needs >= 4 cores; container has fewer")
+    single = _timed_replay(1)
+    quad = _timed_replay(4)
+    assert single / quad >= 2.0, f"speedup {single / quad:.2f}x < 2x"

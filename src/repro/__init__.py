@@ -41,6 +41,7 @@ from .graph import (
 from .isomorphism import SubgraphMatcher, is_subgraph_isomorphic
 from .join import QuerySet, make_engine
 from .nnt import NNTIndex, build_nnt, project_graph
+from .runtime import ShardedMonitor
 
 __version__ = "1.0.0"
 
@@ -56,6 +57,7 @@ __all__ = [
     "NNTIndex",
     "QuerySet",
     "RunningStats",
+    "ShardedMonitor",
     "SlidingWindowMonitor",
     "Stopwatch",
     "StreamMonitor",

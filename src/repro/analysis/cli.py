@@ -23,7 +23,7 @@ def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description="Static analysis enforcing the reproduction's "
-        "soundness and layering invariants (rules RP001-RP007).",
+        "soundness and layering invariants (rules RP001-RP008).",
     )
     parser.add_argument(
         "paths",

@@ -15,8 +15,8 @@ import against this matrix.
 
 Layer order (lower layers may never import higher ones)::
 
-    graph  <  {nnt, isomorphism, datasets}  <  join  <  core  <  cli
-                                  baselines --^          experiments
+    graph  <  {nnt, isomorphism, datasets}  <  join  <  core  <  runtime  <  cli
+                                  baselines --^                  experiments
 
 To let a new package import another, add it here — the diff is the
 review artifact.
@@ -52,6 +52,12 @@ ALLOWED_IMPORTS: dict[str, frozenset[str] | str] = {
     # Orchestration: wires filter + optional verification together.
     "repro.core": frozenset(
         {"repro.graph", "repro.nnt", "repro.join", "repro.isomorphism"}
+    ),
+    # The multi-process runtime orchestrates monitors; it sits above
+    # core but below the CLI, and is the only unit allowed to touch
+    # process/thread machinery (rule RP008).
+    "repro.runtime": frozenset(
+        {"repro.graph", "repro.nnt", "repro.join", "repro.core"}
     ),
     # Rendering helpers for trees/graphs.
     "repro.render": frozenset({"repro.graph", "repro.nnt"}),

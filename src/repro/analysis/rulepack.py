@@ -1,4 +1,4 @@
-"""The initial rule pack (RP001-RP007), grounded in the paper.
+"""The initial rule pack (RP001-RP008), grounded in the paper.
 
 Each rule protects one invariant the reproduction depends on:
 
@@ -16,6 +16,9 @@ RP006     benchmarks must time with ``perf_counter`` (monotonic),
           not wall-clock ``time.time`` (Section V measurements)
 RP007     no cross-object ``_private`` attribute access (the
           StreamMonitor/NNTIndex state machines own their caches)
+RP008     no process/thread/queue primitives outside ``repro.runtime``
+          (the filtering core stays deterministic and single-threaded;
+          all parallelism lives behind the runtime facade)
 ========  ==========================================================
 """
 
@@ -504,3 +507,64 @@ class PrivateAccessRule(Rule):
             ):
                 names.add(node.attr)
         return frozenset(names)
+
+
+# ----------------------------------------------------------------------
+# RP008 — concurrency primitives only inside repro.runtime
+# ----------------------------------------------------------------------
+
+_CONCURRENCY_TOP_MODULES = {
+    "multiprocessing",
+    "threading",
+    "_thread",
+    "queue",
+    "concurrent",
+    "asyncio",
+}
+
+
+@register
+class ConcurrencyContainmentRule(Rule):
+    """Process/thread/queue machinery may only appear in the runtime."""
+
+    rule_id = "RP008"
+    title = "no concurrency primitives outside repro.runtime"
+    rationale = (
+        "The incremental maintenance procedures (Figures 4-5, 8) are "
+        "state machines whose correctness argument assumes sequential "
+        "application; answers must be deterministic run-to-run.  All "
+        "parallelism therefore lives behind the repro.runtime facade, "
+        "which shards *whole streams* across single-threaded workers."
+    )
+    # Everywhere the analyzer looks except the runtime itself; the
+    # test/example trees may drive the runtime (and thus reach for
+    # process tools) without tripping the core invariant.
+    units = None
+
+    _EXEMPT_UNITS = frozenset({"repro.runtime", "tests", "examples"})
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        return context.unit not in self._EXEMPT_UNITS
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue  # relative imports cannot reach the stdlib
+                names = [node.module or ""]
+            else:
+                continue
+            for name in names:
+                top = name.split(".")[0]
+                if top in _CONCURRENCY_TOP_MODULES:
+                    yield context.finding(
+                        node,
+                        self.rule_id,
+                        f"import of {name!r} outside repro.runtime: the "
+                        "filtering core is deterministic and "
+                        "single-threaded; route parallelism through "
+                        "repro.runtime.ShardedMonitor",
+                    )
+                    break

@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Five subcommands::
+Seven subcommands::
 
     python -m repro generate ...    # write synthetic datasets to files
     python -m repro search ...      # static filter-and-verify search
     python -m repro monitor ...     # replay streams, print match events
+    python -m repro replay ...      # same, through the sharded runtime
+    python -m repro serve ...       # line-protocol server over stdin
     python -m repro experiment ...  # run a paper-figure driver
-    python -m repro lint ...        # static analysis (RP001-RP007)
+    python -m repro lint ...        # static analysis (RP001-RP008)
 
 Graphs and query sets use the text format of :mod:`repro.graph.io`
 (gSpan-style ``t # / v / e`` blocks); streams add ``op`` blocks.
@@ -82,6 +84,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true", help="confirm events with exact isomorphism"
     )
 
+    # -- replay -----------------------------------------------------------
+    replay = subparsers.add_parser(
+        "replay",
+        help="replay streams through the sharded runtime and print match events",
+    )
+    replay.add_argument("--queries", required=True, help="graph-set file of patterns")
+    replay.add_argument("--streams", nargs="+", required=True, help="stream files")
+    replay.add_argument(
+        "--method", choices=["nl", "dsc", "skyline", "matrix"], default="dsc"
+    )
+    replay.add_argument("--depth", type=int, default=3, help="NNT depth l")
+    replay.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process StreamMonitor, no subprocesses)",
+    )
+    replay.add_argument(
+        "--queue-capacity", type=int, default=128, help="worker inbox bound"
+    )
+    replay.add_argument(
+        "--policy",
+        choices=["block", "drop", "spill"],
+        default="block",
+        help="backpressure policy when a worker inbox is full",
+    )
+    replay.add_argument("--checkpoint-dir", help="shard snapshot directory")
+    replay.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="auto-checkpoint cadence in accepted batches (0 = off)",
+    )
+
+    # -- serve ------------------------------------------------------------
+    serve = subparsers.add_parser(
+        "serve",
+        help="line-protocol monitoring server: commands on stdin, JSON lines out",
+    )
+    serve.add_argument("--queries", required=True, help="graph-set file of patterns")
+    serve.add_argument(
+        "--method", choices=["nl", "dsc", "skyline", "matrix"], default="dsc"
+    )
+    serve.add_argument("--depth", type=int, default=3, help="NNT depth l")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = in-process StreamMonitor)",
+    )
+    serve.add_argument("--queue-capacity", type=int, default=128)
+    serve.add_argument("--policy", choices=["block", "drop", "spill"], default="block")
+    serve.add_argument("--checkpoint-dir", help="shard snapshot directory")
+    serve.add_argument("--checkpoint-every", type=int, default=0)
+
     # -- experiment ---------------------------------------------------------
     experiment = subparsers.add_parser("experiment", help="run a paper-figure driver")
     experiment.add_argument("figure", help="fig02|fig12|...|fig17|ablation_a1..a7|all")
@@ -96,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["csv", "json", "md", "txt"],
         default="md",
         help="file format when --out is a directory (default md)",
+    )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        help="replay engine methods through the sharded runtime "
+        "(figures that support it: fig16, fig17)",
     )
 
     # -- lint ---------------------------------------------------------------
@@ -178,36 +241,204 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_monitor(args: argparse.Namespace) -> int:
-    queries = dict(read_graph_set(args.queries))
+def _read_streams(paths: list[str]) -> dict:
     streams = {}
-    for path in args.streams:
+    for path in paths:
         stream = read_stream(path)
         stream_id = stream.name or Path(path).stem
         streams[stream_id] = stream
-    monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
+    return streams
+
+
+def _replay_and_report(monitor, streams, verify_with=None) -> None:
+    """Drive ``monitor`` (StreamMonitor or ShardedMonitor — same API)
+    through recorded streams, printing one line per match event.
+
+    Both the library and runtime paths report transitions through
+    ``events()``, so the output format is identical regardless of
+    ``--workers``.
+    """
     for stream_id, stream in streams.items():
         monitor.add_stream(stream_id, stream.initial)
-    for event in monitor.poll_events():
+    for event in monitor.events():
         print(f"t=0: {event.kind} {event.query_id} on {event.stream_id}")
 
     horizon = min(len(stream.operations) for stream in streams.values())
     for timestamp in range(horizon):
         for stream_id, stream in streams.items():
             monitor.apply(stream_id, stream.operations[timestamp])
-        for event in monitor.poll_events():
+        for event in monitor.events():
             line = f"t={timestamp + 1}: {event.kind} {event.query_id} on {event.stream_id}"
-            if args.verify and event.kind == "appeared":
+            if verify_with is not None and event.kind == "appeared":
                 pair = (event.stream_id, event.query_id)
-                confirmed = pair in monitor.verified_matches({pair})
+                confirmed = pair in verify_with.verified_matches({pair})
                 line += "  [CONFIRMED]" if confirmed else "  [filter only]"
             print(line)
     final = sorted(monitor.matches())
     print(f"final possible pairs: {final}")
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    queries = dict(read_graph_set(args.queries))
+    streams = _read_streams(args.streams)
+    monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
+    _replay_and_report(monitor, streams, verify_with=monitor if args.verify else None)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    queries = dict(read_graph_set(args.queries))
+    streams = _read_streams(args.streams)
+    if args.workers <= 1:
+        monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
+        _replay_and_report(monitor, streams)
+        return 0
+    from .runtime import ShardedMonitor
+
+    with ShardedMonitor(
+        queries,
+        method=args.method,
+        depth_limit=args.depth,
+        num_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        backpressure=args.policy,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    ) as monitor:
+        _replay_and_report(monitor, streams)
+        stats = monitor.stats()
+        pressure = stats["backpressure"]
+        print(
+            f"workers: {stats['num_workers']}  "
+            f"policy: {pressure['policy']}  "
+            f"batches: {pressure['accepted_batches']}  "
+            f"dropped: {pressure['dropped']}  "
+            f"spilled: {pressure['spilled']}"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .graph.labeled_graph import GraphError, LabeledGraph
+    from .graph.operations import EdgeChange, GraphChangeOperation
+
+    queries = dict(read_graph_set(args.queries))
+    if args.workers >= 1:
+        from .runtime import ShardedMonitor
+
+        monitor = ShardedMonitor(
+            queries,
+            method=args.method,
+            depth_limit=args.depth,
+            num_workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            backpressure=args.policy,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+    else:
+        monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
+
+    def emit(payload: dict) -> None:
+        print(json.dumps(payload, sort_keys=True, default=str), flush=True)
+
+    def event_dicts(events) -> list[dict]:
+        return [
+            {"kind": e.kind, "stream": str(e.stream_id), "query": str(e.query_id)}
+            for e in events
+        ]
+
+    pending: dict[str, list[EdgeChange]] = {}
+    timestamp = 0
+    try:
+        for raw in sys.stdin:
+            words = raw.split()
+            if not words or words[0].startswith("#"):
+                continue
+            command, rest = words[0], words[1:]
+            try:
+                if command == "stream":
+                    stream_id = rest[0]
+                    if len(rest) > 1:
+                        graph_set = dict(read_graph_set(rest[1]))
+                        key = rest[2] if len(rest) > 2 else next(iter(graph_set))
+                        initial = graph_set[key]
+                    else:
+                        initial = LabeledGraph()
+                    monitor.add_stream(stream_id, initial)
+                    pending.setdefault(stream_id, [])
+                    emit({"ok": True, "cmd": "stream", "stream": stream_id})
+                elif command in ("ins", "del"):
+                    stream_id, u, v = rest[0], rest[1], rest[2]
+                    if command == "ins":
+                        edge_label = rest[3] if len(rest) > 3 else "-"
+                        u_label = rest[4] if len(rest) > 4 else None
+                        v_label = rest[5] if len(rest) > 5 else None
+                        change = EdgeChange.insert(u, v, edge_label, u_label, v_label)
+                    else:
+                        change = EdgeChange.delete(u, v)
+                    pending.setdefault(stream_id, []).append(change)
+                    emit(
+                        {
+                            "ok": True,
+                            "cmd": command,
+                            "stream": stream_id,
+                            "pending": len(pending[stream_id]),
+                        }
+                    )
+                elif command == "tick":
+                    timestamp += 1
+                    for stream_id, changes in pending.items():
+                        monitor.apply(stream_id, GraphChangeOperation(changes))
+                        changes.clear()
+                    emit(
+                        {
+                            "ok": True,
+                            "cmd": "tick",
+                            "t": timestamp,
+                            "events": event_dicts(monitor.events()),
+                        }
+                    )
+                elif command == "poll":
+                    emit(
+                        {
+                            "ok": True,
+                            "cmd": "poll",
+                            "t": timestamp,
+                            "events": event_dicts(monitor.events()),
+                        }
+                    )
+                elif command == "matches":
+                    pairs = sorted(
+                        (str(s), str(q)) for s, q in monitor.matches()
+                    )
+                    emit({"ok": True, "cmd": "matches", "matches": pairs})
+                elif command == "stats":
+                    emit({"ok": True, "cmd": "stats", "stats": monitor.stats()})
+                elif command == "checkpoint":
+                    if hasattr(monitor, "checkpoint"):
+                        notes = monitor.checkpoint()
+                        emit({"ok": True, "cmd": "checkpoint", "shards": notes})
+                    else:
+                        emit({"ok": False, "error": "checkpoint requires --workers >= 1"})
+                elif command == "quit":
+                    emit({"ok": True, "cmd": "quit"})
+                    break
+                else:
+                    emit({"ok": False, "error": f"unknown command {command!r}"})
+            except (IndexError, KeyError, ValueError, GraphError) as exc:
+                emit({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        if hasattr(monitor, "close"):
+            monitor.close()
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
     from .experiments import ALL_FIGURES, get_scale
 
     scale = get_scale(args.scale) if args.scale else get_scale()
@@ -223,7 +454,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        result = ALL_FIGURES[name].run(scale)
+        runner = ALL_FIGURES[name].run
+        kwargs = {}
+        if args.workers and "workers" in inspect.signature(runner).parameters:
+            kwargs["workers"] = args.workers
+        result = runner(scale, **kwargs)
         print(result.render())
         print()
         if out is not None:
@@ -246,6 +481,8 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "search": _cmd_search,
         "monitor": _cmd_monitor,
+        "replay": _cmd_replay,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "lint": _cmd_lint,
     }

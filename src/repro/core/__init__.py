@@ -4,12 +4,14 @@ from .database import GraphDatabase
 from .metrics import (
     Confusion,
     RunningStats,
+    ShardCounters,
     Stopwatch,
     candidate_ratio,
     compare_with_truth,
+    merge_counter_summaries,
 )
-from .checkpoint import load_monitor, save_monitor
-from .monitor import MatchEvent, StreamMonitor
+from .checkpoint import checkpoint_stats, load_monitor, save_monitor
+from .monitor import MatchEvent, StreamMonitor, diff_polls
 from .verify import CachingVerifier
 from .window import SlidingWindowMonitor
 
@@ -19,11 +21,15 @@ __all__ = [
     "GraphDatabase",
     "MatchEvent",
     "RunningStats",
+    "ShardCounters",
     "SlidingWindowMonitor",
     "Stopwatch",
     "StreamMonitor",
     "candidate_ratio",
+    "checkpoint_stats",
     "compare_with_truth",
+    "diff_polls",
     "load_monitor",
+    "merge_counter_summaries",
     "save_monitor",
 ]

@@ -45,6 +45,15 @@ class MatchEvent:
     query_id: QueryId
 
 
+def diff_polls(previous: set[Pair], current: set[Pair]) -> list[MatchEvent]:
+    """The sorted transition events between two candidate-set polls —
+    the one place the appeared/vanished semantics live, shared by
+    :meth:`StreamMonitor.events` and the runtime coordinator."""
+    events = [MatchEvent("appeared", s, q) for s, q in current - previous]
+    events += [MatchEvent("vanished", s, q) for s, q in previous - current]
+    return sorted(events, key=lambda e: (e.kind, str(e.stream_id), str(e.query_id)))
+
+
 class StreamMonitor:
     """Continuous filter over many graph streams for a fixed query set.
 
@@ -217,17 +226,25 @@ class StreamMonitor:
             "streams": per_stream,
         }
 
-    def poll_events(self) -> list[MatchEvent]:
-        """Transitions since the previous :meth:`poll_events` call:
-        pairs that newly pass the filter ("appeared") and pairs that
-        stopped passing it ("vanished"), sorted for determinism."""
+    def events(self) -> list[MatchEvent]:
+        """Transitions since the previous :meth:`events` call: pairs
+        that newly pass the filter ("appeared") and pairs that stopped
+        passing it ("vanished"), sorted for determinism.
+
+        This is the common event surface of the library and runtime
+        paths: :class:`repro.runtime.ShardedMonitor` aggregates its
+        workers' candidate sets and diffs them with exactly these
+        semantics (via :func:`diff_polls`), so both report transitions
+        in the same format.
+        """
         current = self.matches()
-        appeared = current - self._last_poll
-        vanished = self._last_poll - current
+        events = diff_polls(self._last_poll, current)
         self._last_poll = current
-        events = [MatchEvent("appeared", s, q) for s, q in appeared]
-        events += [MatchEvent("vanished", s, q) for s, q in vanished]
-        return sorted(events, key=lambda e: (e.kind, str(e.stream_id), str(e.query_id)))
+        return events
+
+    def poll_events(self) -> list[MatchEvent]:
+        """Backward-compatible alias for :meth:`events`."""
+        return self.events()
 
     def verified_matches(self, pairs: Iterable[Pair] | None = None) -> set[Pair]:
         """Exact joinable pairs: the filter's candidates confirmed by

@@ -23,12 +23,18 @@ from .workloads import build_synthetic_stream_workload
 DISPLAY_NAMES = {"nl": "NL", "dsc": "DSC", "skyline": "Skyline", "matrix": "Matrix"}
 
 
-def run(scale: Scale | None = None) -> FigureResult:
-    """Execute the experiment at ``scale`` and return its rows."""
+def run(scale: Scale | None = None, workers: int | None = None) -> FigureResult:
+    """Execute the experiment at ``scale`` and return its rows.
+
+    ``workers`` > 1 replays through the sharded runtime
+    (:mod:`repro.runtime`); candidate counts are unchanged, only the
+    per-timestamp cost moves.
+    """
     scale = scale or get_scale()
+    suffix = f" ({workers} workers)" if workers and workers > 1 else ""
     result = FigureResult(
         "Figure 16",
-        "Scalability vs #queries: avg cost per timestamp (ms), streams fixed",
+        f"Scalability vs #queries: avg cost per timestamp (ms), streams fixed{suffix}",
     )
     max_queries = max(scale.sweep_counts)
     for density in ("sparse", "dense"):
@@ -42,7 +48,7 @@ def run(scale: Scale | None = None) -> FigureResult:
         for count in scale.sweep_counts:
             workload = base.limited(num_queries=count)
             for method in ENGINE_METHODS:
-                run_result = run_stream_method(workload, method, scale)
+                run_result = run_stream_method(workload, method, scale, workers=workers)
                 result.add(
                     dataset=workload.name,
                     num_queries=count,

@@ -34,19 +34,26 @@ def _base_workloads(scale: Scale, max_streams: int) -> list:
     ]
 
 
-def run(scale: Scale | None = None) -> FigureResult:
-    """Execute the experiment at ``scale`` and return its rows."""
+def run(scale: Scale | None = None, workers: int | None = None) -> FigureResult:
+    """Execute the experiment at ``scale`` and return its rows.
+
+    ``workers`` > 1 replays through the sharded runtime
+    (:mod:`repro.runtime`); candidate counts are unchanged, only the
+    per-timestamp cost moves.  Stream sharding makes this *the* figure
+    the runtime accelerates: each worker maintains only its shard's NNTs.
+    """
     scale = scale or get_scale()
+    suffix = f" ({workers} workers)" if workers and workers > 1 else ""
     result = FigureResult(
         "Figure 17",
-        "Scalability vs #streams: avg cost per timestamp (ms), queries fixed",
+        f"Scalability vs #streams: avg cost per timestamp (ms), queries fixed{suffix}",
     )
     max_streams = max(scale.sweep_counts)
     for base in _base_workloads(scale, max_streams):
         for count in scale.sweep_counts:
             workload = base.limited(num_streams=count)
             for method in ENGINE_METHODS:
-                run_result = run_stream_method(workload, method, scale)
+                run_result = run_stream_method(workload, method, scale, workers=workers)
                 result.add(
                     dataset=workload.name,
                     num_streams=count,

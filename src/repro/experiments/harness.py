@@ -90,12 +90,19 @@ def _stream_gindex_config(method: str, scale: Scale) -> GIndexConfig:
 
 
 def run_stream_method(
-    workload: StreamWorkload, method: str, scale: Scale
+    workload: StreamWorkload, method: str, scale: Scale, workers: int | None = None
 ) -> StreamRunResult:
     """Replay a stream workload under one method, timing every timestamp
-    (apply the batch, then read the candidate pair set)."""
+    (apply the batch, then read the candidate pair set).
+
+    ``workers`` > 1 runs the engine methods through the sharded
+    multi-process runtime (:class:`repro.runtime.ShardedMonitor`) instead
+    of an in-process monitor; streams shard by consistent hash, so the
+    candidate counts are identical either way.  The baselines are
+    single-process only and ignore the flag.
+    """
     if method in ENGINE_METHODS:
-        return _run_engine(workload, method)
+        return _run_engine(workload, method, workers=workers)
     if method == "ggrep":
         return _run_graphgrep(workload, scale)
     if method in ("gindex1", "gindex2"):
@@ -107,31 +114,43 @@ def _replay_timestamps(workload: StreamWorkload) -> int:
     return min(len(stream.operations) for stream in workload.streams.values())
 
 
-def _run_engine(workload: StreamWorkload, method: str) -> StreamRunResult:
+def _run_engine(
+    workload: StreamWorkload, method: str, workers: int | None = None
+) -> StreamRunResult:
+    parallel = workers is not None and workers > 1
     setup_start = time.perf_counter()
-    monitor = StreamMonitor(workload.queries, method=method)
-    for stream_id, stream in workload.streams.items():
-        monitor.add_stream(stream_id, stream.initial)
-    setup_seconds = time.perf_counter() - setup_start
+    if parallel:
+        from ..runtime import ShardedMonitor
 
-    timestamps = _replay_timestamps(workload)
-    pairs_total = timestamps * len(workload.streams) * len(workload.queries)
-    per_timestamp: list[int] = []
-    maintain = 0.0
-    join = 0.0
-    for t in range(timestamps):
-        tick_start = time.perf_counter()
+        monitor = ShardedMonitor(workload.queries, method=method, num_workers=workers)
+    else:
+        monitor = StreamMonitor(workload.queries, method=method)
+    try:
         for stream_id, stream in workload.streams.items():
-            monitor.apply(stream_id, stream.operations[t])
-        maintain_done = time.perf_counter()
-        per_timestamp.append(len(monitor.matches()))
-        join_done = time.perf_counter()
-        maintain += maintain_done - tick_start
-        join += join_done - maintain_done
-    candidates = sum(per_timestamp)
-    elapsed = maintain + join
+            monitor.add_stream(stream_id, stream.initial)
+        setup_seconds = time.perf_counter() - setup_start
+
+        timestamps = _replay_timestamps(workload)
+        pairs_total = timestamps * len(workload.streams) * len(workload.queries)
+        per_timestamp: list[int] = []
+        maintain = 0.0
+        join = 0.0
+        for t in range(timestamps):
+            tick_start = time.perf_counter()
+            for stream_id, stream in workload.streams.items():
+                monitor.apply(stream_id, stream.operations[t])
+            maintain_done = time.perf_counter()
+            per_timestamp.append(len(monitor.matches()))
+            join_done = time.perf_counter()
+            maintain += maintain_done - tick_start
+            join += join_done - maintain_done
+        candidates = sum(per_timestamp)
+        elapsed = maintain + join
+    finally:
+        if parallel:
+            monitor.close()
     return StreamRunResult(
-        method=method,
+        method=f"{method}@{workers}w" if parallel else method,
         workload=workload.name,
         num_queries=len(workload.queries),
         num_streams=len(workload.streams),

@@ -1,0 +1,46 @@
+"""Sharded multi-process stream-monitoring runtime.
+
+The paper's filter answers a timestamp in filter time; this package
+makes the *system* keep up with stream rates by scaling across cores:
+:class:`ShardedMonitor` shards registered streams over N worker
+processes (consistent hash on stream id — streams are independent by
+Definition 2.8, so sharding preserves the answer), routes change
+batches to bounded worker inboxes under a configurable backpressure
+policy, aggregates per-worker candidate sets into one global answer at
+poll time, and checkpoints each shard so a killed worker respawns with
+no false negatives.
+
+See ``docs/runtime.md`` for the architecture, routing, backpressure and
+recovery protocols; :mod:`repro.runtime.worker` for the command
+protocol; :mod:`repro.runtime.recovery` for the snapshot/journal
+layout.
+
+This is the only package in the tree allowed to touch process/thread
+machinery (analysis rule RP008): the filtering core stays
+deterministic and single-threaded, and all parallelism lives behind
+this facade.
+"""
+
+from .coordinator import (
+    POLICIES,
+    ShardedMonitor,
+    WorkerCrashed,
+    WorkerDied,
+)
+from .recovery import CheckpointStore, RecoveryLog, ShardJournal
+from .router import ShardRouter, stable_hash
+from .worker import ShardState, WorkerSpec
+
+__all__ = [
+    "CheckpointStore",
+    "POLICIES",
+    "RecoveryLog",
+    "ShardJournal",
+    "ShardRouter",
+    "ShardState",
+    "ShardedMonitor",
+    "WorkerCrashed",
+    "WorkerDied",
+    "WorkerSpec",
+    "stable_hash",
+]

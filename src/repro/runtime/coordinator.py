@@ -1,0 +1,586 @@
+"""The sharded stream-monitoring coordinator.
+
+:class:`ShardedMonitor` presents the :class:`~repro.core.StreamMonitor`
+surface (``add_stream`` / ``apply`` / ``matches`` / ``events`` /
+``stats``) while fanning the work out over N worker processes, each
+owning a disjoint shard of the streams (consistent hash on stream id,
+:mod:`repro.runtime.router`) with a private monitor over the shared
+query set.  Because streams are independent (Definition 2.8), the union
+of per-worker candidate sets *is* the global candidate set — sharding
+changes where the work happens, never the answer.
+
+**Backpressure.**  Worker inboxes are bounded queues.  When one fills,
+the configured policy decides what ``apply`` does:
+
+* ``"block"`` (default) — wait for the worker; lossless, applies source
+  backpressure to the caller.
+* ``"spill"`` — park overflow in an unbounded coordinator-side buffer,
+  drained opportunistically and fully at every poll barrier; lossless,
+  trades memory for caller latency.
+* ``"drop"`` — discard the update and count it.  The only lossy policy:
+  the no-false-negative guarantee then holds w.r.t. the *accepted*
+  sub-stream only.  Control traffic (stream registration, polls,
+  checkpoints) always blocks regardless of policy.
+
+**Consistency.**  A poll is a per-worker FIFO barrier: the poll command
+is enqueued behind every previously accepted update, so the aggregated
+answer reflects exactly the updates accepted before the poll — the same
+semantics as calling ``matches()`` on a single monitor after the same
+``apply`` calls.
+
+**Recovery.**  Every state-mutating command is journaled per shard
+(:mod:`repro.runtime.recovery`); ``checkpoint()`` snapshots each worker
+and truncates its journal.  A worker that dies — killed, OOMed, crashed
+hardware — is respawned from its latest committed snapshot and the
+journal tail is replayed, converging to exactly the state the lost
+worker would have reached: no false negatives.  With ``auto_recover``
+(default) this happens transparently inside the call that notices the
+death.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Literal, Mapping
+
+from ..core.metrics import merge_counter_summaries
+from ..core.monitor import MatchEvent, diff_polls
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.operations import EdgeChange, GraphChangeOperation
+from ..join.base import Pair, QueryId, StreamId
+from ..nnt.projection import DimensionScheme, PAPER_SCHEME
+from .recovery import CheckpointStore, RecoveryLog, ShardJournal
+from .router import ShardRouter
+from .worker import (
+    CMD_ADD_STREAM,
+    CMD_APPLY,
+    CMD_CHECKPOINT,
+    CMD_POLL,
+    CMD_REMOVE_STREAM,
+    CMD_STATS,
+    CMD_STOP,
+    STATE_COMMANDS,
+    WorkerSpec,
+    worker_main,
+)
+
+BackpressurePolicy = Literal["block", "drop", "spill"]
+POLICIES: tuple[str, ...] = ("block", "drop", "spill")
+
+#: How long a single response may take before we declare the runtime
+#: wedged (workers answer polls in milliseconds; this only trips when
+#: something is truly broken and the process is still technically alive).
+RESPONSE_TIMEOUT_SECONDS = 300.0
+_WAIT_SLICE_SECONDS = 0.2
+
+
+class WorkerDied(RuntimeError):
+    """A worker process exited without being asked to."""
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker raised inside command processing (traceback attached)."""
+
+
+@dataclass
+class _WorkerHandle:
+    """One live worker process and its queues."""
+
+    shard_id: int
+    process: multiprocessing.process.BaseProcess
+    inbox: Any  # multiprocessing.Queue (bounded)
+    outbox: Any  # multiprocessing.Queue (unbounded, responses/errors)
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def dispose(self) -> None:
+        """Tear down a (possibly dead) worker's process and queues."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5)
+        for channel in (self.inbox, self.outbox):
+            channel.cancel_join_thread()
+            channel.close()
+
+
+class ShardedMonitor:
+    """Multi-process drop-in for :class:`~repro.core.StreamMonitor`.
+
+    Parameters mirror the single-process monitor, plus:
+
+    num_workers:
+        Worker process count (shard count).  Streams hash onto shards;
+        with one worker the runtime degenerates to a supervised
+        single-process monitor (still recoverable).
+    queue_capacity:
+        Bound on each worker inbox, in commands.
+    backpressure:
+        ``"block"`` / ``"drop"`` / ``"spill"`` — see the module
+        docstring.
+    checkpoint_dir:
+        Root directory for shard snapshots; required for
+        ``checkpoint()`` and for restore-based recovery (without it,
+        recovery replays the journal from the shard's birth).
+    checkpoint_every:
+        Auto-checkpoint after this many accepted change batches
+        (0 = manual checkpoints only).
+    auto_recover:
+        Respawn dead workers transparently inside the call that notices
+        (default).  ``False`` raises :class:`WorkerDied` instead.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (fast, inherits the query set) and the platform
+        default elsewhere.
+    """
+
+    def __init__(
+        self,
+        queries: Mapping[QueryId, LabeledGraph],
+        method: str = "dsc",
+        depth_limit: int = 3,
+        scheme: DimensionScheme = PAPER_SCHEME,
+        coalesce: bool = True,
+        num_workers: int = 2,
+        queue_capacity: int = 128,
+        backpressure: str = "block",
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 0,
+        auto_recover: bool = True,
+        start_method: str | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if backpressure not in POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {POLICIES}, got {backpressure!r}"
+            )
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        self.spec = WorkerSpec(
+            queries=dict(queries),
+            method=method.lower(),
+            depth_limit=depth_limit,
+            scheme=scheme,
+            coalesce=coalesce,
+        )
+        self.num_workers = num_workers
+        self.queue_capacity = queue_capacity
+        self.backpressure = backpressure
+        self.checkpoint_every = checkpoint_every
+        self.auto_recover = auto_recover
+        if start_method is None and "fork" in multiprocessing.get_all_start_methods():
+            start_method = "fork"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.router = ShardRouter(num_workers)
+        self.store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        self.recovery_log = RecoveryLog()
+        self._journals = {shard: ShardJournal() for shard in range(num_workers)}
+        self._spill: dict[int, list[tuple]] = {shard: [] for shard in range(num_workers)}
+        self._streams: dict[StreamId, int] = {}
+        self._last_poll: set[Pair] = set()
+        self._request_counter = 0
+        self._dropped = 0
+        self._spilled = 0
+        self._accepted_batches = 0
+        self._batches_since_checkpoint = 0
+        self._closed = False
+        self._workers: dict[int, _WorkerHandle] = {
+            shard: self._spawn(shard, self.spec) for shard in range(num_workers)
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, shard_id: int, spec: WorkerSpec) -> _WorkerHandle:
+        inbox = self._ctx.Queue(maxsize=self.queue_capacity)
+        outbox = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(shard_id, spec, inbox, outbox),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        return _WorkerHandle(shard_id, process, inbox, outbox)
+
+    def close(self) -> None:
+        """Stop every worker and release their queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers.values():
+            if handle.is_alive():
+                try:
+                    self._put_blocking(handle, (CMD_STOP, self._next_request()))
+                    self._await_response(handle, CMD_STOP)
+                except (WorkerDied, WorkerCrashed, TimeoutError):
+                    pass
+            handle.process.join(timeout=5)
+            handle.dispose()
+
+    def __enter__(self) -> "ShardedMonitor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedMonitor is closed")
+
+    # ------------------------------------------------------------------
+    # stream lifecycle
+    # ------------------------------------------------------------------
+    def add_stream(self, stream_id: StreamId, initial: LabeledGraph | None = None) -> None:
+        """Start monitoring a stream on its hash-assigned shard."""
+        self._ensure_open()
+        if stream_id in self._streams:
+            raise ValueError(f"stream {stream_id!r} is already monitored")
+        shard = self.router.shard_for(stream_id)
+        self._submit_control(shard, (CMD_ADD_STREAM, stream_id, initial))
+        self._streams[stream_id] = shard
+
+    def remove_stream(self, stream_id: StreamId) -> None:
+        """Stop monitoring a stream and free its shard-local state."""
+        self._ensure_open()
+        shard = self._streams.pop(stream_id)
+        self._submit_control(shard, (CMD_REMOVE_STREAM, stream_id))
+        self._last_poll = {pair for pair in self._last_poll if pair[0] != stream_id}
+
+    def stream_ids(self) -> list[StreamId]:
+        """Ids of the currently monitored streams."""
+        return list(self._streams)
+
+    def query_ids(self) -> list[QueryId]:
+        """Ids of the (fixed) monitored patterns."""
+        return list(self.spec.queries)
+
+    def shard_of(self, stream_id: StreamId) -> int:
+        """Which shard owns a registered stream."""
+        return self._streams[stream_id]
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def apply(
+        self, stream_id: StreamId, update: GraphChangeOperation | EdgeChange
+    ) -> bool:
+        """Route one edge change / timestamp batch to the owning shard.
+
+        Returns True when the update was accepted (always, except under
+        the ``"drop"`` policy with a full inbox).
+        """
+        self._ensure_open()
+        if stream_id not in self._streams:
+            raise KeyError(f"stream {stream_id!r} is not monitored")
+        shard = self._streams[stream_id]
+        accepted = self._submit_update(shard, (CMD_APPLY, stream_id, update))
+        if accepted:
+            self._accepted_batches += 1
+            self._batches_since_checkpoint += 1
+            if (
+                self.checkpoint_every
+                and self._batches_since_checkpoint >= self.checkpoint_every
+            ):
+                self.checkpoint()
+        return accepted
+
+    def apply_many(
+        self, updates: Mapping[StreamId, GraphChangeOperation | EdgeChange]
+    ) -> int:
+        """Apply one timestamp's updates across streams; returns how
+        many were accepted."""
+        return sum(1 for sid, update in updates.items() if self.apply(sid, update))
+
+    # ------------------------------------------------------------------
+    # submission / backpressure
+    # ------------------------------------------------------------------
+    def _next_request(self) -> int:
+        self._request_counter += 1
+        return self._request_counter
+
+    def _handle_for(self, shard: int) -> _WorkerHandle:
+        handle = self._workers[shard]
+        if not handle.is_alive():
+            if not self.auto_recover:
+                raise WorkerDied(f"shard {shard} worker died (auto_recover off)")
+            self.recover(shard)
+            handle = self._workers[shard]
+        return handle
+
+    def _put_blocking(self, handle: _WorkerHandle, command: tuple) -> None:
+        """Enqueue, waiting out a full inbox; detect death while waiting."""
+        while True:
+            try:
+                handle.inbox.put(command, timeout=_WAIT_SLICE_SECONDS)
+                return
+            except queue_module.Full:
+                if not handle.is_alive():
+                    raise WorkerDied(
+                        f"shard {handle.shard_id} worker died with a full inbox"
+                    ) from None
+
+    def _submit_control(self, shard: int, command: tuple) -> None:
+        """Control traffic: always lossless and blocking."""
+        for attempt in (0, 1):
+            handle = self._handle_for(shard)
+            try:
+                self._put_blocking(handle, command)
+                break
+            except WorkerDied:
+                if not self.auto_recover or attempt:
+                    raise
+                # _handle_for will respawn on the retry.
+        if command[0] in STATE_COMMANDS:
+            self._journals[shard].record(command)
+
+    def _submit_update(self, shard: int, command: tuple) -> bool:
+        """Data traffic: subject to the configured backpressure policy."""
+        handle = self._handle_for(shard)
+        if self.backpressure == "block":
+            try:
+                self._put_blocking(handle, command)
+            except WorkerDied:
+                if not self.auto_recover:
+                    raise
+                self.recover(shard)
+                self._put_blocking(self._workers[shard], command)
+        elif self.backpressure == "drop":
+            try:
+                handle.inbox.put_nowait(command)
+            except queue_module.Full:
+                self._dropped += 1
+                return False
+        else:  # spill
+            spill = self._spill[shard]
+            if spill:
+                spill.append(command)
+                self._spilled += 1
+                self._drain_spill(shard, block=False)
+                self._journals[shard].record(command)
+                return True
+            try:
+                handle.inbox.put_nowait(command)
+            except queue_module.Full:
+                spill.append(command)
+                self._spilled += 1
+                self._journals[shard].record(command)
+                return True
+        self._journals[shard].record(command)
+        return True
+
+    def _drain_spill(self, shard: int, block: bool) -> None:
+        """Move parked commands into the worker inbox, preserving order.
+
+        Spilled commands are already journaled; recovery clears the park
+        buffer and replays the journal instead, so death mid-drain loses
+        nothing.
+        """
+        spill = self._spill[shard]
+        while spill:
+            handle = self._handle_for(shard)
+            try:
+                if block:
+                    self._put_blocking(handle, spill[0])
+                else:
+                    handle.inbox.put_nowait(spill[0])
+            except queue_module.Full:
+                return
+            except WorkerDied:
+                if not self.auto_recover:
+                    raise
+                self.recover(shard)
+                return  # recover() already replayed the journal (incl. spill)
+            spill.pop(0)
+
+    def _barrier(self) -> None:
+        """Make every accepted update deliverable: drain all spill buffers."""
+        for shard in self._spill:
+            self._drain_spill(shard, block=True)
+
+    # ------------------------------------------------------------------
+    # request/response
+    # ------------------------------------------------------------------
+    def _await_response(self, handle: _WorkerHandle, kind: str) -> tuple:
+        waited = 0.0
+        while True:
+            try:
+                response = handle.outbox.get(timeout=_WAIT_SLICE_SECONDS)
+            except queue_module.Empty:
+                waited += _WAIT_SLICE_SECONDS
+                if not handle.is_alive():
+                    raise WorkerDied(
+                        f"shard {handle.shard_id} worker died before answering {kind}"
+                    ) from None
+                if waited >= RESPONSE_TIMEOUT_SECONDS:
+                    raise TimeoutError(
+                        f"shard {handle.shard_id} did not answer {kind} within "
+                        f"{RESPONSE_TIMEOUT_SECONDS}s"
+                    ) from None
+                continue
+            if response[0] == "error":
+                raise WorkerCrashed(
+                    f"shard {handle.shard_id} worker crashed:\n{response[3]}"
+                )
+            if response[0] == kind:
+                return response
+            # Stale response from a pre-recovery request on a reused
+            # handle cannot happen (queues are per-spawn); anything else
+            # is a protocol bug worth failing loudly on.
+            raise RuntimeError(f"unexpected worker response {response[:2]!r}")
+
+    def _request(self, shard: int, kind: str, *extra: object) -> tuple:
+        """Send one control request and await its tagged response,
+        recovering once if the worker dies in between."""
+        for attempt in (0, 1):
+            handle = self._handle_for(shard)
+            request_id = self._next_request()
+            try:
+                self._put_blocking(handle, (kind, request_id, *extra))
+                return self._await_response(handle, kind)
+            except WorkerDied:
+                if not self.auto_recover or attempt:
+                    raise
+                self.recover(shard)
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def matches(self) -> set[Pair]:
+        """The global candidate set: the union of every worker's
+        *possible joinable* pairs, consistent with all accepted updates
+        (poll = FIFO barrier per worker)."""
+        self._ensure_open()
+        self._barrier()
+        aggregated: set[Pair] = set()
+        for shard in self._workers:
+            response = self._request(shard, CMD_POLL)
+            aggregated.update(response[3])
+        return aggregated
+
+    def is_match(self, stream_id: StreamId, query_id: QueryId) -> bool:
+        """Does one pair currently pass the filter?"""
+        return (stream_id, query_id) in self.matches()
+
+    def events(self) -> list[MatchEvent]:
+        """Appeared/vanished transitions since the previous
+        :meth:`events` call — identical semantics and format to
+        :meth:`repro.core.StreamMonitor.events`."""
+        current = self.matches()
+        events = diff_polls(self._last_poll, current)
+        self._last_poll = current
+        return events
+
+    def poll_events(self) -> list[MatchEvent]:
+        """Backward-compatible alias for :meth:`events`."""
+        return self.events()
+
+    def stats(self) -> dict[str, Any]:
+        """Coordinator + per-worker statistics: routing and backpressure
+        counters, the recovery log, each worker's
+        :class:`~repro.core.metrics.ShardCounters` and monitor stats,
+        and the merged fleet throughput view."""
+        self._ensure_open()
+        self._barrier()
+        workers: dict[int, dict[str, Any]] = {}
+        for shard in self._workers:
+            response = self._request(shard, CMD_STATS)
+            payload = dict(response[3])
+            payload["pid"] = self._workers[shard].process.pid
+            payload["alive"] = self._workers[shard].is_alive()
+            payload["journal_len"] = len(self._journals[shard])
+            workers[shard] = payload
+        shard_streams: dict[int, int] = {shard: 0 for shard in self._workers}
+        for shard in self._streams.values():
+            shard_streams[shard] += 1
+        return {
+            "num_workers": self.num_workers,
+            "num_streams": len(self._streams),
+            "num_queries": len(self.spec.queries),
+            "method": self.spec.method,
+            "backpressure": {
+                "policy": self.backpressure,
+                "queue_capacity": self.queue_capacity,
+                "accepted_batches": self._accepted_batches,
+                "dropped": self._dropped,
+                "spilled": self._spilled,
+                "parked": sum(len(spill) for spill in self._spill.values()),
+            },
+            "recovery": self.recovery_log.summary(),
+            "streams_per_shard": shard_streams,
+            "workers": workers,
+            "merged_counters": merge_counter_summaries(
+                payload["counters"] for payload in workers.values()
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # checkpointing and recovery
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> list[dict[str, Any]]:
+        """Snapshot every shard and truncate the journals; returns one
+        :func:`~repro.core.checkpoint.checkpoint_stats` dict per shard."""
+        self._ensure_open()
+        if self.store is None:
+            raise RuntimeError("checkpoint() requires checkpoint_dir")
+        self._barrier()
+        results = []
+        for shard in self._workers:
+            journal = self._journals[shard]
+            sequence = journal.sequence
+            target = self.store.prepare(shard, sequence)
+            note = {
+                "shard_id": shard,
+                "num_shards": self.num_workers,
+                "sequence": sequence,
+            }
+            response = self._request(shard, CMD_CHECKPOINT, str(target), note)
+            self.store.commit(shard, sequence)
+            journal.truncate()
+            self.recovery_log.checkpoints += 1
+            results.append(response[3])
+        self._batches_since_checkpoint = 0
+        return results
+
+    def recover(self, shard: int) -> None:
+        """Respawn one shard's worker from its latest committed snapshot
+        (or from scratch) and replay the journal tail."""
+        self._ensure_open()
+        old = self._workers[shard]
+        old.dispose()
+        restore_dir = None
+        if self.store is not None:
+            latest = self.store.latest_dir(shard)
+            if latest is not None:
+                restore_dir = str(latest)
+        # Journaled-but-undelivered spill is replayed from the journal.
+        self._spill[shard] = []
+        handle = self._spawn(shard, self.spec.restored(restore_dir))
+        self._workers[shard] = handle
+        journal = self._journals[shard]
+        for command in journal.entries:
+            self._put_blocking(handle, command)
+        self.recovery_log.recoveries += 1
+        self.recovery_log.replayed_commands += len(journal)
+
+    def recover_dead(self) -> list[int]:
+        """Respawn every dead worker; returns the recovered shard ids."""
+        recovered = []
+        for shard, handle in self._workers.items():
+            if not handle.is_alive():
+                self.recover(shard)
+                recovered.append(shard)
+        return recovered
+
+    def worker_pids(self) -> dict[int, int | None]:
+        """Shard id -> worker process pid (for supervision and tests)."""
+        return {shard: handle.process.pid for shard, handle in self._workers.items()}

@@ -1,0 +1,153 @@
+"""The shard worker: one process, one private :class:`StreamMonitor`.
+
+A worker owns a disjoint subset of the registered streams (chosen by the
+coordinator's :class:`~repro.runtime.router.ShardRouter`) over the full
+shared query set.  It drains its bounded inbox in FIFO order — which is
+what makes a poll a consistent barrier: the poll command is enqueued
+after every update it must observe — and pushes tagged responses on its
+outbox.  All answering state is the monitor's; the worker adds only the
+:class:`~repro.core.metrics.ShardCounters` throughput/latency accounting
+and the checkpoint/restore glue.
+
+Workers never share memory with the coordinator: commands and responses
+are picklable values (graphs, change operations, frozen candidate sets),
+so a worker can be SIGKILLed at any instant and respawned from its last
+shard checkpoint without corrupting anyone else.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.checkpoint import checkpoint_stats, load_monitor, save_monitor
+from ..core.metrics import ShardCounters
+from ..core.monitor import StreamMonitor
+from ..graph.labeled_graph import LabeledGraph
+from ..graph.operations import EdgeChange
+from ..nnt.projection import PAPER_SCHEME, DimensionScheme
+
+#: Inbox commands a worker understands (first tuple element).
+CMD_ADD_STREAM = "add_stream"
+CMD_REMOVE_STREAM = "remove_stream"
+CMD_APPLY = "apply"
+CMD_POLL = "poll"
+CMD_STATS = "stats"
+CMD_CHECKPOINT = "checkpoint"
+CMD_STOP = "stop"
+
+#: Commands that mutate stream state and therefore enter the journal.
+STATE_COMMANDS = frozenset({CMD_ADD_STREAM, CMD_REMOVE_STREAM, CMD_APPLY})
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything needed to build (or rebuild) one shard's monitor."""
+
+    queries: Mapping[Any, LabeledGraph]
+    method: str = "dsc"
+    depth_limit: int = 3
+    scheme: DimensionScheme = PAPER_SCHEME
+    coalesce: bool = True
+    restore_dir: str | None = None  # set when respawning from a checkpoint
+
+    def build_monitor(self) -> StreamMonitor:
+        """A fresh monitor, restored from ``restore_dir`` when set."""
+        if self.restore_dir is not None:
+            return load_monitor(self.restore_dir)
+        return StreamMonitor(
+            dict(self.queries),
+            method=self.method,
+            depth_limit=self.depth_limit,
+            scheme=self.scheme,
+            coalesce=self.coalesce,
+        )
+
+    def restored(self, restore_dir: str | None) -> "WorkerSpec":
+        """This spec with a different restore directory."""
+        return WorkerSpec(
+            queries=self.queries,
+            method=self.method,
+            depth_limit=self.depth_limit,
+            scheme=self.scheme,
+            coalesce=self.coalesce,
+            restore_dir=restore_dir,
+        )
+
+
+@dataclass
+class ShardState:
+    """The worker's in-process state (also used by the coordinator's
+    zero-worker in-process mode and by tests, so the command semantics
+    live in exactly one place)."""
+
+    shard_id: int
+    monitor: StreamMonitor
+    counters: ShardCounters = field(default_factory=ShardCounters)
+
+    def execute(self, command: tuple) -> tuple | None:
+        """Apply one inbox command; return the response to emit (None
+        for fire-and-forget state commands)."""
+        kind = command[0]
+        if kind == CMD_APPLY:
+            _, stream_id, update = command
+            started = time.perf_counter()
+            self.monitor.apply(stream_id, update)
+            num_changes = 1 if isinstance(update, EdgeChange) else len(update)
+            self.counters.record_batch(num_changes, time.perf_counter() - started)
+            return None
+        if kind == CMD_ADD_STREAM:
+            _, stream_id, initial = command
+            self.monitor.add_stream(stream_id, initial)
+            return None
+        if kind == CMD_REMOVE_STREAM:
+            self.monitor.remove_stream(command[1])
+            return None
+        if kind == CMD_POLL:
+            started = time.perf_counter()
+            candidates = frozenset(self.monitor.matches())
+            self.counters.record_poll(time.perf_counter() - started)
+            return (CMD_POLL, command[1], self.shard_id, candidates)
+        if kind == CMD_STATS:
+            return (CMD_STATS, command[1], self.shard_id, self.stats())
+        if kind == CMD_CHECKPOINT:
+            _, request_id, directory, shard_note = command
+            started = time.perf_counter()
+            save_monitor(self.monitor, Path(directory), shard=shard_note)
+            self.counters.record_checkpoint(time.perf_counter() - started)
+            return (CMD_CHECKPOINT, request_id, self.shard_id, checkpoint_stats(directory))
+        if kind == CMD_STOP:
+            return (CMD_STOP, command[1], self.shard_id, None)
+        raise ValueError(f"unknown worker command {kind!r}")
+
+    def stats(self) -> dict[str, Any]:
+        """Shard-local stats: counters plus the monitor's own view."""
+        return {
+            "shard_id": self.shard_id,
+            "counters": self.counters.summary(),
+            "monitor": self.monitor.stats(),
+        }
+
+
+def worker_main(shard_id: int, spec: WorkerSpec, inbox, outbox) -> None:
+    """Process entry point: build the shard monitor and serve commands
+    until :data:`CMD_STOP` (or a crash, reported on the outbox)."""
+    try:
+        state = ShardState(shard_id, spec.build_monitor())
+    except BaseException:  # noqa: BLE001 - startup failures must surface
+        outbox.put(("error", None, shard_id, traceback.format_exc()))
+        raise
+    while True:
+        command = inbox.get()
+        try:
+            response = state.execute(command)
+        except BaseException:  # noqa: BLE001 - report, then die loudly
+            outbox.put(("error", None, shard_id, traceback.format_exc()))
+            raise
+        if response is not None:
+            outbox.put(response)
+        if command[0] == CMD_STOP:
+            return

@@ -1,0 +1,25 @@
+"""RP008 fixture — analyzed as if it were ``repro.core.badmod``.
+
+Never imported at runtime; the fitness tests feed it to the analyzer
+with a unit override and expect each tagged line to fire.
+"""
+
+import multiprocessing  # expect-violation
+import threading  # expect-violation
+import queue  # repro: noqa[RP008]
+from concurrent.futures import ThreadPoolExecutor  # expect-violation
+from multiprocessing import Queue as MPQueue  # repro: noqa[RP001]  # expect-violation
+import _thread  # expect-violation
+import asyncio  # expect-violation
+import heapq  # allowed: not a concurrency module
+
+__all__ = [
+    "multiprocessing",
+    "threading",
+    "queue",
+    "ThreadPoolExecutor",
+    "MPQueue",
+    "_thread",
+    "asyncio",
+    "heapq",
+]

@@ -28,6 +28,7 @@ CASES = {
     "rp005_bad.py": ("RP005", "repro.join.badmod", "repro.join"),
     "rp006_bad.py": ("RP006", "benchmarks.bench_badmod", "benchmarks"),
     "rp007_bad.py": ("RP007", "repro.core.badmod", "repro.core"),
+    "rp008_bad.py": ("RP008", "repro.core.badmod", "repro.core"),
 }
 
 

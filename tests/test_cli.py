@@ -151,3 +151,132 @@ class TestExperimentExport:
         ) == 0
         text = (out / "fig12.md").read_text()
         assert text.startswith("## Figure 12")
+
+
+@pytest.fixture
+def replay_inputs(tmp_path):
+    """Queries plus two recorded streams for the replay/serve tests."""
+    db_path = tmp_path / "base.txt"
+    main(["generate", "ggen", "--out", str(db_path), "--count", "1", "--size", "6", "--seed", "3"])
+    queries = tmp_path / "q.txt"
+    main(
+        [
+            "generate", "queries", "--out", str(queries),
+            "--from-db", str(db_path), "--count", "2", "--query-edges", "2",
+        ]
+    )
+    streams = []
+    for seed in ("3", "5"):
+        stream_path = tmp_path / f"s{seed}.txt"
+        main(
+            [
+                "generate", "synthetic-stream", "--out", str(stream_path),
+                "--timestamps", "5", "--size", "6", "--seed", seed,
+            ]
+        )
+        streams.append(str(stream_path))
+    return str(queries), streams
+
+
+class TestReplay:
+    def test_single_worker_matches_monitor_output(self, replay_inputs, capsys):
+        queries, streams = replay_inputs
+        assert main(["monitor", "--queries", queries, "--streams", *streams]) == 0
+        monitor_out = capsys.readouterr().out
+        assert main(["replay", "--queries", queries, "--streams", *streams]) == 0
+        replay_out = capsys.readouterr().out
+        # Satellite invariant: library and runtime paths report events in
+        # the same format (both via events()).
+        assert replay_out == monitor_out
+
+    def test_sharded_replay_same_events(self, replay_inputs, capsys):
+        queries, streams = replay_inputs
+        assert main(["replay", "--queries", queries, "--streams", *streams]) == 0
+        single = capsys.readouterr().out
+        assert main(
+            ["replay", "--queries", queries, "--streams", *streams, "--workers", "2"]
+        ) == 0
+        sharded = capsys.readouterr().out
+        event_lines = [line for line in sharded.splitlines() if not line.startswith("workers:")]
+        assert "\n".join(event_lines) + "\n" == single
+        assert "policy: block" in sharded
+
+    def test_sharded_replay_with_checkpoints(self, replay_inputs, tmp_path, capsys):
+        queries, streams = replay_inputs
+        assert main(
+            [
+                "replay", "--queries", queries, "--streams", *streams,
+                "--workers", "2", "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--checkpoint-every", "3", "--policy", "spill",
+            ]
+        ) == 0
+        assert "final possible pairs:" in capsys.readouterr().out
+        assert (tmp_path / "ckpt" / "shard_0" / "LATEST").exists()
+
+
+class TestServe:
+    def _serve(self, monkeypatch, capsys, script, extra_args=()):
+        import io
+        import json
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO(script))
+        queries = getattr(self, "_queries_path")
+        assert main(["serve", "--queries", queries, *extra_args]) == 0
+        return [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+
+    @pytest.fixture(autouse=True)
+    def _queries(self, replay_inputs):
+        self._queries_path = replay_inputs[0]
+
+    def test_line_protocol_in_process(self, monkeypatch, capsys):
+        script = (
+            "stream a\n"
+            "ins a 1 2 - X Y\n"
+            "tick\n"
+            "matches\n"
+            "stats\n"
+            "bogus\n"
+            "quit\n"
+        )
+        responses = self._serve(monkeypatch, capsys, script)
+        assert [r["ok"] for r in responses] == [True, True, True, True, True, False, True]
+        assert responses[2]["cmd"] == "tick"
+        assert responses[2]["t"] == 1
+        assert responses[4]["stats"]["num_streams"] == 1
+        assert "unknown command" in responses[5]["error"]
+
+    def test_line_protocol_sharded(self, monkeypatch, capsys, tmp_path):
+        script = (
+            "stream a\n"
+            "ins a 1 2 - X Y\n"
+            "tick\n"
+            "checkpoint\n"
+            "poll\n"
+            "quit\n"
+        )
+        responses = self._serve(
+            monkeypatch,
+            capsys,
+            script,
+            extra_args=["--workers", "2", "--checkpoint-dir", str(tmp_path / "ck")],
+        )
+        assert all(r["ok"] for r in responses)
+        checkpoint = next(r for r in responses if r["cmd"] == "checkpoint")
+        assert len(checkpoint["shards"]) == 2
+
+    def test_errors_are_reported_not_fatal(self, monkeypatch, capsys):
+        script = (
+            "stream a\n"
+            "ins a 1 2 - X Y\n"
+            "tick\n"
+            "ins a 1 2 - X Y\n"
+            "tick\n"
+            "matches\n"
+            "quit\n"
+        )
+        responses = self._serve(monkeypatch, capsys, script)
+        # The duplicate edge insert fails at tick time but the server
+        # keeps going and still answers the final commands.
+        assert responses[-1]["cmd"] == "quit"
+        assert any(not r["ok"] for r in responses)

@@ -1,0 +1,410 @@
+"""The sharded runtime must be a behavioural drop-in for the
+single-process monitor: identical answers at every poll for every worker
+count, lossless recovery after a worker is killed, and the documented
+backpressure semantics."""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.core.monitor import StreamMonitor
+from repro.datasets.stream_gen import synthesize_stream
+from repro.graph import EdgeChange, GraphChangeOperation
+from repro.runtime import (
+    POLICIES,
+    ShardRouter,
+    ShardedMonitor,
+    WorkerCrashed,
+    WorkerDied,
+    stable_hash,
+)
+
+from .conftest import random_labeled_graph
+
+ENGINE_METHODS = ("nl", "dsc", "skyline", "matrix")
+
+
+def small_queries(rng: random.Random, count: int = 3) -> dict:
+    return {
+        f"q{i}": random_labeled_graph(rng, rng.randint(2, 4), extra_edges=1)
+        for i in range(count)
+    }
+
+
+def small_streams(rng: random.Random, count: int = 3, timestamps: int = 5) -> dict:
+    streams = {}
+    for i in range(count):
+        base = random_labeled_graph(rng, rng.randint(4, 7), extra_edges=2)
+        streams[f"s{i}"] = synthesize_stream(
+            base, 0.3, 0.2, timestamps, rng, all_pairs=True, name=f"s{i}"
+        )
+    return streams
+
+
+def drive_both(sharded: ShardedMonitor, streams: dict) -> None:
+    """Register streams and replay, asserting answer equality against a
+    freshly built in-process oracle at every timestamp."""
+    oracle = StreamMonitor(
+        sharded.spec.queries,
+        method=sharded.spec.method,
+        depth_limit=sharded.spec.depth_limit,
+    )
+    for stream_id, stream in streams.items():
+        sharded.add_stream(stream_id, stream.initial)
+        oracle.add_stream(stream_id, stream.initial)
+    assert sharded.matches() == oracle.matches()
+    horizon = min(len(stream.operations) for stream in streams.values())
+    for t in range(horizon):
+        for stream_id, stream in streams.items():
+            sharded.apply(stream_id, stream.operations[t])
+            oracle.apply(stream_id, stream.operations[t])
+        assert sharded.matches() == oracle.matches(), f"diverged at t={t + 1}"
+
+
+# ----------------------------------------------------------------------
+# consistent-hash router
+# ----------------------------------------------------------------------
+class TestShardRouter:
+    def test_deterministic_across_instances(self):
+        keys = [f"stream-{i}" for i in range(50)]
+        a, b = ShardRouter(4), ShardRouter(4)
+        assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+
+    def test_stable_hash_is_process_independent(self):
+        # blake2b, not the salted builtin: fixed expectation pins it.
+        assert stable_hash("x") == stable_hash("x")
+        assert stable_hash("x") != stable_hash("y")
+        assert stable_hash(1) != stable_hash("1")  # type-tagged
+
+    def test_every_shard_used(self):
+        router = ShardRouter(4)
+        shards = {router.shard_for(f"stream-{i}") for i in range(200)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_shard_in_range(self):
+        router = ShardRouter(3)
+        for i in range(100):
+            assert 0 <= router.shard_for(i) < 3
+
+    def test_consistent_hashing_limits_movement(self):
+        keys = [f"stream-{i}" for i in range(300)]
+        four, five = ShardRouter(4), ShardRouter(5)
+        moved = sum(1 for k in keys if four.shard_for(k) != five.shard_for(k))
+        # Naive modulo hashing moves ~80% of keys on 4 -> 5; the ring
+        # should move roughly 1/5 and certainly far less than half.
+        assert moved < len(keys) * 0.5
+
+    def test_assignment_covers_all_keys(self):
+        router = ShardRouter(2)
+        keys = [f"s{i}" for i in range(20)]
+        assignment = router.assignment(keys)
+        assert sorted(assignment) == sorted(keys)
+        assert all(shard in (0, 1) for shard in assignment.values())
+        assert all(router.shard_for(k) == assignment[k] for k in keys)
+
+
+# ----------------------------------------------------------------------
+# answer equivalence
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_matches_equal_single_process_at_every_poll(self, workers):
+        rng = random.Random(100 + workers)
+        queries = small_queries(rng)
+        streams = small_streams(rng)
+        with ShardedMonitor(queries, method="dsc", num_workers=workers) as sharded:
+            drive_both(sharded, streams)
+
+    @pytest.mark.parametrize("method", ENGINE_METHODS)
+    def test_every_engine_method(self, method):
+        rng = random.Random(40 + ENGINE_METHODS.index(method))
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=2, timestamps=4)
+        with ShardedMonitor(queries, method=method, num_workers=2) as sharded:
+            drive_both(sharded, streams)
+
+    def test_events_match_single_process(self):
+        rng = random.Random(7)
+        queries = small_queries(rng)
+        streams = small_streams(rng)
+        oracle = StreamMonitor(queries, method="dsc")
+        with ShardedMonitor(queries, method="dsc", num_workers=2) as sharded:
+            for stream_id, stream in streams.items():
+                sharded.add_stream(stream_id, stream.initial)
+                oracle.add_stream(stream_id, stream.initial)
+            assert sharded.events() == oracle.events()
+            horizon = min(len(s.operations) for s in streams.values())
+            for t in range(horizon):
+                for stream_id, stream in streams.items():
+                    sharded.apply(stream_id, stream.operations[t])
+                    oracle.apply(stream_id, stream.operations[t])
+                assert sharded.events() == oracle.events(), f"diverged at t={t + 1}"
+
+    def test_remove_stream_drops_its_pairs(self):
+        rng = random.Random(13)
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=2, timestamps=2)
+        with ShardedMonitor(queries, num_workers=2) as sharded:
+            for stream_id, stream in streams.items():
+                sharded.add_stream(stream_id, stream.initial)
+            sharded.remove_stream("s0")
+            assert all(s != "s0" for s, _ in sharded.matches())
+            assert sharded.stream_ids() == ["s1"]
+
+
+# ----------------------------------------------------------------------
+# lifecycle and error surface
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_duplicate_stream_rejected(self):
+        rng = random.Random(1)
+        with ShardedMonitor(small_queries(rng), num_workers=2) as sharded:
+            sharded.add_stream("s0", random_labeled_graph(rng, 3))
+            with pytest.raises(ValueError):
+                sharded.add_stream("s0", random_labeled_graph(rng, 3))
+
+    def test_apply_to_unknown_stream_rejected(self):
+        rng = random.Random(2)
+        with ShardedMonitor(small_queries(rng), num_workers=1) as sharded:
+            with pytest.raises(KeyError):
+                sharded.apply("ghost", EdgeChange.insert(0, 1, "-", "A", "B"))
+
+    def test_closed_monitor_rejects_calls(self):
+        rng = random.Random(3)
+        sharded = ShardedMonitor(small_queries(rng), num_workers=1)
+        sharded.close()
+        sharded.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            sharded.matches()
+
+    def test_invalid_configuration_rejected(self):
+        rng = random.Random(4)
+        queries = small_queries(rng)
+        with pytest.raises(ValueError):
+            ShardedMonitor(queries, num_workers=0)
+        with pytest.raises(ValueError):
+            ShardedMonitor(queries, backpressure="yolo")
+        with pytest.raises(ValueError):
+            ShardedMonitor(queries, checkpoint_every=5)  # no checkpoint_dir
+
+    def test_worker_exception_surfaces_with_traceback(self):
+        rng = random.Random(5)
+        with ShardedMonitor(
+            small_queries(rng), num_workers=1, auto_recover=False
+        ) as sharded:
+            sharded.add_stream("s0", random_labeled_graph(rng, 3))
+            sharded.apply("s0", EdgeChange.insert(100, 101, "-", "A", "B"))
+            # Duplicate insertion makes the worker raise GraphError.
+            sharded.apply("s0", EdgeChange.insert(100, 101, "-", "A", "B"))
+            with pytest.raises((WorkerCrashed, WorkerDied)):
+                sharded.matches()
+
+    def test_stats_shape(self):
+        rng = random.Random(6)
+        with ShardedMonitor(small_queries(rng), num_workers=2) as sharded:
+            sharded.add_stream("s0", random_labeled_graph(rng, 4))
+            sharded.apply("s0", EdgeChange.insert("a", "b", "-", "A", "B"))
+            stats = sharded.stats()
+        assert stats["num_workers"] == 2
+        assert stats["num_streams"] == 1
+        assert stats["backpressure"]["policy"] == "block"
+        assert stats["backpressure"]["accepted_batches"] == 1
+        assert set(stats["workers"]) == {0, 1}
+        assert stats["merged_counters"]["batches"] == 1
+        assert stats["recovery"] == {
+            "checkpoints": 0,
+            "recoveries": 0,
+            "replayed_commands": 0,
+        }
+
+
+# ----------------------------------------------------------------------
+# backpressure policies
+# ----------------------------------------------------------------------
+def _pause_worker(sharded: ShardedMonitor, shard: int) -> int:
+    pid = sharded.worker_pids()[shard]
+    assert pid is not None
+    os.kill(pid, signal.SIGSTOP)
+    return pid
+
+
+class TestBackpressure:
+    def test_policies_constant(self):
+        assert POLICIES == ("block", "drop", "spill")
+
+    def test_drop_counts_rejected_updates(self):
+        rng = random.Random(21)
+        queries = small_queries(rng)
+        with ShardedMonitor(
+            queries, num_workers=1, queue_capacity=1, backpressure="drop"
+        ) as sharded:
+            sharded.add_stream("s0", random_labeled_graph(rng, 4))
+            pid = _pause_worker(sharded, 0)
+            try:
+                results = [
+                    sharded.apply(
+                        "s0", EdgeChange.insert(50 + i, 60 + i, "-", "A", "B")
+                    )
+                    for i in range(6)
+                ]
+            finally:
+                os.kill(pid, signal.SIGCONT)
+            assert not all(results)
+            stats = sharded.stats()
+            assert stats["backpressure"]["dropped"] >= 1
+            assert stats["backpressure"]["dropped"] == results.count(False)
+
+    def test_spill_is_lossless(self):
+        rng = random.Random(22)
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=2, timestamps=4)
+        oracle = StreamMonitor(queries, method="dsc")
+        with ShardedMonitor(
+            queries, num_workers=2, queue_capacity=1, backpressure="spill"
+        ) as sharded:
+            for stream_id, stream in streams.items():
+                sharded.add_stream(stream_id, stream.initial)
+                oracle.add_stream(stream_id, stream.initial)
+            pids = [_pause_worker(sharded, shard) for shard in (0, 1)]
+            try:
+                horizon = min(len(s.operations) for s in streams.values())
+                for t in range(horizon):
+                    for stream_id, stream in streams.items():
+                        assert sharded.apply(stream_id, stream.operations[t])
+                        oracle.apply(stream_id, stream.operations[t])
+            finally:
+                for pid in pids:
+                    os.kill(pid, signal.SIGCONT)
+            # The poll barrier drains every parked command first.
+            assert sharded.matches() == oracle.matches()
+            stats = sharded.stats()
+            assert stats["backpressure"]["spilled"] >= 1
+            assert stats["backpressure"]["parked"] == 0
+            assert stats["backpressure"]["dropped"] == 0
+
+    def test_block_is_lossless_under_tiny_queue(self):
+        rng = random.Random(23)
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=2, timestamps=3)
+        with ShardedMonitor(
+            queries, num_workers=2, queue_capacity=1, backpressure="block"
+        ) as sharded:
+            drive_both(sharded, streams)
+            assert sharded.stats()["backpressure"]["dropped"] == 0
+
+
+# ----------------------------------------------------------------------
+# checkpointing and recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_kill_mid_replay_no_false_negatives(self, tmp_path):
+        rng = random.Random(31)
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=3, timestamps=6)
+        oracle = StreamMonitor(queries, method="dsc")
+        with ShardedMonitor(
+            queries,
+            method="dsc",
+            num_workers=2,
+            checkpoint_dir=tmp_path / "ckpt",
+        ) as sharded:
+            for stream_id, stream in streams.items():
+                sharded.add_stream(stream_id, stream.initial)
+                oracle.add_stream(stream_id, stream.initial)
+            horizon = min(len(s.operations) for s in streams.values())
+            kill_at = horizon // 2
+            for t in range(horizon):
+                if t == kill_at:
+                    sharded.checkpoint()
+                for stream_id, stream in streams.items():
+                    sharded.apply(stream_id, stream.operations[t])
+                    oracle.apply(stream_id, stream.operations[t])
+                if t == kill_at:
+                    victim = sharded.worker_pids()[0]
+                    os.kill(victim, signal.SIGKILL)
+                    # Give the kernel a moment to reap it so liveness
+                    # checks observe the death promptly.
+                    time.sleep(0.05)
+            assert sharded.matches() == oracle.matches()
+            summary = sharded.recovery_log.summary()
+            assert summary["recoveries"] >= 1
+            assert summary["checkpoints"] == 2  # one per shard
+            assert summary["replayed_commands"] >= 1
+
+    def test_recover_without_checkpoint_replays_from_birth(self):
+        rng = random.Random(32)
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=2, timestamps=3)
+        oracle = StreamMonitor(queries, method="dsc")
+        with ShardedMonitor(queries, num_workers=1) as sharded:
+            for stream_id, stream in streams.items():
+                sharded.add_stream(stream_id, stream.initial)
+                oracle.add_stream(stream_id, stream.initial)
+            for t in range(min(len(s.operations) for s in streams.values())):
+                for stream_id, stream in streams.items():
+                    sharded.apply(stream_id, stream.operations[t])
+                    oracle.apply(stream_id, stream.operations[t])
+            os.kill(sharded.worker_pids()[0], signal.SIGKILL)
+            time.sleep(0.05)
+            assert sharded.matches() == oracle.matches()
+            assert sharded.recovery_log.recoveries == 1
+
+    def test_recover_dead_respawns_and_preserves_answers(self, tmp_path):
+        rng = random.Random(33)
+        queries = small_queries(rng)
+        with ShardedMonitor(
+            queries, num_workers=2, checkpoint_dir=tmp_path / "ckpt"
+        ) as sharded:
+            sharded.add_stream("s0", random_labeled_graph(rng, 5, extra_edges=2))
+            before = sharded.matches()
+            sharded.checkpoint()
+            for pid in sharded.worker_pids().values():
+                os.kill(pid, signal.SIGKILL)
+            time.sleep(0.05)
+            recovered = sharded.recover_dead()
+            assert sorted(recovered) == [0, 1]
+            assert sharded.matches() == before
+
+    def test_auto_checkpoint_cadence(self, tmp_path):
+        rng = random.Random(34)
+        queries = small_queries(rng)
+        with ShardedMonitor(
+            queries,
+            num_workers=2,
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every=2,
+        ) as sharded:
+            sharded.add_stream("s0", random_labeled_graph(rng, 4))
+            for i in range(4):
+                sharded.apply("s0", EdgeChange.insert(70 + i, 80 + i, "-", "A", "B"))
+            # 4 accepted batches / cadence 2 = 2 rounds x 2 shards.
+            assert sharded.recovery_log.checkpoints == 4
+            assert (tmp_path / "ckpt" / "shard_0" / "LATEST").exists()
+
+    def test_checkpoint_requires_directory(self):
+        rng = random.Random(35)
+        with ShardedMonitor(small_queries(rng), num_workers=1) as sharded:
+            with pytest.raises(RuntimeError):
+                sharded.checkpoint()
+
+
+# ----------------------------------------------------------------------
+# parity with the library quickstart
+# ----------------------------------------------------------------------
+def test_quickstart_parity():
+    """The README quickstart, verbatim, against the runtime facade."""
+    from repro import LabeledGraph
+
+    pattern = LabeledGraph.from_vertices_and_edges(
+        [(0, "A"), (1, "B"), (2, "C")], [(0, 1, "-"), (1, 2, "-")]
+    )
+    with ShardedMonitor({"triangle-feed": pattern}, method="dsc", num_workers=2) as m:
+        m.add_stream("net0")
+        m.apply("net0", EdgeChange.insert(7, 8, "-", "A", "B"))
+        m.apply("net0", EdgeChange.insert(8, 9, "-", None, "C"))
+        assert m.matches() == {("net0", "triangle-feed")}
