@@ -59,7 +59,7 @@ def main() -> None:
                 v_label=HOST_LABELS[dst % 3],
             )
         expired = monitor.tick("edge-net")
-        for event in monitor.poll_events():
+        for event in monitor.events():
             print(f"min {minute:2d}: {event.kind} {event.query_id!r}  "
                   f"(window expired {expired} flows this minute)")
 

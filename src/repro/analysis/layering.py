@@ -40,9 +40,14 @@ ANY = "*"
 ALLOWED_IMPORTS: dict[str, frozenset[str] | str] = {
     # Foundation: the labeled-graph substrate imports nothing.
     "repro.graph": frozenset(),
+    # Observability (spans/instruments/exposition): stdlib-only leaf
+    # below the whole stack so any layer may instrument itself.  It is
+    # also the only unit (plus repro.core's metrics module) allowed to
+    # read the clock for timing — rule RP009.
+    "repro.obs": frozenset(),
     # Filtering path (Sections III-IV): graph only, never isomorphism.
-    "repro.nnt": frozenset({"repro.graph"}),
-    "repro.join": frozenset({"repro.graph", "repro.nnt"}),
+    "repro.nnt": frozenset({"repro.graph", "repro.obs"}),
+    "repro.join": frozenset({"repro.graph", "repro.nnt", "repro.obs"}),
     # Exact matching: a leaf that only sees the graph substrate.
     "repro.isomorphism": frozenset({"repro.graph"}),
     # Dataset generators: graph substrate only (keeps them portable).
@@ -51,13 +56,13 @@ ALLOWED_IMPORTS: dict[str, frozenset[str] | str] = {
     "repro.baselines": frozenset({"repro.graph", "repro.isomorphism"}),
     # Orchestration: wires filter + optional verification together.
     "repro.core": frozenset(
-        {"repro.graph", "repro.nnt", "repro.join", "repro.isomorphism"}
+        {"repro.graph", "repro.nnt", "repro.join", "repro.isomorphism", "repro.obs"}
     ),
     # The multi-process runtime orchestrates monitors; it sits above
     # core but below the CLI, and is the only unit allowed to touch
     # process/thread machinery (rule RP008).
     "repro.runtime": frozenset(
-        {"repro.graph", "repro.nnt", "repro.join", "repro.core"}
+        {"repro.graph", "repro.nnt", "repro.join", "repro.core", "repro.obs"}
     ),
     # Rendering helpers for trees/graphs.
     "repro.render": frozenset({"repro.graph", "repro.nnt"}),

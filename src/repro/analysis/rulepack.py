@@ -1,4 +1,4 @@
-"""The initial rule pack (RP001-RP008), grounded in the paper.
+"""The initial rule pack (RP001-RP009), grounded in the paper.
 
 Each rule protects one invariant the reproduction depends on:
 
@@ -19,6 +19,10 @@ RP007     no cross-object ``_private`` attribute access (the
 RP008     no process/thread/queue primitives outside ``repro.runtime``
           (the filtering core stays deterministic and single-threaded;
           all parallelism lives behind the runtime facade)
+RP009     no direct ``time.*`` timing in the instrumented packages
+          (graph/nnt/join/core/runtime) outside ``repro.obs`` and
+          ``repro.core.metrics`` — per-stage timing flows through
+          spans/instruments so exposition accounts for all of it
 ========  ==========================================================
 """
 
@@ -568,3 +572,78 @@ class ConcurrencyContainmentRule(Rule):
                         "repro.runtime.ShardedMonitor",
                     )
                     break
+
+
+# ----------------------------------------------------------------------
+# RP009 — timing goes through repro.obs, not ad-hoc time.* reads
+# ----------------------------------------------------------------------
+
+_CLOCK_FUNCTIONS = {
+    "time",
+    "clock",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "thread_time",
+    "thread_time_ns",
+}
+
+
+@register
+class AdHocTimingRule(Rule):
+    """Instrumented packages must not read clocks directly."""
+
+    rule_id = "RP009"
+    title = "no direct time.* timing in instrumented packages"
+    rationale = (
+        "The observability layer (repro.obs) is the single source of "
+        "timing truth for the filtering and runtime packages: every "
+        "measured interval must flow through spans/instruments (or the "
+        "Stopwatch in repro.core.metrics) so that exposition accounts "
+        "for where each timestamp's milliseconds go.  An ad-hoc "
+        "perf_counter pair is invisible to `repro stats` and drifts "
+        "out of the merged fleet histograms."
+    )
+    units = frozenset(
+        {"repro.graph", "repro.nnt", "repro.join", "repro.core", "repro.runtime"}
+    )
+
+    #: Modules that implement the timing primitives themselves.
+    _EXEMPT_MODULES = frozenset({"repro.core.metrics"})
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        if context.module_name in self._EXEMPT_MODULES:
+            return False
+        return super().applies_to(context)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                    and func.attr in _CLOCK_FUNCTIONS
+                ):
+                    yield context.finding(
+                        node,
+                        self.rule_id,
+                        f"direct time.{func.attr}() in an instrumented "
+                        "package; time stages with repro.obs.span() / "
+                        "histograms (or repro.core.metrics.Stopwatch) so "
+                        "the interval reaches exposition",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_FUNCTIONS:
+                        yield context.finding(
+                            node,
+                            self.rule_id,
+                            f"importing time.{alias.name} in an instrumented "
+                            "package; route timing through repro.obs (or "
+                            "repro.core.metrics.Stopwatch)",
+                        )

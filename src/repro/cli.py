@@ -1,17 +1,20 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
     python -m repro generate ...    # write synthetic datasets to files
     python -m repro search ...      # static filter-and-verify search
     python -m repro monitor ...     # replay streams, print match events
     python -m repro replay ...      # same, through the sharded runtime
     python -m repro serve ...       # line-protocol server over stdin
+    python -m repro stats ...       # render an observability dump (Prometheus/JSON)
     python -m repro experiment ...  # run a paper-figure driver
-    python -m repro lint ...        # static analysis (RP001-RP008)
+    python -m repro lint ...        # static analysis (RP001-RP009)
 
 Graphs and query sets use the text format of :mod:`repro.graph.io`
 (gSpan-style ``t # / v / e`` blocks); streams add ``op`` blocks.
+``replay`` and ``serve`` take ``--stats-every N`` to emit the merged
+observability registries every N timestamps (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -117,6 +120,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="auto-checkpoint cadence in accepted batches (0 = off)",
     )
+    replay.add_argument(
+        "--stats-every",
+        type=int,
+        default=0,
+        help="print merged observability metrics (Prometheus text) every "
+        "N timestamps (0 = off)",
+    )
+    replay.add_argument(
+        "--stats-json",
+        help="write the final merged observability summary to this JSON file",
+    )
 
     # -- serve ------------------------------------------------------------
     serve = subparsers.add_parser(
@@ -138,6 +152,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--policy", choices=["block", "drop", "spill"], default="block")
     serve.add_argument("--checkpoint-dir", help="shard snapshot directory")
     serve.add_argument("--checkpoint-every", type=int, default=0)
+    serve.add_argument(
+        "--stats-every",
+        type=int,
+        default=0,
+        help="emit an observability summary JSON line every N ticks (0 = off)",
+    )
+
+    # -- stats ------------------------------------------------------------
+    stats = subparsers.add_parser(
+        "stats",
+        help="render an observability summary dump as Prometheus text or JSON",
+    )
+    stats.add_argument(
+        "dump",
+        nargs="?",
+        help="summary JSON file written by `replay --stats-json` (default: stdin); "
+        "full `stats` dumps with a merged_obs/obs key are unwrapped automatically",
+    )
+    stats.add_argument(
+        "--format",
+        choices=["prometheus", "json"],
+        default="prometheus",
+        help="exposition format (default Prometheus text 0.0.4)",
+    )
+    stats.add_argument("--prefix", default="repro", help="metric name prefix")
 
     # -- experiment ---------------------------------------------------------
     experiment = subparsers.add_parser("experiment", help="run a paper-figure driver")
@@ -250,14 +289,29 @@ def _read_streams(paths: list[str]) -> dict:
     return streams
 
 
-def _replay_and_report(monitor, streams, verify_with=None) -> None:
+def _collect_obs_summary(monitor) -> dict:
+    """The monitor's observability summary: for a ShardedMonitor the
+    fleet-merged per-worker registries (plus the coordinator's own), for
+    an in-process monitor the process-local registry."""
+    from . import obs
+
+    if hasattr(monitor, "inbox_depths"):  # ShardedMonitor
+        return monitor.stats()["merged_obs"]
+    return obs.get_registry().summary()
+
+
+def _replay_and_report(monitor, streams, verify_with=None, stats_every=0) -> None:
     """Drive ``monitor`` (StreamMonitor or ShardedMonitor — same API)
     through recorded streams, printing one line per match event.
 
     Both the library and runtime paths report transitions through
     ``events()``, so the output format is identical regardless of
-    ``--workers``.
+    ``--workers``.  With ``stats_every`` > 0, the merged observability
+    metrics are printed as a Prometheus text block every that many
+    timestamps (and once more after the final poll).
     """
+    from .obs import render_prometheus
+
     for stream_id, stream in streams.items():
         monitor.add_stream(stream_id, stream.initial)
     for event in monitor.events():
@@ -274,8 +328,14 @@ def _replay_and_report(monitor, streams, verify_with=None) -> None:
                 confirmed = pair in verify_with.verified_matches({pair})
                 line += "  [CONFIRMED]" if confirmed else "  [filter only]"
             print(line)
+        if stats_every and (timestamp + 1) % stats_every == 0:
+            print(f"# repro stats t={timestamp + 1}")
+            print(render_prometheus(_collect_obs_summary(monitor)), end="")
     final = sorted(monitor.matches())
     print(f"final possible pairs: {final}")
+    if stats_every:
+        print("# repro stats final")
+        print(render_prometheus(_collect_obs_summary(monitor)), end="")
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
@@ -286,12 +346,22 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_stats_json(monitor, path: str) -> None:
+    import json
+
+    summary = _collect_obs_summary(monitor)
+    Path(path).write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     queries = dict(read_graph_set(args.queries))
     streams = _read_streams(args.streams)
     if args.workers <= 1:
         monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
-        _replay_and_report(monitor, streams)
+        _replay_and_report(monitor, streams, stats_every=args.stats_every)
+        if args.stats_json:
+            _write_stats_json(monitor, args.stats_json)
         return 0
     from .runtime import ShardedMonitor
 
@@ -305,7 +375,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
     ) as monitor:
-        _replay_and_report(monitor, streams)
+        _replay_and_report(monitor, streams, stats_every=args.stats_every)
         stats = monitor.stats()
         pressure = stats["backpressure"]
         print(
@@ -315,6 +385,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             f"dropped: {pressure['dropped']}  "
             f"spilled: {pressure['spilled']}"
         )
+        if args.stats_json:
+            _write_stats_json(monitor, args.stats_json)
     return 0
 
 
@@ -401,6 +473,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                             "events": event_dicts(monitor.events()),
                         }
                     )
+                    if args.stats_every and timestamp % args.stats_every == 0:
+                        emit(
+                            {
+                                "ok": True,
+                                "cmd": "stats_auto",
+                                "t": timestamp,
+                                "obs": _collect_obs_summary(monitor),
+                            }
+                        )
                 elif command == "poll":
                     emit(
                         {
@@ -433,6 +514,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if hasattr(monitor, "close"):
             monitor.close()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import render_json, render_prometheus
+
+    if args.dump:
+        text = Path(args.dump).read_text()
+    else:
+        text = sys.stdin.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"not a JSON summary: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(data, dict):
+        print("summary must be a JSON object", file=sys.stderr)
+        return 2
+    # Accept either a bare registry summary or a full stats() dump that
+    # wraps one under merged_obs/obs.
+    if "merged_obs" in data and not all(
+        isinstance(v, dict) and "kind" in v for v in data.values()
+    ):
+        data = data["merged_obs"]
+    elif "obs" in data and not all(
+        isinstance(v, dict) and "kind" in v for v in data.values()
+    ):
+        data = data["obs"]
+    if args.format == "json":
+        print(render_json(data))
+    else:
+        print(render_prometheus(data, prefix=args.prefix), end="")
     return 0
 
 
@@ -483,6 +598,7 @@ def main(argv: list[str] | None = None) -> int:
         "monitor": _cmd_monitor,
         "replay": _cmd_replay,
         "serve": _cmd_serve,
+        "stats": _cmd_stats,
         "experiment": _cmd_experiment,
         "lint": _cmd_lint,
     }

@@ -24,9 +24,11 @@ subgraph isomorphism.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Iterable, Literal, Mapping
 
+from .. import obs
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.operations import EdgeChange, GraphChangeOperation
 from ..isomorphism.vf2 import SubgraphMatcher
@@ -43,6 +45,28 @@ class MatchEvent:
     kind: Literal["appeared", "vanished"]
     stream_id: StreamId
     query_id: QueryId
+
+
+#: Classes that already emitted the ``poll_events`` deprecation warning
+#: (the warning fires once per class per process, not once per call).
+_POLL_EVENTS_WARNED: set[str] = set()
+
+
+def warn_poll_events_deprecated(cls_name: str) -> None:
+    """Emit the ``poll_events -> events`` :class:`DeprecationWarning`,
+    once per class per process.  Shared by every monitor front-end that
+    keeps the legacy alias (:class:`StreamMonitor`,
+    :class:`repro.runtime.ShardedMonitor`,
+    :class:`repro.core.window.SlidingWindowMonitor`)."""
+    if cls_name in _POLL_EVENTS_WARNED:
+        return
+    _POLL_EVENTS_WARNED.add(cls_name)
+    warnings.warn(
+        f"{cls_name}.poll_events() is deprecated and will be removed; "
+        f"call {cls_name}.events() instead (identical semantics)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def diff_polls(previous: set[Pair], current: set[Pair]) -> list[MatchEvent]:
@@ -181,10 +205,18 @@ class StreamMonitor:
     ) -> None:
         """Apply one edge change or a whole timestamp batch to a stream."""
         index = self._indexes[stream_id]
-        if isinstance(update, EdgeChange):
-            index.apply_change(update)
-        else:
-            index.apply(update)
+        with obs.span("monitor.apply", stream=stream_id):
+            if isinstance(update, EdgeChange):
+                index.apply_change(update)
+                num_changes = 1
+            else:
+                index.apply(update)
+                num_changes = len(update)
+        if obs.enabled():
+            obs.counter(
+                "monitor.changes",
+                help="individual edge changes applied across all streams",
+            ).inc(num_changes)
 
     def apply_many(
         self, updates: Mapping[StreamId, GraphChangeOperation | EdgeChange]
@@ -202,7 +234,13 @@ class StreamMonitor:
         """All currently *possible joinable* ``(stream_id, query_id)``
         pairs (the approximate answer of Definition 2.8; superset of the
         exact answer)."""
-        return self.engine.candidates()
+        with obs.span("monitor.matches", engine=self.method):
+            result = self.engine.candidates()
+        if obs.enabled():
+            obs.counter(
+                "monitor.polls", help="candidate-set reads answered"
+            ).inc()
+        return result
 
     def is_match(self, stream_id: StreamId, query_id: QueryId) -> bool:
         """Does one pair currently pass the filter?"""
@@ -237,13 +275,20 @@ class StreamMonitor:
         semantics (via :func:`diff_polls`), so both report transitions
         in the same format.
         """
-        current = self.matches()
-        events = diff_polls(self._last_poll, current)
-        self._last_poll = current
+        with obs.span("monitor.events"):
+            current = self.matches()
+            events = diff_polls(self._last_poll, current)
+            self._last_poll = current
+        if obs.enabled() and events:
+            obs.counter(
+                "monitor.events", help="appeared/vanished transitions reported"
+            ).inc(len(events))
         return events
 
     def poll_events(self) -> list[MatchEvent]:
-        """Backward-compatible alias for :meth:`events`."""
+        """Deprecated alias for :meth:`events` (same semantics; warns
+        once per process)."""
+        warn_poll_events_deprecated(type(self).__name__)
         return self.events()
 
     def verified_matches(self, pairs: Iterable[Pair] | None = None) -> set[Pair]:
@@ -254,11 +299,19 @@ class StreamMonitor:
             pairs = self.matches()
         confirmed: set[Pair] = set()
         matchers: dict[StreamId, SubgraphMatcher] = {}
-        for stream_id, query_id in pairs:
-            matcher = matchers.get(stream_id)
-            if matcher is None:
-                matcher = SubgraphMatcher(self._indexes[stream_id].graph)
-                matchers[stream_id] = matcher
-            if matcher.is_subgraph(self.query_set.queries[query_id]):
-                confirmed.add((stream_id, query_id))
+        checked = 0
+        with obs.span("monitor.verify"):
+            for stream_id, query_id in pairs:
+                matcher = matchers.get(stream_id)
+                if matcher is None:
+                    matcher = SubgraphMatcher(self._indexes[stream_id].graph)
+                    matchers[stream_id] = matcher
+                checked += 1
+                if matcher.is_subgraph(self.query_set.queries[query_id]):
+                    confirmed.add((stream_id, query_id))
+        if obs.enabled() and checked:
+            obs.counter(
+                "monitor.verifier_calls",
+                help="exact subgraph-isomorphism checks performed",
+            ).inc(checked)
         return confirmed

@@ -11,6 +11,7 @@ changed — or which just entered the candidate set — are re-verified.
 
 from __future__ import annotations
 
+from .. import obs
 from ..isomorphism.vf2 import SubgraphMatcher
 from ..join.base import Pair, StreamId
 from .monitor import StreamMonitor
@@ -40,20 +41,30 @@ class CachingVerifier:
         """Exact joinable pairs, re-verifying only what changed."""
         confirmed: set[Pair] = set()
         candidates = self.monitor.matches()
-        for pair in candidates:
-            stream_id, query_id = pair
-            version = self._version(stream_id)
-            cached = self._verdicts.get(pair)
-            if cached is not None and cached[0] == version:
-                self.stats["cache_hits"] += 1
-                verdict = cached[1]
-            else:
-                matcher = self._matcher(stream_id, version)
-                verdict = matcher.is_subgraph(self.monitor.query_set.queries[query_id])
-                self._verdicts[pair] = (version, verdict)
-                self.stats["verifications"] += 1
-            if verdict:
-                confirmed.add(pair)
+        checked = 0
+        with obs.span("monitor.verify", cached=True):
+            for pair in candidates:
+                stream_id, query_id = pair
+                version = self._version(stream_id)
+                cached = self._verdicts.get(pair)
+                if cached is not None and cached[0] == version:
+                    self.stats["cache_hits"] += 1
+                    verdict = cached[1]
+                else:
+                    matcher = self._matcher(stream_id, version)
+                    verdict = matcher.is_subgraph(
+                        self.monitor.query_set.queries[query_id]
+                    )
+                    self._verdicts[pair] = (version, verdict)
+                    self.stats["verifications"] += 1
+                    checked += 1
+                if verdict:
+                    confirmed.add(pair)
+        if obs.enabled() and checked:
+            obs.counter(
+                "monitor.verifier_calls",
+                help="exact subgraph-isomorphism checks performed",
+            ).inc(checked)
         # Drop verdicts for pairs no longer in the candidate set so the
         # cache cannot grow beyond streams x queries.
         self._verdicts = {

@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
+from .. import obs
 from ..graph.labeled_graph import LabeledGraph, VertexId
 from ..nnt.builder import project_graph
 from ..nnt.projection import Dimension, DimensionScheme, NPV, PAPER_SCHEME
@@ -84,8 +85,18 @@ class QuerySet:
 class JoinEngine(ABC):
     """Continuous dominance join between registered streams and the query set."""
 
+    #: Short engine name (the :data:`repro.join.ENGINES` key); used to
+    #: label this engine's observability instruments.
+    name: str = "engine"
+
     def __init__(self, query_set: QuerySet) -> None:
         self.query_set = query_set
+        # Cached once so the per-probe cost is one gated ``inc()``, not a
+        # registry lookup; every concrete ``is_candidate`` bumps this.
+        self._obs_checks = obs.counter(
+            f"join.{self.name}.dominance_checks",
+            help=f"dominance-filter probes answered by the {self.name} engine",
+        )
 
     # -- stream lifecycle ------------------------------------------------
     @abstractmethod
@@ -130,12 +141,13 @@ class JoinEngine(ABC):
 
     def candidates(self) -> set[Pair]:
         """All currently passing (stream, query) pairs."""
-        return {
-            (stream_id, query_id)
-            for stream_id in self.stream_ids()
-            for query_id in self.query_set.query_ids()
-            if self.is_candidate(stream_id, query_id)
-        }
+        with obs.span("join.candidates", engine=self.name):
+            return {
+                (stream_id, query_id)
+                for stream_id in self.stream_ids()
+                for query_id in self.query_set.query_ids()
+                if self.is_candidate(stream_id, query_id)
+            }
 
     @abstractmethod
     def stream_ids(self) -> list[StreamId]:

@@ -47,6 +47,8 @@ class _StreamState:
 class DominatedSetCoverJoin(JoinEngine):
     """The ``DSC`` engine (Procedure Dominated_Set_Cover_Join)."""
 
+    name = "dsc"
+
     def __init__(self, query_set: QuerySet) -> None:
         super().__init__(query_set)
         # Sorted per-dimension projections of the query vectors.
@@ -184,6 +186,7 @@ class DominatedSetCoverJoin(JoinEngine):
 
     # -- results ----------------------------------------------------------
     def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
+        self._obs_checks.inc()
         state = self._streams[stream_id]
         if state.uncovered[query_id]:
             return False

@@ -59,6 +59,8 @@ class _StreamState:
 class MatrixJoin(JoinEngine):
     """The ``matrix`` engine: broadcast dominance over dense NPV rows."""
 
+    name = "matrix"
+
     def __init__(self, query_set: QuerySet) -> None:
         super().__init__(query_set)
         self._dims = sorted(query_set.dimension_universe, key=repr)
@@ -208,6 +210,7 @@ class MatrixJoin(JoinEngine):
         return state.verdicts
 
     def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
+        self._obs_checks.inc()
         state = self._streams[stream_id]
         if self._query_rows[query_id].size == 0:
             # Degenerate empty query graph: vacuously covered (the other

@@ -18,6 +18,8 @@ from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
 class NestedLoopJoin(JoinEngine):
     """Baseline ``NL`` engine (Section IV-B)."""
 
+    name = "nl"
+
     def __init__(self, query_set: QuerySet) -> None:
         super().__init__(query_set)
         self._streams: dict[StreamId, dict[VertexId, NPV]] = {}
@@ -74,6 +76,7 @@ class NestedLoopJoin(JoinEngine):
 
     # -- results ----------------------------------------------------------
     def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
+        self._obs_checks.inc()
         stream_vectors = list(self._streams[stream_id].values())
         for index in self.query_set.by_query[query_id]:
             query_vector = self.query_set.vectors[index].vector

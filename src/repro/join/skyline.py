@@ -54,6 +54,8 @@ class _StreamState:
 class SkylineEarlyStopJoin(JoinEngine):
     """The ``Skyline`` engine (Procedure Skyline_with_Earlystop_Join)."""
 
+    name = "skyline"
+
     def __init__(self, query_set: QuerySet) -> None:
         super().__init__(query_set)
         self._probe_order: dict[QueryId, list[int]] = {}
@@ -159,6 +161,7 @@ class SkylineEarlyStopJoin(JoinEngine):
 
     # -- results ----------------------------------------------------------
     def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
+        self._obs_checks.inc()
         state = self._streams[stream_id]
         key = (stream_id, query_id)
         cached = self._verdicts.get(key)

@@ -44,6 +44,7 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Mapping, Protocol
 
+from .. import obs
 from ..graph.labeled_graph import GraphError, Label, LabeledGraph, VertexId, edge_key
 from ..graph.operations import GraphChangeOperation, INSERT, EdgeChange
 from .projection import NPV, Dimension, DimensionScheme, PAPER_SCHEME, add_to_vector
@@ -175,6 +176,11 @@ class NNTIndex:
                 del self._pending[key]
             return
         self.stats["deltas_delivered"] += 1
+        if obs.enabled():
+            obs.counter(
+                "nnt.deltas_delivered",
+                help="net NPV deltas delivered to listeners after coalescing",
+            ).inc()
         for listener in self.listeners:
             listener.on_dimension_delta(vertex, dim, delta)
 
@@ -193,13 +199,19 @@ class NNTIndex:
         deltas = self._pending
         self._pending = {}
         self.stats["deltas_delivered"] += len(deltas)
-        for listener in self.listeners:
-            batch_method = getattr(listener, "on_batch_update", None)
-            if batch_method is not None:
-                batch_method(deltas)
-            else:
-                for (vertex, dim), net in deltas.items():
-                    listener.on_dimension_delta(vertex, dim, net)
+        with obs.span("nnt.batch_update", size=len(deltas)):
+            for listener in self.listeners:
+                batch_method = getattr(listener, "on_batch_update", None)
+                if batch_method is not None:
+                    batch_method(deltas)
+                else:
+                    for (vertex, dim), net in deltas.items():
+                        listener.on_dimension_delta(vertex, dim, net)
+        if obs.enabled():
+            obs.counter(
+                "nnt.deltas_delivered",
+                help="net NPV deltas delivered to listeners after coalescing",
+            ).inc(len(deltas))
 
     def _purge_pending(self, vertex: VertexId) -> None:
         """Drop queued deltas owned by a vertex being removed mid-batch."""

@@ -1,0 +1,74 @@
+"""repro.obs — zero-dependency observability for the stream monitor.
+
+Three primitives, one switch:
+
+* **Spans** — ``with obs.span("monitor.apply", stream=sid): ...`` times
+  a stage monotonically, records nesting into a bounded ring buffer
+  (:func:`spans`), and feeds a ``"<name>.seconds"`` latency histogram.
+* **Instruments** — :func:`counter` / :func:`gauge` / :func:`histogram`
+  get-or-create typed instruments in the process-local
+  :class:`Registry`; per-worker registries merge losslessly with
+  :func:`merge_summaries` (the runtime coordinator does this at poll
+  time, extending the ``ShardCounters`` machinery of
+  :mod:`repro.core.metrics`).
+* **Exposition** — :func:`render_prometheus` / :func:`render_json` turn
+  any summary (live, dumped, or merged) into scrapeable text; surfaced
+  as ``repro stats`` and the ``--stats-every`` replay/serve flags.
+
+:func:`disable` flips the whole subsystem to a near-zero-overhead
+no-op path (one flag check per site; quantified in
+``benchmarks/bench_obs_overhead.py``); ``REPRO_OBS=0`` in the
+environment starts a process disabled.  Rule RP009 keeps ad-hoc
+``time.*`` timing out of the instrumented packages so this module
+stays the single source of timing truth — see ``docs/observability.md``.
+"""
+
+from .exposition import metric_name, render_json, render_prometheus
+from .instruments import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    Registry,
+    merge_summaries,
+)
+from .registry import counter, gauge, get_registry, histogram, set_registry
+from .spans import (
+    DEFAULT_SPAN_CAPACITY,
+    SpanRecord,
+    clear_spans,
+    iter_spans,
+    set_span_capacity,
+    span,
+    span_depth,
+    spans,
+)
+from .state import disable, enable, enabled
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SPAN_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "SpanRecord",
+    "clear_spans",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "iter_spans",
+    "merge_summaries",
+    "metric_name",
+    "render_json",
+    "render_prometheus",
+    "set_registry",
+    "set_span_capacity",
+    "span",
+    "span_depth",
+    "spans",
+]

@@ -1,0 +1,81 @@
+"""Exposition: Prometheus text format and JSON rendering.
+
+Both renderers take a *summary* dict (the plain-dict shape produced by
+:meth:`~repro.obs.instruments.Registry.summary` and
+:func:`~repro.obs.instruments.merge_summaries`), not a live registry —
+so the same code renders a single process, a saved dump, or a merged
+fleet view.  ``repro stats`` and the ``--stats-every`` flags are thin
+wrappers over these functions.
+
+The text output follows the Prometheus exposition format version
+0.0.4: ``# HELP`` / ``# TYPE`` headers, counters suffixed ``_total``,
+histograms exploded into cumulative ``_bucket{le="..."}`` series plus
+``_sum`` and ``_count``.  Dotted instrument names are sanitised to the
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` metric-name alphabet (dots become
+underscores) under a configurable prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Mapping
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitised Prometheus metric name for a dotted instrument name."""
+    flat = _INVALID_CHARS.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    return _INVALID_FIRST.sub("_", flat)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers render bare, floats repr-exact."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(summary: Mapping[str, Mapping], prefix: str = "repro") -> str:
+    """The summary as Prometheus text exposition (trailing newline)."""
+    lines: list[str] = []
+    for name in sorted(summary):
+        entry = summary[name]
+        kind = entry["kind"]
+        metric = metric_name(name, prefix)
+        if kind == "counter":
+            metric = f"{metric}_total"
+        if entry.get("help"):
+            lines.append(f"# HELP {metric} {_escape_help(entry['help'])}")
+        lines.append(f"# TYPE {metric} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{metric} {_format_value(entry['value'])}")
+            continue
+        if kind != "histogram":
+            raise ValueError(f"unknown instrument kind {kind!r} for {name!r}")
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        cumulative += entry["counts"][len(entry["bounds"])]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(entry['sum'])}")
+        lines.append(f"{metric}_count {_format_value(entry['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(summary: Mapping[str, Mapping]) -> str:
+    """The summary as deterministic, pretty-printed JSON."""
+    return json.dumps(summary, sort_keys=True, indent=2) + "\n"

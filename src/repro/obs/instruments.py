@@ -1,0 +1,298 @@
+"""Typed instruments and the process-local registry.
+
+Three instrument kinds, mirroring the Prometheus data model without the
+dependency:
+
+* :class:`Counter` — monotonically increasing count (events, items);
+* :class:`Gauge` — a value that goes up and down (queue depth);
+* :class:`Histogram` — fixed-bucket latency/size distribution with
+  cumulative ``le`` semantics (a value exactly on a bucket's upper
+  bound lands in that bucket; values above the last bound land in the
+  implicit ``+Inf`` overflow bucket).
+
+Instruments live in a :class:`Registry` keyed by dotted name
+(``"monitor.apply.seconds"``).  A registry snapshots to a plain-dict
+:meth:`Registry.summary` — picklable and JSON-representable, the same
+contract as :meth:`repro.core.metrics.ShardCounters.summary` — and
+per-worker summaries merge losslessly with :func:`merge_summaries`
+(counters and gauges sum; histograms with identical bounds add their
+bucket counts), which is how :mod:`repro.runtime` builds its fleet view
+at poll time.
+
+All mutation is gated on :data:`repro.obs.state.ENABLED`; a disabled
+process keeps registering instruments (cheap) but never touches their
+values.
+
+Instruments pickle as *references*: unpickling get-or-creates the same
+name in the process-local global registry (values reset to zero).
+Counts are process-local by design — a monitor restored from a
+checkpoint must re-attach to the restoring process's registry, not
+resurrect the counts of the process that wrote the snapshot.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Mapping, Sequence
+
+from . import state
+
+#: Default latency buckets in seconds: ~1 µs to 10 s, log-spaced the
+#: way stream maintenance costs actually spread (the paper's Figure 15
+#: unit is milliseconds per timestamp).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6,
+    1e-5,
+    1e-4,
+    2.5e-4,
+    1e-3,
+    2.5e-3,
+    1e-2,
+    2.5e-2,
+    1e-1,
+    2.5e-1,
+    1.0,
+    10.0,
+)
+
+
+class Counter:
+    """Monotonic event count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) when instrumentation is on."""
+        if state.ENABLED:
+            if amount < 0:
+                raise ValueError(f"counter {self.name!r} cannot decrease")
+            self.value += amount
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot."""
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+    def __reduce__(self):
+        from .registry import counter
+
+        return (counter, (self.name, self.help))
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Replace the current value when instrumentation is on."""
+        if state.ENABLED:
+            self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Shift the current value when instrumentation is on."""
+        if state.ENABLED:
+            self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Shift the current value down when instrumentation is on."""
+        if state.ENABLED:
+            self.value -= amount
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot."""
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+    def __reduce__(self):
+        from .registry import gauge
+
+        return (gauge, (self.name, self.help))
+
+
+class Histogram:
+    """Fixed-bucket distribution with Prometheus ``le`` semantics.
+
+    ``bounds`` are the finite upper bucket edges, strictly increasing;
+    an observation lands in the first bucket whose bound is >= the
+    value (so a value exactly on an edge belongs to that bucket), and
+    anything above the last bound lands in the implicit ``+Inf``
+    bucket.  ``counts`` has ``len(bounds) + 1`` entries, the last being
+    the overflow bucket; exposition cumulates them.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} bucket bounds must strictly increase: {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation in when instrumentation is on."""
+        if state.ENABLED:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.sum += value
+            self.count += 1
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot (bounds + per-bucket counts, not cumulated)."""
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def __reduce__(self):
+        from .registry import histogram
+
+        return (histogram, (self.name, self.help, self.bounds))
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class Registry:
+    """Process-local, name-keyed instrument store.
+
+    ``counter()`` / ``gauge()`` / ``histogram()`` get-or-create, so
+    instrumentation sites never need registration boilerplate; asking
+    for an existing name with a different kind (or different histogram
+    buckets) is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the named counter."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Counter(name, help)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Counter):
+            raise TypeError(f"{name!r} is a {instrument.kind}, not a counter")
+        return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the named gauge."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Gauge(name, help)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Gauge):
+            raise TypeError(f"{name!r} is a {instrument.kind}, not a gauge")
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create the named histogram."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name, help, buckets)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is a {instrument.kind}, not a histogram")
+        elif instrument.bounds != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{instrument.bounds}, not {tuple(buckets)}"
+            )
+        return instrument
+
+    def names(self) -> list[str]:
+        """Registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The named instrument, or None."""
+        return self._instruments.get(name)
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations survive)."""
+        for instrument in self._instruments.values():
+            if isinstance(instrument, Histogram):
+                instrument.counts = [0] * len(instrument.counts)
+                instrument.sum = 0.0
+                instrument.count = 0
+            else:
+                instrument.value = 0
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot of every instrument, keyed by name."""
+        return {
+            name: self._instruments[name].summary()
+            for name in sorted(self._instruments)
+        }
+
+
+def merge_summaries(summaries: Iterable[Mapping]) -> dict:
+    """Lossless fleet-wide aggregate of :meth:`Registry.summary` dicts.
+
+    Counters and gauges sum (a fleet gauge like inbox depth reads as
+    the total across workers); histograms require identical bucket
+    bounds — which same-named instruments always have — and add their
+    bucket counts, sums and counts elementwise.  The operation is
+    associative with identity ``{}``, so partial merges compose
+    (``tests/test_obs.py`` pins both properties).
+    """
+    merged: dict[str, dict] = {}
+    for summary in summaries:
+        for name, entry in summary.items():
+            into = merged.get(name)
+            if into is None:
+                merged[name] = {
+                    key: list(value) if isinstance(value, list) else value
+                    for key, value in entry.items()
+                }
+                continue
+            if into["kind"] != entry["kind"]:
+                raise ValueError(
+                    f"cannot merge {name!r}: kind {entry['kind']} vs {into['kind']}"
+                )
+            if entry["kind"] == "histogram":
+                if list(into["bounds"]) != list(entry["bounds"]):
+                    raise ValueError(
+                        f"cannot merge histogram {name!r}: bucket bounds differ"
+                    )
+                into["counts"] = [
+                    a + b for a, b in zip(into["counts"], entry["counts"])
+                ]
+                into["sum"] += entry["sum"]
+                into["count"] += entry["count"]
+            else:
+                into["value"] += entry["value"]
+    return dict(sorted(merged.items()))

@@ -1,0 +1,142 @@
+"""Structured trace spans with monotonic timing and a bounded buffer.
+
+``with span("nnt.batch_update", stream=sid): ...`` times the enclosed
+block with :func:`time.perf_counter`, tracks nesting (each record knows
+its depth and enclosing span name), appends a :class:`SpanRecord` to a
+bounded in-memory ring buffer — old records fall off the far end, so a
+long-lived monitor cannot leak — and folds the duration into the
+``"<name>.seconds"`` histogram of the active registry, which is how the
+per-stage latency distributions reach exposition and the runtime's
+merged fleet view.
+
+When instrumentation is disabled, :func:`span` returns a shared no-op
+context manager: no timer read, no allocation beyond the call itself.
+
+The span stack is process-local and deliberately not thread-aware: per
+rule RP008 everything outside :mod:`repro.runtime` is single-threaded,
+and the runtime parallelises with *processes*, each carrying its own
+copy of this module's state.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from . import state
+from .instruments import Registry
+
+DEFAULT_SPAN_CAPACITY = 2048
+
+_ring: deque["SpanRecord"] = deque(maxlen=DEFAULT_SPAN_CAPACITY)
+_stack: list[str] = []
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    started: float  # perf_counter seconds at entry (monotonic, process-local)
+    duration: float  # seconds
+    depth: int  # 0 = top level at close time
+    parent: str | None  # enclosing span name, if any
+    error: bool  # closed by an exception propagating through?
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class _LiveSpan:
+    """Active span handle (returned by :func:`span` when enabled)."""
+
+    __slots__ = ("name", "attrs", "registry", "started", "duration")
+
+    def __init__(self, name: str, attrs: dict[str, Any], registry: Registry) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.registry = registry
+        self.started = 0.0
+        self.duration = 0.0
+
+    def __enter__(self) -> "_LiveSpan":
+        _stack.append(self.name)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        self.duration = time.perf_counter() - self.started
+        _stack.pop()
+        _ring.append(
+            SpanRecord(
+                name=self.name,
+                started=self.started,
+                duration=self.duration,
+                depth=len(_stack),
+                parent=_stack[-1] if _stack else None,
+                error=exc_type is not None,
+                attrs=self.attrs,
+            )
+        )
+        self.registry.histogram(f"{self.name}.seconds").observe(self.duration)
+
+
+class _NoopSpan:
+    """Shared do-nothing span (returned when instrumentation is off)."""
+
+    __slots__ = ()
+    duration = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attrs: Any) -> _LiveSpan | _NoopSpan:
+    """A context manager timing one named stage.
+
+    Keyword arguments become the span's attributes (stream ids, batch
+    sizes — anything cheap and picklable).  Avoid computing expensive
+    attribute values at the call site: they are evaluated even when
+    instrumentation is disabled.
+    """
+    if not state.ENABLED:
+        return _NOOP
+    from .registry import get_registry  # late import: avoids a module cycle
+
+    return _LiveSpan(name, attrs, get_registry())
+
+
+def spans() -> list[SpanRecord]:
+    """Snapshot of the ring buffer, oldest first."""
+    return list(_ring)
+
+
+def clear_spans() -> None:
+    """Drop every buffered span record."""
+    _ring.clear()
+
+
+def set_span_capacity(capacity: int) -> None:
+    """Resize the ring buffer (keeps the newest records that fit)."""
+    global _ring
+    if capacity < 1:
+        raise ValueError("span capacity must be >= 1")
+    _ring = deque(_ring, maxlen=capacity)
+
+
+def span_depth() -> int:
+    """How many spans are currently open (0 outside any span)."""
+    return len(_stack)
+
+
+def iter_spans(name: str | None = None) -> Iterator[SpanRecord]:
+    """Buffered records, optionally filtered by span name."""
+    for record in _ring:
+        if name is None or record.name == name:
+            yield record

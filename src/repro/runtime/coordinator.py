@@ -46,8 +46,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Literal, Mapping
 
+from .. import obs
 from ..core.metrics import merge_counter_summaries
-from ..core.monitor import MatchEvent, diff_polls
+from ..core.monitor import MatchEvent, diff_polls, warn_poll_events_deprecated
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.operations import EdgeChange, GraphChangeOperation
 from ..join.base import Pair, QueryId, StreamId
@@ -282,7 +283,8 @@ class ShardedMonitor:
         if stream_id not in self._streams:
             raise KeyError(f"stream {stream_id!r} is not monitored")
         shard = self._streams[stream_id]
-        accepted = self._submit_update(shard, (CMD_APPLY, stream_id, update))
+        with obs.span("runtime.submit", shard=shard):
+            accepted = self._submit_update(shard, (CMD_APPLY, stream_id, update))
         if accepted:
             self._accepted_batches += 1
             self._batches_since_checkpoint += 1
@@ -358,12 +360,18 @@ class ShardedMonitor:
                 handle.inbox.put_nowait(command)
             except queue_module.Full:
                 self._dropped += 1
+                if obs.enabled():
+                    obs.counter(
+                        "runtime.dropped",
+                        help="updates discarded by the drop backpressure policy",
+                    ).inc()
                 return False
         else:  # spill
             spill = self._spill[shard]
             if spill:
                 spill.append(command)
                 self._spilled += 1
+                self._record_spilled()
                 self._drain_spill(shard, block=False)
                 self._journals[shard].record(command)
                 return True
@@ -372,10 +380,19 @@ class ShardedMonitor:
             except queue_module.Full:
                 spill.append(command)
                 self._spilled += 1
+                self._record_spilled()
                 self._journals[shard].record(command)
                 return True
         self._journals[shard].record(command)
         return True
+
+    @staticmethod
+    def _record_spilled() -> None:
+        if obs.enabled():
+            obs.counter(
+                "runtime.spilled",
+                help="updates parked in the coordinator spill buffer",
+            ).inc()
 
     def _drain_spill(self, shard: int, block: bool) -> None:
         """Move parked commands into the worker inbox, preserving order.
@@ -460,11 +477,12 @@ class ShardedMonitor:
         *possible joinable* pairs, consistent with all accepted updates
         (poll = FIFO barrier per worker)."""
         self._ensure_open()
-        self._barrier()
-        aggregated: set[Pair] = set()
-        for shard in self._workers:
-            response = self._request(shard, CMD_POLL)
-            aggregated.update(response[3])
+        with obs.span("runtime.matches"):
+            self._barrier()
+            aggregated: set[Pair] = set()
+            for shard in self._workers:
+                response = self._request(shard, CMD_POLL)
+                aggregated.update(response[3])
         return aggregated
 
     def is_match(self, stream_id: StreamId, query_id: QueryId) -> bool:
@@ -481,14 +499,29 @@ class ShardedMonitor:
         return events
 
     def poll_events(self) -> list[MatchEvent]:
-        """Backward-compatible alias for :meth:`events`."""
+        """Deprecated alias for :meth:`events` (same semantics; warns
+        once per process)."""
+        warn_poll_events_deprecated(type(self).__name__)
         return self.events()
+
+    def inbox_depths(self) -> dict[int, int]:
+        """Best-effort pending-command count per worker inbox (``qsize``
+        is approximate by nature; -1 where the platform lacks it)."""
+        depths: dict[int, int] = {}
+        for shard, handle in self._workers.items():
+            try:
+                depths[shard] = handle.inbox.qsize()
+            except (NotImplementedError, OSError):
+                depths[shard] = -1
+        return depths
 
     def stats(self) -> dict[str, Any]:
         """Coordinator + per-worker statistics: routing and backpressure
         counters, the recovery log, each worker's
         :class:`~repro.core.metrics.ShardCounters` and monitor stats,
-        and the merged fleet throughput view."""
+        the merged fleet throughput view, and the merged observability
+        registries (``merged_obs``: every worker's instruments plus the
+        coordinator's own, combined with :func:`repro.obs.merge_summaries`)."""
         self._ensure_open()
         self._barrier()
         workers: dict[int, dict[str, Any]] = {}
@@ -502,6 +535,12 @@ class ShardedMonitor:
         shard_streams: dict[int, int] = {shard: 0 for shard in self._workers}
         for shard in self._streams.values():
             shard_streams[shard] += 1
+        depths = self.inbox_depths()
+        if obs.enabled():
+            obs.gauge(
+                "runtime.inbox_depth",
+                help="pending commands across all worker inboxes",
+            ).set(sum(depth for depth in depths.values() if depth > 0))
         return {
             "num_workers": self.num_workers,
             "num_streams": len(self._streams),
@@ -517,9 +556,14 @@ class ShardedMonitor:
             },
             "recovery": self.recovery_log.summary(),
             "streams_per_shard": shard_streams,
+            "inbox_depths": depths,
             "workers": workers,
             "merged_counters": merge_counter_summaries(
                 payload["counters"] for payload in workers.values()
+            ),
+            "merged_obs": obs.merge_summaries(
+                [payload.get("obs", {}) for payload in workers.values()]
+                + [obs.get_registry().summary()]
             ),
         }
 

@@ -17,14 +17,14 @@ shard checkpoint without corrupting anyone else.
 
 from __future__ import annotations
 
-import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
+from .. import obs
 from ..core.checkpoint import checkpoint_stats, load_monitor, save_monitor
-from ..core.metrics import ShardCounters
+from ..core.metrics import ShardCounters, Stopwatch
 from ..core.monitor import StreamMonitor
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.operations import EdgeChange
@@ -94,10 +94,11 @@ class ShardState:
         kind = command[0]
         if kind == CMD_APPLY:
             _, stream_id, update = command
-            started = time.perf_counter()
-            self.monitor.apply(stream_id, update)
+            timer = Stopwatch()
+            with timer:
+                self.monitor.apply(stream_id, update)
             num_changes = 1 if isinstance(update, EdgeChange) else len(update)
-            self.counters.record_batch(num_changes, time.perf_counter() - started)
+            self.counters.record_batch(num_changes, timer.total)
             return None
         if kind == CMD_ADD_STREAM:
             _, stream_id, initial = command
@@ -107,28 +108,37 @@ class ShardState:
             self.monitor.remove_stream(command[1])
             return None
         if kind == CMD_POLL:
-            started = time.perf_counter()
-            candidates = frozenset(self.monitor.matches())
-            self.counters.record_poll(time.perf_counter() - started)
+            timer = Stopwatch()
+            with timer:
+                candidates = frozenset(self.monitor.matches())
+            self.counters.record_poll(timer.total)
             return (CMD_POLL, command[1], self.shard_id, candidates)
         if kind == CMD_STATS:
             return (CMD_STATS, command[1], self.shard_id, self.stats())
         if kind == CMD_CHECKPOINT:
             _, request_id, directory, shard_note = command
-            started = time.perf_counter()
-            save_monitor(self.monitor, Path(directory), shard=shard_note)
-            self.counters.record_checkpoint(time.perf_counter() - started)
+            timer = Stopwatch()
+            with timer:
+                save_monitor(self.monitor, Path(directory), shard=shard_note)
+            self.counters.record_checkpoint(timer.total)
+            obs.histogram(
+                "runtime.checkpoint.seconds",
+                help="wall-clock seconds to write one shard checkpoint",
+            ).observe(timer.total)
             return (CMD_CHECKPOINT, request_id, self.shard_id, checkpoint_stats(directory))
         if kind == CMD_STOP:
             return (CMD_STOP, command[1], self.shard_id, None)
         raise ValueError(f"unknown worker command {kind!r}")
 
     def stats(self) -> dict[str, Any]:
-        """Shard-local stats: counters plus the monitor's own view."""
+        """Shard-local stats: counters, the monitor's own view, and the
+        process-local observability registry (merged by the coordinator
+        with :func:`repro.obs.merge_summaries`)."""
         return {
             "shard_id": self.shard_id,
             "counters": self.counters.summary(),
             "monitor": self.monitor.stats(),
+            "obs": obs.get_registry().summary(),
         }
 
 

@@ -1,7 +1,16 @@
-"""Shared test fixtures, random-graph helpers and hypothesis strategies."""
+"""Shared test fixtures, random-graph helpers and hypothesis strategies.
+
+Seed discipline: every test that draws randomness must do so through a
+seeded ``random.Random`` (the ``rng`` fixture, an explicit literal seed,
+or a Hypothesis strategy) — never the bare module-level ``random.*``
+functions.  The session seed below makes any stragglers reproducible
+anyway, and is printed when a test fails so the exact run can be
+replayed with ``REPRO_TEST_SEED=<seed> pytest ...``.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -11,6 +20,27 @@ from repro.graph import LabeledGraph
 
 VERTEX_LABELS = ("A", "B", "C")
 EDGE_LABELS = ("x", "y")
+
+#: Session-wide RNG seed.  Deterministic by default; override with
+#: ``REPRO_TEST_SEED`` to reproduce a specific randomized run.
+SESSION_SEED = int(os.environ.get("REPRO_TEST_SEED", "3405691582"))  # 0xCAFEBABE
+
+
+def pytest_sessionstart(session) -> None:
+    """Pin the global RNG so any stray ``random.*`` call is reproducible."""
+    random.seed(SESSION_SEED)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Append the session seed to failure reports so randomized runs can
+    be replayed exactly (``REPRO_TEST_SEED=<seed> pytest <nodeid>``)."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append(
+            ("seed", f"REPRO_TEST_SEED={SESSION_SEED} reproduces this run")
+        )
 
 
 def random_labeled_graph(

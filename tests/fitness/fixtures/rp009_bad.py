@@ -1,0 +1,17 @@
+"""Known-bad fixture: ad-hoc clock reads in an instrumented package.
+
+Analyzed as if it were ``repro.join.badmod`` — inside the instrumented
+filtering path, where every measured interval must flow through
+``repro.obs`` spans/instruments (or ``repro.core.metrics.Stopwatch``).
+"""
+
+import time
+from time import perf_counter  # expect-violation
+
+
+def measure_dominance_check() -> float:
+    started = time.perf_counter()  # expect-violation
+    coarse = time.monotonic_ns()  # expect-violation
+    wall = time.time()  # expect-violation
+    del coarse, wall
+    return time.perf_counter() - started  # expect-violation

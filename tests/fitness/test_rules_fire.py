@@ -29,6 +29,7 @@ CASES = {
     "rp006_bad.py": ("RP006", "benchmarks.bench_badmod", "benchmarks"),
     "rp007_bad.py": ("RP007", "repro.core.badmod", "repro.core"),
     "rp008_bad.py": ("RP008", "repro.core.badmod", "repro.core"),
+    "rp009_bad.py": ("RP009", "repro.join.badmod", "repro.join"),
 }
 
 

@@ -1,0 +1,109 @@
+"""``poll_events()`` is a deprecated alias for ``events()``.
+
+Three contracts: the alias returns exactly what ``events()`` would have
+returned (same diff-since-last-poll semantics, so calling either
+consumes the same snapshot), it raises ``DeprecationWarning``, and the
+warning fires once per class per process — a hot polling loop must not
+spam stderr.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import monitor as monitor_module
+from repro.core.monitor import StreamMonitor
+from repro.core.window import SlidingWindowMonitor
+from repro.graph import EdgeChange, LabeledGraph
+from repro.runtime import ShardedMonitor
+
+
+@pytest.fixture(autouse=True)
+def reset_warn_once():
+    """Each test observes the warn-once behaviour from a clean slate."""
+    saved = set(monitor_module._POLL_EVENTS_WARNED)
+    monitor_module._POLL_EVENTS_WARNED.clear()
+    yield
+    monitor_module._POLL_EVENTS_WARNED.clear()
+    monitor_module._POLL_EVENTS_WARNED.update(saved)
+
+
+def edge_query() -> LabeledGraph:
+    return LabeledGraph.from_vertices_and_edges([(0, "A"), (1, "B")], [(0, 1, "x")])
+
+
+def fresh_monitor() -> StreamMonitor:
+    monitor = StreamMonitor({"q0": edge_query()})
+    monitor.add_stream("s0")
+    return monitor
+
+
+class TestStreamMonitor:
+    def test_same_events_as_events(self):
+        plain, aliased = fresh_monitor(), fresh_monitor()
+        change = EdgeChange.insert(1, 2, "x", "A", "B")
+        plain.apply("s0", change)
+        aliased.apply("s0", change)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert aliased.poll_events() == plain.events()
+            # Both consumed the snapshot: a second poll is empty.
+            assert aliased.poll_events() == plain.events() == []
+
+    def test_warns_deprecation(self):
+        monitor = fresh_monitor()
+        with pytest.warns(DeprecationWarning, match=r"poll_events\(\) is deprecated"):
+            monitor.poll_events()
+
+    def test_warns_once_per_class(self):
+        monitor = fresh_monitor()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            monitor.poll_events()
+            monitor.poll_events()
+            fresh_monitor().poll_events()  # same class, still silent
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "StreamMonitor.poll_events()" in str(deprecations[0].message)
+
+    def test_events_does_not_warn(self):
+        monitor = fresh_monitor()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            monitor.events()
+        assert [w for w in caught if w.category is DeprecationWarning] == []
+
+
+class TestSlidingWindowMonitor:
+    def test_alias_equivalent_and_warns_with_own_class_name(self):
+        windowed = SlidingWindowMonitor({"q0": edge_query()}, window=4)
+        windowed.add_stream("s0")
+        windowed.observe("s0", 1, 2, "x", "A", "B")
+        with pytest.warns(DeprecationWarning, match="SlidingWindowMonitor"):
+            events = windowed.poll_events()
+        assert {(e.stream_id, e.query_id) for e in events} == {("s0", "q0")}
+        assert windowed.events() == []  # alias consumed the snapshot
+
+    def test_warn_once_is_per_class_not_global(self):
+        monitor = fresh_monitor()
+        windowed = SlidingWindowMonitor({"q0": edge_query()}, window=4)
+        windowed.add_stream("s0")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            monitor.poll_events()
+            windowed.poll_events()
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 2
+
+
+class TestShardedMonitor:
+    def test_alias_equivalent_and_warns(self):
+        with ShardedMonitor({"q0": edge_query()}, num_workers=1) as sharded:
+            sharded.add_stream("s0")
+            sharded.apply("s0", EdgeChange.insert(1, 2, "x", "A", "B"))
+            with pytest.warns(DeprecationWarning, match="ShardedMonitor"):
+                events = sharded.poll_events()
+            assert {(e.stream_id, e.query_id) for e in events} == {("s0", "q0")}
+            assert sharded.events() == []

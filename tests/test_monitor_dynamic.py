@@ -77,36 +77,36 @@ class TestPollEvents:
     def test_appear_and_vanish(self):
         monitor = StreamMonitor({"ab": chain(["A", "B"])})
         monitor.add_stream("s")
-        assert monitor.poll_events() == []
+        assert monitor.events() == []
         monitor.apply("s", EdgeChange.insert(0, 1, "-", "A", "B"))
-        events = monitor.poll_events()
+        events = monitor.events()
         assert events == [MatchEvent("appeared", "s", "ab")]
-        assert monitor.poll_events() == []  # no change, no events
+        assert monitor.events() == []  # no change, no events
         monitor.apply("s", EdgeChange.delete(0, 1))
-        assert monitor.poll_events() == [MatchEvent("vanished", "s", "ab")]
+        assert monitor.events() == [MatchEvent("vanished", "s", "ab")]
 
     def test_stream_removal_clears_state(self):
         monitor = StreamMonitor({"ab": chain(["A", "B"])})
         monitor.add_stream("s", chain(["A", "B"]))
-        monitor.poll_events()
+        monitor.events()
         monitor.remove_stream("s")
         # the pair is gone silently: no stale "vanished" event for a
         # stream the caller explicitly removed
-        assert monitor.poll_events() == []
+        assert monitor.events() == []
 
     def test_query_removal_clears_state(self):
         monitor = StreamMonitor({"ab": chain(["A", "B"])})
         monitor.add_stream("s", chain(["A", "B"]))
-        monitor.poll_events()
+        monitor.events()
         monitor.remove_query("ab")
-        assert monitor.poll_events() == []
+        assert monitor.events() == []
 
     def test_added_query_emits_appearance(self):
         monitor = StreamMonitor({"ab": chain(["A", "B"])})
         monitor.add_stream("s", chain(["A", "B", "C"]))
-        monitor.poll_events()
+        monitor.events()
         monitor.add_query("bc", chain(["B", "C"]))
-        assert monitor.poll_events() == [MatchEvent("appeared", "s", "bc")]
+        assert monitor.events() == [MatchEvent("appeared", "s", "bc")]
 
     def test_events_sorted_deterministically(self):
         monitor = StreamMonitor(
@@ -116,5 +116,5 @@ class TestPollEvents:
         monitor.add_stream("s1")
         monitor.apply("s1", EdgeChange.insert(0, 1, "-", "A", "B"))
         monitor.apply("s2", EdgeChange.insert(0, 1, "-", "B", "C"))
-        events = monitor.poll_events()
+        events = monitor.events()
         assert [(e.stream_id, e.query_id) for e in events] == [("s1", "ab"), ("s2", "bc")]

@@ -1,0 +1,335 @@
+"""Differential soak tests: every execution path gives the same answer.
+
+A Hypothesis rule machine drives random stream/query churn and edge
+batches simultaneously through
+
+* one :class:`StreamMonitor` per join engine (``nl``/``dsc``/``skyline``/
+  ``matrix``),
+* a 2-worker :class:`ShardedMonitor` (real processes, real queues), and
+* plain mirror graphs feeding a networkx monomorphism oracle,
+
+and checks three properties after **every** rule: all monitors report
+identical ``matches()``, identical ``events()`` transitions, and the
+filter has zero false negatives against the oracle (Definition 2.8's
+no-false-negative guarantee, end to end through the runtime).
+
+The sharded monitor's query set is fixed at construction, so query
+churn rebuilds it from the mirrors — which doubles as a restart/replay
+equivalence check.  A ``slow``-marked scripted soak pushes the same
+differential through ≥500 operations for 1/2/4 workers × every engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.monitor import StreamMonitor
+from repro.graph import (
+    EdgeChange,
+    GraphChangeOperation,
+    LabeledGraph,
+    apply_change,
+    apply_operation,
+)
+from repro.runtime import ShardedMonitor
+
+from .test_vf2 import nx_subgraph_iso
+
+ENGINE_METHODS = ("nl", "dsc", "skyline", "matrix")
+VERTEX_LABELS = ("A", "B", "C")
+EDGE_LABELS = ("x", "y")
+DEPTH_LIMIT = 2
+
+
+def random_query(rng: random.Random) -> LabeledGraph:
+    size = rng.randint(2, 4)
+    query = LabeledGraph()
+    for i in range(size):
+        query.add_vertex(i, rng.choice(VERTEX_LABELS))
+    for i in range(1, size):
+        query.add_edge(i, rng.randrange(i), rng.choice(EDGE_LABELS))
+    return query
+
+
+def random_batch(
+    rng: random.Random, mirror: LabeledGraph, next_vertex: int
+) -> tuple[GraphChangeOperation, int]:
+    """A mixed insert/delete batch valid against ``mirror`` (applied as
+    it is built so later changes see earlier ones, deletions first the
+    way timestamp batches normally arrive)."""
+    staged = mirror.copy()
+    deletes: list[EdgeChange] = []
+    inserts: list[EdgeChange] = []
+    for _ in range(rng.randint(1, 4)):
+        edges = list(staged.edges())
+        vertices = list(staged.vertices())
+        if edges and not inserts and rng.random() < 0.35:
+            u, v, _ = rng.choice(edges)
+            change = EdgeChange.delete(u, v)
+            deletes.append(change)
+        elif len(vertices) >= 2 and rng.random() < 0.5:
+            u, v = rng.sample(vertices, 2)
+            if staged.has_edge(u, v):
+                continue
+            change = EdgeChange.insert(u, v, rng.choice(EDGE_LABELS))
+            inserts.append(change)
+        else:
+            anchor = rng.choice(vertices) if vertices else None
+            new_vertex = next_vertex
+            next_vertex += 1
+            if anchor is None:
+                other = next_vertex
+                next_vertex += 1
+                change = EdgeChange.insert(
+                    new_vertex,
+                    other,
+                    rng.choice(EDGE_LABELS),
+                    rng.choice(VERTEX_LABELS),
+                    rng.choice(VERTEX_LABELS),
+                )
+            else:
+                change = EdgeChange.insert(
+                    anchor,
+                    new_vertex,
+                    rng.choice(EDGE_LABELS),
+                    None,
+                    rng.choice(VERTEX_LABELS),
+                )
+            inserts.append(change)
+        apply_change(staged, change)
+    return GraphChangeOperation(deletes + inserts), next_vertex
+
+
+class SoakMachine(RuleBasedStateMachine):
+    """Random churn; in-process engines, the sharded runtime and the
+    networkx oracle must never disagree."""
+
+    def __init__(self):
+        super().__init__()
+        self.monitors: dict[str, StreamMonitor] = {}
+        self.sharded: ShardedMonitor | None = None
+        self.mirrors: dict[str, LabeledGraph] = {}
+        self.queries: dict[str, LabeledGraph] = {}
+        self.next_query = 0
+        self.next_stream = 0
+        self.next_vertex = 0
+
+    def teardown(self):
+        if self.sharded is not None:
+            self.sharded.close()
+
+    # ------------------------------------------------------------------
+    # sharded lifecycle (fixed query set -> churn rebuilds it)
+    # ------------------------------------------------------------------
+    def _rebuild_sharded(self) -> None:
+        if self.sharded is not None:
+            self.sharded.close()
+        self.sharded = ShardedMonitor(
+            dict(self.queries),
+            method="dsc",
+            depth_limit=DEPTH_LIMIT,
+            num_workers=2,
+        )
+        for stream_id, mirror in sorted(self.mirrors.items()):
+            self.sharded.add_stream(stream_id, mirror)
+        self._drain_events()
+
+    def _drain_events(self) -> None:
+        """Re-baseline every monitor's transition snapshot so the next
+        events() comparison starts from a common point."""
+        for monitor in self.monitors.values():
+            monitor.events()
+        self.sharded.events()
+
+    @initialize()
+    def setup(self):
+        seed = LabeledGraph.from_vertices_and_edges([(0, "A"), (1, "B")], [(0, 1, "x")])
+        self.queries = {"q0": seed}
+        self.next_query = 1
+        self.monitors = {
+            method: StreamMonitor(
+                dict(self.queries), method=method, depth_limit=DEPTH_LIMIT
+            )
+            for method in ENGINE_METHODS
+        }
+        self._rebuild_sharded()
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @precondition(lambda self: len(self.mirrors) < 4)
+    @rule()
+    def add_stream(self):
+        stream_id = f"s{self.next_stream}"
+        self.next_stream += 1
+        self.mirrors[stream_id] = LabeledGraph()
+        for monitor in self.monitors.values():
+            monitor.add_stream(stream_id)
+        self.sharded.add_stream(stream_id)
+
+    @precondition(lambda self: len(self.mirrors) > 1)
+    @rule(seed=st.integers(0, 10**6))
+    def remove_stream(self, seed):
+        stream_id = random.Random(seed).choice(sorted(self.mirrors))
+        del self.mirrors[stream_id]
+        for monitor in self.monitors.values():
+            monitor.remove_stream(stream_id)
+        self.sharded.remove_stream(stream_id)
+
+    @precondition(lambda self: self.mirrors)
+    @rule(seed=st.integers(0, 10**6))
+    def apply_edge_batch(self, seed):
+        rng = random.Random(seed)
+        stream_id = rng.choice(sorted(self.mirrors))
+        batch, self.next_vertex = random_batch(
+            rng, self.mirrors[stream_id], self.next_vertex
+        )
+        apply_operation(self.mirrors[stream_id], batch)
+        for monitor in self.monitors.values():
+            monitor.apply(stream_id, batch)
+        self.sharded.apply(stream_id, batch)
+
+    @precondition(lambda self: len(self.queries) < 3)
+    @rule(seed=st.integers(0, 10**6))
+    def add_query(self, seed):
+        query = random_query(random.Random(seed))
+        query_id = f"q{self.next_query}"
+        self.next_query += 1
+        self.queries[query_id] = query
+        for monitor in self.monitors.values():
+            monitor.add_query(query_id, query)
+        self._rebuild_sharded()
+
+    @precondition(lambda self: len(self.queries) > 1)
+    @rule(seed=st.integers(0, 10**6))
+    def remove_query(self, seed):
+        query_id = random.Random(seed).choice(sorted(self.queries))
+        del self.queries[query_id]
+        for monitor in self.monitors.values():
+            monitor.remove_query(query_id)
+        self._rebuild_sharded()
+
+    # ------------------------------------------------------------------
+    # invariants — checked after every rule
+    # ------------------------------------------------------------------
+    @invariant()
+    def all_paths_report_identical_matches(self):
+        answers = {
+            method: frozenset(monitor.matches())
+            for method, monitor in self.monitors.items()
+        }
+        answers["sharded"] = frozenset(self.sharded.matches())
+        assert len(set(answers.values())) == 1, answers
+
+    @invariant()
+    def all_paths_report_identical_events(self):
+        streams = (
+            [
+                (method, monitor.events())
+                for method, monitor in self.monitors.items()
+            ]
+            + [("sharded", self.sharded.events())]
+        )
+        as_tuples = {
+            source: tuple((e.kind, e.stream_id, e.query_id) for e in events)
+            for source, events in streams
+        }
+        assert len(set(as_tuples.values())) == 1, as_tuples
+
+    @invariant()
+    def no_false_negatives_against_networkx(self):
+        reported = self.sharded.matches()
+        for stream_id, mirror in self.mirrors.items():
+            for query_id, query in self.queries.items():
+                if nx_subgraph_iso(query, mirror):
+                    assert (stream_id, query_id) in reported, (
+                        f"false negative: oracle matches ({stream_id}, "
+                        f"{query_id}) but the filter dropped it"
+                    )
+
+    @invariant()
+    def verified_matches_equal_oracle(self):
+        truth = {
+            (stream_id, query_id)
+            for stream_id, mirror in self.mirrors.items()
+            for query_id, query in self.queries.items()
+            if nx_subgraph_iso(query, mirror)
+        }
+        assert self.monitors["dsc"].verified_matches() == truth
+
+
+TestSoakMachine = SoakMachine.TestCase
+TestSoakMachine.settings = settings(
+    max_examples=5, stateful_step_count=12, deadline=None
+)
+
+
+# ----------------------------------------------------------------------
+# scripted long soak (slow tier): 1/2/4 workers x every engine
+# ----------------------------------------------------------------------
+def scripted_soak(method: str, workers: int, operations: int, seed: int) -> None:
+    rng = random.Random(seed)
+    queries = {f"q{i}": random_query(rng) for i in range(3)}
+    reference = StreamMonitor(queries, method=method, depth_limit=DEPTH_LIMIT)
+    mirrors: dict[str, LabeledGraph] = {}
+    next_vertex = 0
+    with ShardedMonitor(
+        queries, method=method, depth_limit=DEPTH_LIMIT, num_workers=workers
+    ) as sharded:
+        for op_index in range(operations):
+            roll = rng.random()
+            if (roll < 0.08 and len(mirrors) < 5) or not mirrors:
+                stream_id = f"s{op_index}"
+                mirrors[stream_id] = LabeledGraph()
+                reference.add_stream(stream_id)
+                sharded.add_stream(stream_id)
+            elif roll < 0.12 and len(mirrors) > 1:
+                stream_id = rng.choice(sorted(mirrors))
+                del mirrors[stream_id]
+                reference.remove_stream(stream_id)
+                sharded.remove_stream(stream_id)
+            else:
+                stream_id = rng.choice(sorted(mirrors))
+                batch, next_vertex = random_batch(
+                    rng, mirrors[stream_id], next_vertex
+                )
+                apply_operation(mirrors[stream_id], batch)
+                reference.apply(stream_id, batch)
+                sharded.apply(stream_id, batch)
+            assert sharded.matches() == reference.matches(), (
+                f"{method}/{workers}w diverged at op {op_index}"
+            )
+            if op_index % 25 == 0:  # oracle spot check, amortized
+                reported = reference.matches()
+                for sid, mirror in mirrors.items():
+                    for qid, query in queries.items():
+                        if nx_subgraph_iso(query, mirror):
+                            assert (sid, qid) in reported
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("method", ENGINE_METHODS)
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_long_soak(method, workers):
+    scripted_soak(
+        method,
+        workers,
+        operations=500,
+        seed=0xBEEF + workers * 10 + ENGINE_METHODS.index(method),
+    )
+
+
+def test_short_soak_smoke():
+    """Fast always-on slice of the long soak (same code path)."""
+    scripted_soak("dsc", 2, operations=40, seed=0xBEEF)

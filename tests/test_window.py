@@ -102,14 +102,14 @@ class TestWindowSemantics:
         assert ("s", "abc") in monitor.matches()
         assert ("s", "abc") in monitor.verified_matches()
 
-    def test_poll_events_through_window(self):
+    def test_events_through_window(self):
         monitor = make_monitor(window=1)
         monitor.add_stream("s")
         monitor.observe("s", 1, 2, "-", "A", "B")
-        events = monitor.poll_events()
+        events = monitor.events()
         assert [(e.kind, e.query_id) for e in events] == [("appeared", "ab")]
         monitor.tick("s")
-        events = monitor.poll_events()
+        events = monitor.events()
         assert [(e.kind, e.query_id) for e in events] == [("vanished", "ab")]
 
     def test_randomized_window_equivalence(self):
