@@ -1,0 +1,174 @@
+"""Micro-benchmarks: what trace identity costs on top of PR 4 spans.
+
+The trace layer adds exactly two kinds of work to the instrumentation
+that already existed:
+
+* **Id minting** — every span opened mints one span id, and every root
+  span additionally mints one trace id (:mod:`repro.obs.trace`, a
+  string format over pid + a per-process counter; no syscalls, no
+  entropy).
+* **Envelope stamping** — every command the coordinator puts on a
+  worker inbox is extended with the current :class:`~repro.obs.trace.
+  TraceContext` (:func:`~repro.obs.stamp_envelope`) and split back off
+  on the worker (:func:`~repro.obs.split_envelope`).
+
+``test_trace_propagation_overhead_under_five_percent`` bounds the total
+of both — unit cost measured directly, multiplied by the number of
+spans/commands the Figure 15 replay actually produces — at under 5% of
+the replay's wall-clock time, mirroring the disabled-mode gate in
+``bench_obs_overhead.py``.  The pytest-benchmark cases at the bottom
+record the absolute numbers (CI archives them as ``BENCH_trace.json``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.core.monitor import StreamMonitor
+from repro.obs import Registry
+from repro.obs import trace as trace_mod
+
+from benchmarks.bench_obs_overhead import build_workload
+
+SEED = 0x7AC3
+
+
+def replay(queries, streams, method: str = "dsc") -> None:
+    """The measured unit: full replay with a poll at every timestamp."""
+    monitor = StreamMonitor(queries, method=method)
+    for stream_id, stream in streams.items():
+        monitor.add_stream(stream_id, stream.initial)
+    horizon = min(len(s.operations) for s in streams.values())
+    for t in range(horizon):
+        for stream_id, stream in streams.items():
+            monitor.apply(stream_id, stream.operations[t])
+        monitor.matches()
+        monitor.events()
+
+
+def _time_replay(queries, streams, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        replay(queries, streams)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _count_spans(queries, streams) -> int:
+    """Spans the replay opens, counted from the ``.seconds`` histograms
+    (every span feeds exactly one observation when enabled)."""
+    previous = obs.set_registry(Registry())
+    obs.clear_spans()
+    obs.enable()
+    try:
+        replay(queries, streams)
+        return sum(
+            int(entry["count"])
+            for key, entry in obs.get_registry().summary().items()
+            if entry["kind"] == "histogram" and key.endswith(".seconds")
+        )
+    finally:
+        obs.set_registry(previous)
+        obs.clear_spans()
+
+
+def _count_envelopes(queries, streams) -> int:
+    """Commands a sharded run of the same replay would stamp: one per
+    add_stream, one per (stream, timestamp) apply, and one poll +
+    events request per timestamp per worker (overestimated at 2)."""
+    horizon = min(len(s.operations) for s in streams.values())
+    return len(streams) + horizon * len(streams) + 2 * horizon
+
+
+def _mint_cost(samples: int = 100_000) -> float:
+    """Seconds per span worth of id minting (span id + trace id — the
+    root-span worst case; nested spans mint only one)."""
+    started = time.perf_counter()
+    for _ in range(samples):
+        trace_mod.new_trace_id()
+        trace_mod.new_span_id()
+    return (time.perf_counter() - started) / samples
+
+
+def _stamp_cost(samples: int = 100_000) -> float:
+    """Seconds per command for a stamp + split round trip under an open
+    span (the state every runtime submit runs in)."""
+    command = ("apply", "s0", None)
+    with obs.span("bench.stamp"):
+        started = time.perf_counter()
+        for _ in range(samples):
+            envelope = obs.stamp_envelope(command)
+            obs.split_envelope(envelope)
+        elapsed = time.perf_counter() - started
+    return elapsed / samples
+
+
+def test_trace_propagation_overhead_under_five_percent():
+    queries, streams = build_workload(seed=SEED)
+    spans = _count_spans(queries, streams)
+    envelopes = _count_envelopes(queries, streams)
+    previous = obs.set_registry(Registry())
+    obs.enable()
+    try:
+        replay_seconds = _time_replay(queries, streams)
+        per_span = _mint_cost()
+        per_envelope = _stamp_cost()
+    finally:
+        obs.set_registry(previous)
+        obs.clear_spans()
+    overhead = spans * per_span + envelopes * per_envelope
+    fraction = overhead / replay_seconds
+    print(
+        f"\ntrace-id overhead: {spans} spans x {per_span * 1e9:.0f}ns"
+        f" + {envelopes} envelopes x {per_envelope * 1e9:.0f}ns"
+        f" = {overhead * 1e3:.3f}ms over {replay_seconds * 1e3:.1f}ms"
+        f" replay ({fraction:.2%})"
+    )
+    assert fraction < 0.05, (
+        f"trace propagation costs {fraction:.2%} of the instrumented replay"
+    )
+
+
+def test_span_records_carry_ids_without_ring_growth():
+    """Sanity alongside the gate: the bounded ring still caps memory
+    with ids attached, and every record is fully linked."""
+    previous = obs.set_registry(Registry())
+    obs.clear_spans()
+    obs.enable()
+    try:
+        for _ in range(obs.DEFAULT_SPAN_CAPACITY + 64):
+            with obs.span("bench.ring"):
+                pass
+        records = obs.spans()
+        assert len(records) == obs.DEFAULT_SPAN_CAPACITY
+        assert all(r.trace_id and r.span_id for r in records)
+    finally:
+        obs.set_registry(previous)
+        obs.clear_spans()
+
+
+def test_bench_replay_traced(benchmark):
+    """Absolute replay time with spans + trace identity enabled."""
+    queries, streams = build_workload(seed=SEED)
+    previous = obs.set_registry(Registry())
+    obs.enable()
+    try:
+        benchmark(replay, queries, streams)
+    finally:
+        obs.set_registry(previous)
+        obs.clear_spans()
+
+
+def test_bench_envelope_stamp_split(benchmark):
+    """Absolute cost of one stamp + split round trip."""
+    command = ("apply", "s0", None)
+
+    def round_trip():
+        envelope = obs.stamp_envelope(command)
+        obs.split_envelope(envelope)
+
+    obs.enable()
+    with obs.span("bench.stamp"):
+        benchmark(round_trip)

@@ -66,6 +66,10 @@ ALLOWED_IMPORTS: dict[str, frozenset[str] | str] = {
     ),
     # Rendering helpers for trees/graphs.
     "repro.render": frozenset({"repro.graph", "repro.nnt"}),
+    # The live terminal dashboard renders stats/summary dicts; it may
+    # read obs shapes but never reaches into the monitoring stack (the
+    # CLI hands it a poll callable).
+    "repro.dashboard": frozenset({"repro.obs"}),
     # The analyzer itself is stdlib-only.
     "repro.analysis": frozenset(),
     # Top layers may import anything.

@@ -1,4 +1,4 @@
-"""The initial rule pack (RP001-RP009), grounded in the paper.
+"""The initial rule pack (RP001-RP010), grounded in the paper.
 
 Each rule protects one invariant the reproduction depends on:
 
@@ -23,6 +23,11 @@ RP009     no direct ``time.*`` timing in the instrumented packages
           (graph/nnt/join/core/runtime) outside ``repro.obs`` and
           ``repro.core.metrics`` — per-stage timing flows through
           spans/instruments so exposition accounts for all of it
+RP010     only ``repro.obs.trace`` may mint trace/span ids (no
+          ``uuid``/``secrets``/``os.urandom`` id fabrication in the
+          instrumented packages) — distributed traces only assemble
+          into one tree if every id comes from the single minting
+          site and its deterministic pid+counter scheme
 ========  ==========================================================
 """
 
@@ -647,3 +652,91 @@ class AdHocTimingRule(Rule):
                             "package; route timing through repro.obs (or "
                             "repro.core.metrics.Stopwatch)",
                         )
+
+
+# ----------------------------------------------------------------------
+# RP010 — trace/span ids are minted only by repro.obs.trace
+# ----------------------------------------------------------------------
+
+_ID_MINTING_MODULES = {"uuid", "secrets"}
+_MINT_FUNCTIONS = {"new_trace_id", "new_span_id"}
+
+
+@register
+class TraceIdMintingRule(Rule):
+    """Trace identity has exactly one minting site."""
+
+    rule_id = "RP010"
+    title = "trace/span ids are minted only by repro.obs.trace"
+    rationale = (
+        "A distributed trace is one tree only if every span's ids come "
+        "from the single minting site: repro.obs.trace derives ids from "
+        "pid + a per-process counter, which keeps them unique across "
+        "fork, deterministic for replay, and free of entropy reads on "
+        "the filtering path.  A second id source (uuid/secrets/"
+        "os.urandom, or a re-implemented new_trace_id) silently "
+        "produces spans no exporter can attach to their parents."
+    )
+    units = frozenset(
+        {
+            "repro.graph",
+            "repro.nnt",
+            "repro.join",
+            "repro.core",
+            "repro.runtime",
+            "repro.obs",
+        }
+    )
+
+    #: The minting site itself.
+    _EXEMPT_MODULES = frozenset({"repro.obs.trace"})
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        if context.module_name in self._EXEMPT_MODULES:
+            return False
+        return super().applies_to(context)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _ID_MINTING_MODULES:
+                        yield context.finding(
+                            node,
+                            self.rule_id,
+                            f"import of {root!r} in an instrumented package; "
+                            "trace/span ids come from repro.obs.trace "
+                            "(new_trace_id/new_span_id), not ad-hoc entropy",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module:
+                    root = node.module.split(".")[0]
+                    if root in _ID_MINTING_MODULES:
+                        yield context.finding(
+                            node,
+                            self.rule_id,
+                            f"import from {root!r} in an instrumented package; "
+                            "trace/span ids come from repro.obs.trace",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "os"
+                    and func.attr == "urandom"
+                ):
+                    yield context.finding(
+                        node,
+                        self.rule_id,
+                        "os.urandom() in an instrumented package; trace/span "
+                        "ids come from repro.obs.trace, not entropy reads",
+                    )
+            elif isinstance(node, ast.FunctionDef) and node.name in _MINT_FUNCTIONS:
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    f"re-definition of {node.name}() outside repro.obs.trace; "
+                    "there is exactly one trace-id minting site",
+                )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands::
+Ten subcommands::
 
     python -m repro generate ...    # write synthetic datasets to files
     python -m repro search ...      # static filter-and-verify search
@@ -8,13 +8,17 @@ Eight subcommands::
     python -m repro replay ...      # same, through the sharded runtime
     python -m repro serve ...       # line-protocol server over stdin
     python -m repro stats ...       # render an observability dump (Prometheus/JSON)
+    python -m repro trace ...       # export a replay's span tree (Perfetto/text)
+    python -m repro top ...         # live dashboard over stats()
     python -m repro experiment ...  # run a paper-figure driver
-    python -m repro lint ...        # static analysis (RP001-RP009)
+    python -m repro lint ...        # static analysis (RP001-RP010)
 
 Graphs and query sets use the text format of :mod:`repro.graph.io`
 (gSpan-style ``t # / v / e`` blocks); streams add ``op`` blocks.
 ``replay`` and ``serve`` take ``--stats-every N`` to emit the merged
-observability registries every N timestamps (see ``docs/observability.md``).
+observability registries every N timestamps; ``monitor``/``replay``
+take ``--probe-rate``/``--probe-budget-ms`` to run the sampled
+precision probe alongside the filter (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -32,6 +36,24 @@ from .datasets.queries import make_query_set
 from .datasets.reality import RealityConfig, generate_reality_stream
 from .datasets.stream_gen import DENSE, SPARSE, synthesize_stream
 from .graph.io import read_graph_set, read_stream, write_graph_set, write_stream
+
+
+def _add_probe_arguments(sub: argparse.ArgumentParser) -> None:
+    """The precision-probe knobs shared by replaying subcommands."""
+    sub.add_argument(
+        "--probe-rate",
+        type=float,
+        default=0.0,
+        help="fraction of emitted candidate pairs to verify with exact "
+        "isomorphism per timestamp (0 = probe off, 1 = verify every pair)",
+    )
+    sub.add_argument(
+        "--probe-budget-ms",
+        type=float,
+        default=50.0,
+        help="wall-clock budget per probe pass in milliseconds "
+        "(0 = unbudgeted; pairs beyond the budget are skipped and counted)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument(
         "--verify", action="store_true", help="confirm events with exact isomorphism"
     )
+    _add_probe_arguments(monitor)
 
     # -- replay -----------------------------------------------------------
     replay = subparsers.add_parser(
@@ -131,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json",
         help="write the final merged observability summary to this JSON file",
     )
+    _add_probe_arguments(replay)
 
     # -- serve ------------------------------------------------------------
     serve = subparsers.add_parser(
@@ -177,6 +201,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="exposition format (default Prometheus text 0.0.4)",
     )
     stats.add_argument("--prefix", default="repro", help="metric name prefix")
+
+    # -- trace --------------------------------------------------------------
+    trace = subparsers.add_parser(
+        "trace",
+        help="replay streams and export the collected span tree "
+        "(Chrome trace-event JSON for Perfetto, or a text critical-span table)",
+    )
+    trace.add_argument("--queries", required=True, help="graph-set file of patterns")
+    trace.add_argument("--streams", nargs="+", required=True, help="stream files")
+    trace.add_argument(
+        "--method", choices=["nl", "dsc", "skyline", "matrix"], default="dsc"
+    )
+    trace.add_argument("--depth", type=int, default=3, help="NNT depth l")
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = in-process; >=1 adds per-shard trace tracks)",
+    )
+    trace.add_argument("--queue-capacity", type=int, default=128)
+    trace.add_argument(
+        "--format",
+        choices=["chrome", "text"],
+        default="chrome",
+        help="chrome = Perfetto-loadable trace-event JSON, text = top-N spans",
+    )
+    trace.add_argument("--out", help="output file (default: stdout)")
+    trace.add_argument(
+        "--top", type=int, default=10, help="spans shown by --format text"
+    )
+
+    # -- top ----------------------------------------------------------------
+    top = subparsers.add_parser(
+        "top",
+        help="live plain-terminal dashboard: latency percentiles, inbox "
+        "depths, pruning power, FP-ratio estimate",
+    )
+    top.add_argument(
+        "dump",
+        nargs="?",
+        help="stats JSON file to poll each frame (e.g. refreshed by "
+        "`replay --stats-json`); omit to drive a replay directly",
+    )
+    top.add_argument("--queries", help="graph-set file of patterns (replay mode)")
+    top.add_argument("--streams", nargs="+", help="stream files (replay mode)")
+    top.add_argument(
+        "--method", choices=["nl", "dsc", "skyline", "matrix"], default="dsc"
+    )
+    top.add_argument("--depth", type=int, default=3, help="NNT depth l")
+    top.add_argument(
+        "--workers", type=int, default=0, help="worker processes (0 = in-process)"
+    )
+    top.add_argument("--queue-capacity", type=int, default=128)
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between frames"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        help="frames to paint (default: until Ctrl-C, or one per "
+        "timestamp plus a final frame in replay mode)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (pipes/tests)",
+    )
+    _add_probe_arguments(top)
 
     # -- experiment ---------------------------------------------------------
     experiment = subparsers.add_parser("experiment", help="run a paper-figure driver")
@@ -300,7 +392,43 @@ def _collect_obs_summary(monitor) -> dict:
     return obs.get_registry().summary()
 
 
-def _replay_and_report(monitor, streams, verify_with=None, stats_every=0) -> None:
+def _make_probe(monitor, args) -> "object | None":
+    """A :class:`~repro.core.verify.PrecisionProbe` when the arguments
+    ask for one and the monitor can support it (the probe verifies with
+    exact VF2, which needs in-process access to the stream graphs —
+    only the library-path :class:`StreamMonitor` exposes them)."""
+    rate = getattr(args, "probe_rate", 0.0)
+    if not rate:
+        return None
+    if not isinstance(monitor, StreamMonitor):
+        print(
+            "precision probe needs in-process graphs; ignoring --probe-rate "
+            "with --workers >= 1",
+            file=sys.stderr,
+        )
+        return None
+    from .core.verify import PrecisionProbe
+
+    budget_ms = getattr(args, "probe_budget_ms", 50.0)
+    return PrecisionProbe(
+        monitor,
+        rate=rate,
+        budget_seconds=budget_ms / 1000.0 if budget_ms > 0 else None,
+    )
+
+
+def _report_probe(probe) -> None:
+    estimate = probe.fp_ratio_estimate
+    line = (
+        "probe: checked={checked} false_positives={false_positives} "
+        "skipped={skipped}".format(**probe.stats)
+    )
+    if estimate is not None:
+        line += f"  fp_ratio~{estimate:.3f}"
+    print(line)
+
+
+def _replay_and_report(monitor, streams, verify_with=None, stats_every=0, probe=None) -> None:
     """Drive ``monitor`` (StreamMonitor or ShardedMonitor — same API)
     through recorded streams, printing one line per match event.
 
@@ -308,7 +436,9 @@ def _replay_and_report(monitor, streams, verify_with=None, stats_every=0) -> Non
     ``events()``, so the output format is identical regardless of
     ``--workers``.  With ``stats_every`` > 0, the merged observability
     metrics are printed as a Prometheus text block every that many
-    timestamps (and once more after the final poll).
+    timestamps (and once more after the final poll).  A ``probe``
+    samples the candidate set once per timestamp, after events are
+    reported — strictly off the filtering path.
     """
     from .obs import render_prometheus
 
@@ -328,11 +458,15 @@ def _replay_and_report(monitor, streams, verify_with=None, stats_every=0) -> Non
                 confirmed = pair in verify_with.verified_matches({pair})
                 line += "  [CONFIRMED]" if confirmed else "  [filter only]"
             print(line)
+        if probe is not None:
+            probe.sample()
         if stats_every and (timestamp + 1) % stats_every == 0:
             print(f"# repro stats t={timestamp + 1}")
             print(render_prometheus(_collect_obs_summary(monitor)), end="")
     final = sorted(monitor.matches())
     print(f"final possible pairs: {final}")
+    if probe is not None:
+        _report_probe(probe)
     if stats_every:
         print("# repro stats final")
         print(render_prometheus(_collect_obs_summary(monitor)), end="")
@@ -342,7 +476,12 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     queries = dict(read_graph_set(args.queries))
     streams = _read_streams(args.streams)
     monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
-    _replay_and_report(monitor, streams, verify_with=monitor if args.verify else None)
+    _replay_and_report(
+        monitor,
+        streams,
+        verify_with=monitor if args.verify else None,
+        probe=_make_probe(monitor, args),
+    )
     return 0
 
 
@@ -359,7 +498,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     streams = _read_streams(args.streams)
     if args.workers <= 1:
         monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
-        _replay_and_report(monitor, streams, stats_every=args.stats_every)
+        _replay_and_report(
+            monitor,
+            streams,
+            stats_every=args.stats_every,
+            probe=_make_probe(monitor, args),
+        )
         if args.stats_json:
             _write_stats_json(monitor, args.stats_json)
         return 0
@@ -375,7 +519,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
     ) as monitor:
-        _replay_and_report(monitor, streams, stats_every=args.stats_every)
+        _replay_and_report(
+            monitor,
+            streams,
+            stats_every=args.stats_every,
+            probe=_make_probe(monitor, args),
+        )
         stats = monitor.stats()
         pressure = stats["backpressure"]
         print(
@@ -551,6 +700,138 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_silently(monitor, streams) -> None:
+    """Drive a monitor through recorded streams without reporting —
+    the replay exists only for the side effects being exported."""
+    for stream_id, stream in streams.items():
+        monitor.add_stream(stream_id, stream.initial)
+    monitor.events()
+    horizon = min(len(stream.operations) for stream in streams.values())
+    for timestamp in range(horizon):
+        for stream_id, stream in streams.items():
+            monitor.apply(stream_id, stream.operations[timestamp])
+        monitor.events()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from . import obs
+
+    obs.enable()  # tracing is the whole point; override REPRO_OBS=0
+    queries = dict(read_graph_set(args.queries))
+    streams = _read_streams(args.streams)
+    if args.workers >= 1:
+        from .runtime import ShardedMonitor
+
+        with ShardedMonitor(
+            queries,
+            method=args.method,
+            depth_limit=args.depth,
+            num_workers=args.workers,
+            queue_capacity=args.queue_capacity,
+        ) as monitor:
+            _replay_silently(monitor, streams)
+            records = monitor.trace_spans()
+    else:
+        monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
+        _replay_silently(monitor, streams)
+        records = list(obs.spans())
+    if args.format == "chrome":
+        text = json.dumps(obs.to_chrome(records), indent=2, sort_keys=True) + "\n"
+    else:
+        text = obs.render_critical_spans(records, top=args.top)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(records)} spans)")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+
+    from . import obs
+    from .dashboard import run_top
+
+    if args.dump:
+        path = Path(args.dump)
+
+        def poll() -> dict:
+            return json.loads(path.read_text())
+
+        frames = run_top(
+            poll,
+            sys.stdout,
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=not args.no_clear,
+        )
+        print(f"{frames} frames", file=sys.stderr)
+        return 0
+
+    if not (args.queries and args.streams):
+        print(
+            "top needs a stats JSON dump or --queries/--streams to replay",
+            file=sys.stderr,
+        )
+        return 2
+    obs.enable()
+    queries = dict(read_graph_set(args.queries))
+    streams = _read_streams(args.streams)
+    horizon = min(len(stream.operations) for stream in streams.values())
+    iterations = args.iterations if args.iterations is not None else horizon + 1
+
+    def run_over(monitor) -> int:
+        probe = _make_probe(monitor, args)
+        for stream_id, stream in streams.items():
+            monitor.add_stream(stream_id, stream.initial)
+        monitor.events()
+        cursor = {"t": 0}
+
+        def poll() -> dict:
+            # One frame = one timestamp: the dashboard doubles as the
+            # replay driver, so everything stays single-threaded.
+            timestamp = cursor["t"]
+            if timestamp < horizon:
+                for stream_id, stream in streams.items():
+                    monitor.apply(stream_id, stream.operations[timestamp])
+                cursor["t"] = timestamp + 1
+            monitor.events()
+            if probe is not None:
+                probe.sample()
+            if hasattr(monitor, "inbox_depths"):  # ShardedMonitor
+                return monitor.stats()
+            return {**monitor.stats(), "obs": obs.get_registry().summary()}
+
+        return run_top(
+            poll,
+            sys.stdout,
+            interval=args.interval,
+            iterations=iterations,
+            clear=not args.no_clear,
+        )
+
+    if args.workers >= 1:
+        from .runtime import ShardedMonitor
+
+        with ShardedMonitor(
+            queries,
+            method=args.method,
+            depth_limit=args.depth,
+            num_workers=args.workers,
+            queue_capacity=args.queue_capacity,
+        ) as monitor:
+            frames = run_over(monitor)
+    else:
+        frames = run_over(
+            StreamMonitor(queries, method=args.method, depth_limit=args.depth)
+        )
+    print(f"{frames} frames", file=sys.stderr)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import inspect
 
@@ -599,6 +880,8 @@ def main(argv: list[str] | None = None) -> int:
         "replay": _cmd_replay,
         "serve": _cmd_serve,
         "stats": _cmd_stats,
+        "trace": _cmd_trace,
+        "top": _cmd_top,
         "experiment": _cmd_experiment,
         "lint": _cmd_lint,
     }

@@ -240,6 +240,7 @@ class StreamMonitor:
             obs.counter(
                 "monitor.polls", help="candidate-set reads answered"
             ).inc()
+            obs.quality.record_candidates(result)
         return result
 
     def is_match(self, stream_id: StreamId, query_id: QueryId) -> bool:

@@ -1,0 +1,209 @@
+"""``repro top`` — a live plain-terminal dashboard over ``stats()``.
+
+Pure stdlib and pure functions: :func:`render_dashboard` turns one
+stats dict (the shape returned by ``StreamMonitor.stats()`` +
+observability summary, or ``ShardedMonitor.stats()`` with its
+``merged_obs``) into one fixed-width text frame, and :func:`run_top`
+repaints frames from a caller-supplied poll callable using ANSI
+clear-screen — no curses dependency, works in any VT100-ish terminal
+and degrades to plain appended frames when piped.
+
+The dashboard never touches the monitoring stack itself (layering: this
+unit may import only :mod:`repro.obs`): the CLI decides whether the
+poll callable reads a local monitor, replays a workload, or parses
+``repro serve`` JSON lines.
+
+Shown per frame: apply-latency percentiles (from the
+``monitor.apply.seconds`` histogram), poll/event counters, worker inbox
+depths and backpressure drops/spills (sharded runs), per-dimension
+pruning power (the ``join.<engine>.pruned{dim=...}`` counters of
+:mod:`repro.obs.quality`), and the live false-positive-ratio estimate
+gauge when the precision probe is running.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Mapping, TextIO
+
+ANSI_CLEAR = "\x1b[2J\x1b[H"
+
+#: Quantiles shown for latency histograms.
+PERCENTILES = (0.50, 0.90, 0.99)
+
+
+def histogram_quantile(entry: Mapping[str, Any], q: float) -> float | None:
+    """Approximate the q-quantile of a histogram summary entry.
+
+    Standard Prometheus-style estimation: find the bucket where the
+    cumulative count crosses ``q * count`` and interpolate linearly
+    inside it (the overflow bucket reports its lower bound — there is
+    no upper edge to interpolate towards).  Returns None for an empty
+    histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = entry.get("count", 0)
+    if not total:
+        return None
+    bounds = list(entry["bounds"])
+    counts = list(entry["counts"])
+    target = q * total
+    cumulative = 0.0
+    for i, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= target:
+            if i >= len(bounds):  # overflow bucket: no upper edge
+                return bounds[-1]
+            lower = bounds[i - 1] if i else 0.0
+            upper = bounds[i]
+            if not count:
+                return upper
+            return lower + (upper - lower) * (target - previous) / count
+    return bounds[-1]
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def _obs_summary(stats: Mapping[str, Any]) -> Mapping[str, Any]:
+    """The observability summary inside a stats dict, whichever path
+    produced it (sharded ``merged_obs``, worker ``obs``, or a bare
+    summary passed directly)."""
+    for key in ("merged_obs", "obs"):
+        nested = stats.get(key)
+        if isinstance(nested, Mapping):
+            return nested
+    # A registry summary itself (every value has a "kind").
+    if all(isinstance(v, Mapping) and "kind" in v for v in stats.values()) and stats:
+        return stats
+    return {}
+
+
+def _series(summary: Mapping[str, Any], base: str) -> list[tuple[dict, Mapping]]:
+    """(labels, entry) pairs of every series of one metric base name."""
+    out: list[tuple[dict, Mapping]] = []
+    for key, entry in summary.items():
+        if key == base or key.startswith(base + "{"):
+            out.append((dict(entry.get("labels") or {}), entry))
+    return out
+
+
+def _value(summary: Mapping[str, Any], name: str) -> float:
+    entry = summary.get(name)
+    return float(entry["value"]) if entry else 0.0
+
+
+def render_dashboard(stats: Mapping[str, Any], width: int = 78) -> str:
+    """One text frame of the dashboard from one stats snapshot."""
+    summary = _obs_summary(stats)
+    lines: list[str] = []
+    rule = "-" * width
+    lines.append("repro top" + " " * max(width - 9, 0))
+    lines.append(rule)
+
+    # -- workload shape ------------------------------------------------
+    shape: list[str] = []
+    for key, label in (
+        ("num_streams", "streams"),
+        ("num_queries", "queries"),
+        ("num_workers", "workers"),
+        ("method", "engine"),
+    ):
+        if key in stats:
+            shape.append(f"{label}={stats[key]}")
+    if shape:
+        lines.append("  ".join(shape))
+
+    # -- latency ---------------------------------------------------------
+    apply_hist = summary.get("monitor.apply.seconds")
+    if apply_hist:
+        quantiles = "  ".join(
+            f"p{int(q * 100):02d}={_fmt_seconds(histogram_quantile(apply_hist, q))}"
+            for q in PERCENTILES
+        )
+        lines.append(
+            f"apply latency   {quantiles}  (n={apply_hist.get('count', 0)})"
+        )
+    polls = _value(summary, "monitor.polls")
+    changes = _value(summary, "monitor.changes")
+    events = _value(summary, "monitor.events")
+    lines.append(
+        f"throughput      changes={changes:.0f}  polls={polls:.0f}  events={events:.0f}"
+    )
+
+    # -- runtime backpressure ---------------------------------------------
+    depths = stats.get("inbox_depths")
+    if isinstance(depths, Mapping):
+        shown = "  ".join(f"shard{shard}={depth}" for shard, depth in sorted(depths.items()))
+        lines.append(f"inbox depth     {shown}")
+    backpressure = stats.get("backpressure")
+    if isinstance(backpressure, Mapping):
+        lines.append(
+            "backpressure    policy={policy}  accepted={accepted_batches}  "
+            "dropped={dropped}  spilled={spilled}  parked={parked}".format(**backpressure)
+        )
+
+    # -- filter quality ----------------------------------------------------
+    lines.append(rule)
+    candidates = sum(entry["value"] for _, entry in _series(summary, "filter.candidates"))
+    fp_entry = summary.get("filter.fp_ratio_estimate")
+    probe_checked = _value(summary, "filter.probe.checked")
+    probe_skipped = _value(summary, "filter.probe.skipped")
+    fp_text = f"{fp_entry['value']:.3f}" if fp_entry else "-"
+    lines.append(
+        f"filter          candidates={candidates:.0f}  fp_ratio~{fp_text}  "
+        f"probed={probe_checked:.0f}  probe_skipped={probe_skipped:.0f}"
+    )
+    pruned: dict[str, float] = {}
+    for key, entry in summary.items():
+        if ".pruned" in key and entry.get("kind") == "counter":
+            dim = (entry.get("labels") or {}).get("dim", "?")
+            pruned[dim] = pruned.get(dim, 0.0) + entry["value"]
+    if pruned:
+        total = sum(pruned.values())
+        lines.append(f"pruning power   {total:.0f} pruned; top dimensions:")
+        ranked = sorted(pruned.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        for dim, count in ranked:
+            share = count / total if total else 0.0
+            bar = "#" * int(share * 30)
+            lines.append(f"  {dim[:40]:<40} {count:>8.0f}  {share:>6.1%} {bar}")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    poll: Callable[[], Mapping[str, Any]],
+    out: TextIO,
+    interval: float = 1.0,
+    iterations: int | None = None,
+    clear: bool = True,
+) -> int:
+    """Repaint the dashboard from ``poll()`` until interrupted.
+
+    ``iterations`` bounds the frame count (None = run until Ctrl-C);
+    ``clear=False`` appends frames instead of clearing (for pipes and
+    tests).  Returns the number of frames painted.
+    """
+    frames = 0
+    try:
+        while iterations is None or frames < iterations:
+            frame = render_dashboard(poll())
+            if clear:
+                out.write(ANSI_CLEAR)
+            out.write(frame)
+            out.flush()
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return frames

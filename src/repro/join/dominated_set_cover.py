@@ -22,6 +22,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Mapping
 
+from .. import obs
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV
 from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
@@ -189,7 +190,25 @@ class DominatedSetCoverJoin(JoinEngine):
         self._obs_checks.inc()
         state = self._streams[stream_id]
         if state.uncovered[query_id]:
+            if obs.enabled():
+                obs.quality.record_pruned(self.name, self._blame(state, query_id))
             return False
         if self._trivial_per_query[query_id] and not state.vectors:
+            if obs.enabled():
+                # Trivial query vectors only fail on an empty stream.
+                obs.quality.record_pruned(self.name, "combination")
             return False
         return True
+
+    def _blame(self, state: _StreamState, query_id: QueryId) -> str:
+        """Which dimension to blame for an uncovered query vector —
+        diagnostic only (the verdict already came from the counters).
+        Picks the first uncovered vector of the query and delegates to
+        :func:`repro.obs.quality.blame_dimension` over the live stream
+        vectors."""
+        for qv_index in self.query_set.by_query[query_id]:
+            if self._required[qv_index] > 0 and not state.cover.get(qv_index, 0):
+                return obs.quality.blame_dimension(
+                    self.query_set.vectors[qv_index].vector, state.vectors.values()
+                )
+        return "combination"

@@ -27,6 +27,7 @@ from typing import Mapping
 
 import numpy as np
 
+from .. import obs
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV
 from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
@@ -217,5 +218,36 @@ class MatrixJoin(JoinEngine):
             # engines' per-vector loops agree).
             return True
         if state.count == 0:
+            if obs.enabled():
+                obs.quality.record_pruned(self.name, self._blame(state, query_id))
             return False
-        return bool(self._verdicts(state)[self._query_ord[query_id]])
+        verdict = bool(self._verdicts(state)[self._query_ord[query_id]])
+        if not verdict and obs.enabled():
+            obs.quality.record_pruned(self.name, self._blame(state, query_id))
+        return verdict
+
+    def _blame(self, state: _StreamState, query_id: QueryId) -> str:
+        """Which dimension to blame for a failed verdict — diagnostic
+        only, same convention as :func:`repro.obs.quality.blame_dimension`:
+        the first uncovered query vector's first dimension (``_dims`` is
+        sorted by ``repr``, matching the sorted-by-``str`` blame order)
+        that no stream row covers alone, else ``"combination"``."""
+        query_rows = self._query_rows[query_id]
+        if state.count == 0:
+            for row in query_rows:
+                qrow = self._query_matrix[row]
+                nonzero = np.flatnonzero(qrow)
+                if nonzero.size:
+                    return str(self._dims[int(nonzero[0])])
+            return "combination"
+        covered = self._coverage(state)
+        active = state.matrix[: state.count]
+        for row in query_rows:
+            if covered[row]:
+                continue
+            qrow = self._query_matrix[row]
+            for col in np.flatnonzero(qrow):
+                if not (active[:, col] >= qrow[col]).any():
+                    return str(self._dims[int(col)])
+            return "combination"
+        return "combination"

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from .. import obs
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV, dominates
 from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
@@ -81,5 +82,10 @@ class NestedLoopJoin(JoinEngine):
         for index in self.query_set.by_query[query_id]:
             query_vector = self.query_set.vectors[index].vector
             if not any(dominates(v, query_vector) for v in stream_vectors):
+                if obs.enabled():
+                    obs.quality.record_pruned(
+                        self.name,
+                        obs.quality.blame_dimension(query_vector, stream_vectors),
+                    )
                 return False
         return True

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from .. import obs
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV, dominates, vector_mass
 from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
@@ -172,31 +173,42 @@ class SkylineEarlyStopJoin(JoinEngine):
         return verdict
 
     def _evaluate(self, state: _StreamState, query_id: QueryId) -> bool:
+        # Pruning blame is recorded here (fresh evaluations only): a
+        # verdict replayed from the cache does not recount, so the
+        # pruned{dim=...} counters measure distinct verdict computations.
         for qv_index in self._probe_order[query_id]:
             probe = self.query_set.vectors[qv_index].vector
             if not probe:
                 # Trivial all-zero probe: dominated by any existing vertex.
                 if not state.vectors:
+                    if obs.enabled():
+                        obs.quality.record_pruned(self.name, "combination")
                     return False
                 continue
             best_dim: Dimension | None = None
             best_cardinality = None
-            skyline = False
+            skyline_dim: Dimension | None = None
             for dim, value in probe.items():
                 members = state.members.get(dim)
                 cardinality = len(members) if members else 0
                 if cardinality == 0 or value > state.max_of(dim):
                     # No stream vector can dominate the probe in this dim:
                     # the probe is a bichromatic skyline point.
-                    skyline = True
+                    skyline_dim = dim
                     break
                 if best_cardinality is None or cardinality < best_cardinality:
                     best_cardinality = cardinality
                     best_dim = dim
-            if skyline:
+            if skyline_dim is not None:
+                if obs.enabled():
+                    obs.quality.record_pruned(self.name, str(skyline_dim))
                 return False  # early stop: the pair is pruned
             assert best_dim is not None
             vectors = state.vectors
             if not any(dominates(vectors[v], probe) for v in state.members[best_dim]):
+                # Every probe dimension is individually covered (the max
+                # checks above passed), just never by one vector at once.
+                if obs.enabled():
+                    obs.quality.record_pruned(self.name, "combination")
                 return False
         return True

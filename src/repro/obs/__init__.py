@@ -15,6 +15,22 @@ Three primitives, one switch:
   any summary (live, dumped, or merged) into scrapeable text; surfaced
   as ``repro stats`` and the ``--stats-every`` replay/serve flags.
 
+Two further layers ride on the same switch:
+
+* **Traces** — every span carries trace/span/parent ids minted by
+  :mod:`repro.obs.trace` (the only minting site, rule RP010) and
+  propagated across the runtime's process boundary by
+  :func:`stamp_envelope` / :func:`split_envelope` / :func:`attached`,
+  so one coordinator ``apply`` and all worker-side work it causes form
+  a single tree.  :func:`to_chrome` exports collected spans as Chrome
+  trace-event / Perfetto JSON; :func:`render_critical_spans` is the
+  plain-text top-N view.  Surfaced as ``repro trace``.
+* **Filter quality** — :mod:`repro.obs.quality` counts candidate
+  emissions per (stream, query), blames failed dominance probes on the
+  killing NPV dimension, and hosts the rate/time budget of the sampled
+  precision probe that feeds the live ``filter.fp_ratio_estimate``
+  gauge (``repro_filter_fp_ratio_estimate`` in Prometheus text).
+
 :func:`disable` flips the whole subsystem to a near-zero-overhead
 no-op path (one flag check per site; quantified in
 ``benchmarks/bench_obs_overhead.py``); ``REPRO_OBS=0`` in the
@@ -23,6 +39,7 @@ environment starts a process disabled.  Rule RP009 keeps ad-hoc
 stays the single source of timing truth — see ``docs/observability.md``.
 """
 
+from . import quality, trace
 from .exposition import metric_name, render_json, render_prometheus
 from .instruments import (
     Counter,
@@ -30,7 +47,10 @@ from .instruments import (
     Gauge,
     Histogram,
     Registry,
+    escape_label_value,
+    instrument_key,
     merge_summaries,
+    validate_labels,
 )
 from .registry import counter, gauge, get_registry, histogram, set_registry
 from .spans import (
@@ -44,6 +64,19 @@ from .spans import (
     spans,
 )
 from .state import disable, enable, enabled
+from .trace import (
+    TraceContext,
+    attached,
+    current_context,
+    new_span_id,
+    new_trace_id,
+    process_label,
+    render_critical_spans,
+    set_process_label,
+    split_envelope,
+    stamp_envelope,
+    to_chrome,
+)
 
 __all__ = [
     "Counter",
@@ -53,22 +86,38 @@ __all__ = [
     "Histogram",
     "Registry",
     "SpanRecord",
+    "TraceContext",
+    "attached",
     "clear_spans",
     "counter",
+    "current_context",
     "disable",
     "enable",
     "enabled",
+    "escape_label_value",
     "gauge",
     "get_registry",
     "histogram",
+    "instrument_key",
     "iter_spans",
     "merge_summaries",
     "metric_name",
+    "new_span_id",
+    "new_trace_id",
+    "process_label",
+    "quality",
+    "render_critical_spans",
     "render_json",
     "render_prometheus",
+    "set_process_label",
     "set_registry",
     "set_span_capacity",
     "span",
     "span_depth",
     "spans",
+    "split_envelope",
+    "stamp_envelope",
+    "to_chrome",
+    "trace",
+    "validate_labels",
 ]

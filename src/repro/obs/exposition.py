@@ -13,6 +13,17 @@ histograms exploded into cumulative ``_bucket{le="..."}`` series plus
 ``_sum`` and ``_count``.  Dotted instrument names are sanitised to the
 ``[a-zA-Z_:][a-zA-Z0-9_:]*`` metric-name alphabet (dots become
 underscores) under a configurable prefix.
+
+Labelled instruments (summary keys of the form ``name{key="value"}``
+carrying a ``"labels"`` dict) render as separate samples of one metric:
+``# HELP`` / ``# TYPE`` appear once per metric name, each label set
+once per series, and label *values* are escaped per the 0.0.4 spec —
+backslash, double-quote and newline become ``\\\\``, ``\\"`` and
+``\\n``.  A non-string label value is rejected with :class:`TypeError`
+before any output is produced (the same check
+:func:`~repro.obs.instruments.validate_labels` applies at registration,
+repeated here because summaries may arrive from dumps or other
+processes).
 """
 
 from __future__ import annotations
@@ -20,6 +31,8 @@ from __future__ import annotations
 import json
 import re
 from typing import Mapping
+
+from .instruments import escape_label_value
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 _INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
@@ -46,33 +59,62 @@ def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
+def _label_pairs(name: str, entry: Mapping) -> list[tuple[str, str]]:
+    """Validated ``(key, escaped_value)`` pairs for one summary entry."""
+    labels = entry.get("labels") or {}
+    pairs: list[tuple[str, str]] = []
+    for key in sorted(labels):
+        value = labels[key]
+        if not isinstance(value, str):
+            raise TypeError(
+                f"label {key!r} of metric {name!r} must be a string, "
+                f"got {type(value).__name__}"
+            )
+        pairs.append((key, escape_label_value(value)))
+    return pairs
+
+
+def _render_labels(pairs: list[tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{key}="{value}"' for key, value in pairs) + "}"
+
+
 def render_prometheus(summary: Mapping[str, Mapping], prefix: str = "repro") -> str:
     """The summary as Prometheus text exposition (trailing newline)."""
     lines: list[str] = []
+    seen: dict[str, str] = {}  # metric name -> kind (HELP/TYPE once per metric)
     for name in sorted(summary):
         entry = summary[name]
         kind = entry["kind"]
-        metric = metric_name(name, prefix)
+        base = name.split("{", 1)[0]
+        metric = metric_name(base, prefix)
         if kind == "counter":
             metric = f"{metric}_total"
-        if entry.get("help"):
-            lines.append(f"# HELP {metric} {_escape_help(entry['help'])}")
-        lines.append(f"# TYPE {metric} {kind}")
+        pairs = _label_pairs(name, entry)
+        if metric not in seen:
+            seen[metric] = kind
+            if entry.get("help"):
+                lines.append(f"# HELP {metric} {_escape_help(entry['help'])}")
+            lines.append(f"# TYPE {metric} {kind}")
+        elif seen[metric] != kind:
+            raise ValueError(
+                f"metric {metric!r} rendered as both {seen[metric]} and {kind}"
+            )
         if kind in ("counter", "gauge"):
-            lines.append(f"{metric} {_format_value(entry['value'])}")
+            lines.append(f"{metric}{_render_labels(pairs)} {_format_value(entry['value'])}")
             continue
         if kind != "histogram":
             raise ValueError(f"unknown instrument kind {kind!r} for {name!r}")
         cumulative = 0
         for bound, count in zip(entry["bounds"], entry["counts"]):
             cumulative += count
-            lines.append(
-                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
-            )
+            bucket = _render_labels(pairs + [("le", _format_value(bound))])
+            lines.append(f"{metric}_bucket{bucket} {cumulative}")
         cumulative += entry["counts"][len(entry["bounds"])]
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
-        lines.append(f"{metric}_sum {_format_value(entry['sum'])}")
-        lines.append(f"{metric}_count {_format_value(entry['count'])}")
+        lines.append(f"{metric}_bucket{_render_labels(pairs + [('le', '+Inf')])} {cumulative}")
+        lines.append(f"{metric}_sum{_render_labels(pairs)} {_format_value(entry['sum'])}")
+        lines.append(f"{metric}_count{_render_labels(pairs)} {_format_value(entry['count'])}")
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -11,7 +11,13 @@ dependency:
   implicit ``+Inf`` overflow bucket).
 
 Instruments live in a :class:`Registry` keyed by dotted name
-(``"monitor.apply.seconds"``).  A registry snapshots to a plain-dict
+(``"monitor.apply.seconds"``).  An instrument may additionally carry a
+small set of **labels** (string keys and values only, validated at
+registration): each distinct label set is its own instrument, keyed by
+the canonical ``name{key="value",...}`` form, so the filter-quality
+counters (``filter.candidates{stream=...,query=...}``,
+``join.dsc.pruned{dim=...}``) and the error-labelled span histograms
+stay independent series.  A registry snapshots to a plain-dict
 :meth:`Registry.summary` — picklable and JSON-representable, the same
 contract as :meth:`repro.core.metrics.ShardCounters.summary` — and
 per-worker summaries merge losslessly with :func:`merge_summaries`
@@ -32,10 +38,56 @@ resurrect the counts of the process that wrote the snapshot.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Iterable, Mapping, Sequence
 
 from . import state
+
+#: Prometheus label-name alphabet.
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def escape_label_value(value: str) -> str:
+    """A label value escaped per the Prometheus text format 0.0.4:
+    backslash, double-quote and newline become ``\\\\``, ``\\"`` and
+    ``\\n`` (backslash first, so escapes never double up)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def validate_labels(name: str, labels: Mapping[str, object] | None) -> dict[str, str]:
+    """Validated, key-sorted copy of an instrument's labels.
+
+    Label names must match the Prometheus alphabet and values must
+    already be strings — rejecting a non-string *early*, at
+    registration, keeps the failure at the call site that forgot a
+    ``str()`` instead of deep inside exposition.
+    """
+    if not labels:
+        return {}
+    validated: dict[str, str] = {}
+    for key in sorted(labels):
+        if not isinstance(key, str) or not _LABEL_NAME.match(key):
+            raise ValueError(f"invalid label name {key!r} on instrument {name!r}")
+        value = labels[key]
+        if not isinstance(value, str):
+            raise TypeError(
+                f"label {key!r} of instrument {name!r} must be a string, "
+                f"got {type(value).__name__}"
+            )
+        validated[key] = value
+    return validated
+
+
+def instrument_key(name: str, labels: Mapping[str, str]) -> str:
+    """Canonical registry/summary key: the bare name, or
+    ``name{key="escaped value",...}`` with keys sorted."""
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{escape_label_value(labels[key])}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
 
 #: Default latency buckets in seconds: ~1 µs to 10 s, log-spaced the
 #: way stream maintenance costs actually spread (the paper's Figure 15
@@ -60,11 +112,14 @@ class Counter:
     """Monotonic event count."""
 
     kind = "counter"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "labels", "value")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = validate_labels(name, labels)
         self.value: float = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -76,23 +131,29 @@ class Counter:
 
     def summary(self) -> dict:
         """Plain-dict snapshot."""
-        return {"kind": self.kind, "help": self.help, "value": self.value}
+        entry = {"kind": self.kind, "help": self.help, "value": self.value}
+        if self.labels:
+            entry["labels"] = dict(self.labels)
+        return entry
 
     def __reduce__(self):
         from .registry import counter
 
-        return (counter, (self.name, self.help))
+        return (counter, (self.name, self.help, self.labels or None))
 
 
 class Gauge:
     """A value that can go up and down."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "labels", "value")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = validate_labels(name, labels)
         self.value: float = 0
 
     def set(self, value: float) -> None:
@@ -112,12 +173,15 @@ class Gauge:
 
     def summary(self) -> dict:
         """Plain-dict snapshot."""
-        return {"kind": self.kind, "help": self.help, "value": self.value}
+        entry = {"kind": self.kind, "help": self.help, "value": self.value}
+        if self.labels:
+            entry["labels"] = dict(self.labels)
+        return entry
 
     def __reduce__(self):
         from .registry import gauge
 
-        return (gauge, (self.name, self.help))
+        return (gauge, (self.name, self.help, self.labels or None))
 
 
 class Histogram:
@@ -132,13 +196,14 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+    __slots__ = ("name", "help", "labels", "bounds", "counts", "sum", "count")
 
     def __init__(
         self,
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Mapping[str, str] | None = None,
     ) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
@@ -149,6 +214,7 @@ class Histogram:
             )
         self.name = name
         self.help = help
+        self.labels = validate_labels(name, labels)
         self.bounds = bounds
         self.counts = [0] * (len(bounds) + 1)
         self.sum: float = 0.0
@@ -163,7 +229,7 @@ class Histogram:
 
     def summary(self) -> dict:
         """Plain-dict snapshot (bounds + per-bucket counts, not cumulated)."""
-        return {
+        entry = {
             "kind": self.kind,
             "help": self.help,
             "bounds": list(self.bounds),
@@ -171,11 +237,14 @@ class Histogram:
             "sum": self.sum,
             "count": self.count,
         }
+        if self.labels:
+            entry["labels"] = dict(self.labels)
+        return entry
 
     def __reduce__(self):
         from .registry import histogram
 
-        return (histogram, (self.name, self.help, self.bounds))
+        return (histogram, (self.name, self.help, self.bounds, self.labels or None))
 
 
 Instrument = Counter | Gauge | Histogram
@@ -187,30 +256,38 @@ class Registry:
     ``counter()`` / ``gauge()`` / ``histogram()`` get-or-create, so
     instrumentation sites never need registration boilerplate; asking
     for an existing name with a different kind (or different histogram
-    buckets) is a programming error and raises.
+    buckets) is a programming error and raises.  Each distinct label
+    set of a name is its own instrument (keyed by the canonical
+    ``name{key="value"}`` form of :func:`instrument_key`).
     """
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
 
-    def counter(self, name: str, help: str = "") -> Counter:
+    def counter(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
         """Get or create the named counter."""
-        instrument = self._instruments.get(name)
+        key = instrument_key(name, validate_labels(name, labels))
+        instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = Counter(name, help)
-            self._instruments[name] = instrument
+            instrument = Counter(name, help, labels)
+            self._instruments[key] = instrument
         elif not isinstance(instrument, Counter):
-            raise TypeError(f"{name!r} is a {instrument.kind}, not a counter")
+            raise TypeError(f"{key!r} is a {instrument.kind}, not a counter")
         return instrument
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
+    def gauge(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Gauge:
         """Get or create the named gauge."""
-        instrument = self._instruments.get(name)
+        key = instrument_key(name, validate_labels(name, labels))
+        instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = Gauge(name, help)
-            self._instruments[name] = instrument
+            instrument = Gauge(name, help, labels)
+            self._instruments[key] = instrument
         elif not isinstance(instrument, Gauge):
-            raise TypeError(f"{name!r} is a {instrument.kind}, not a gauge")
+            raise TypeError(f"{key!r} is a {instrument.kind}, not a gauge")
         return instrument
 
     def histogram(
@@ -218,27 +295,33 @@ class Registry:
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Mapping[str, str] | None = None,
     ) -> Histogram:
         """Get or create the named histogram."""
-        instrument = self._instruments.get(name)
+        key = instrument_key(name, validate_labels(name, labels))
+        instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = Histogram(name, help, buckets)
-            self._instruments[name] = instrument
+            instrument = Histogram(name, help, buckets, labels)
+            self._instruments[key] = instrument
         elif not isinstance(instrument, Histogram):
-            raise TypeError(f"{name!r} is a {instrument.kind}, not a histogram")
+            raise TypeError(f"{key!r} is a {instrument.kind}, not a histogram")
         elif instrument.bounds != tuple(float(b) for b in buckets):
             raise ValueError(
-                f"histogram {name!r} already registered with bounds "
+                f"histogram {key!r} already registered with bounds "
                 f"{instrument.bounds}, not {tuple(buckets)}"
             )
         return instrument
 
     def names(self) -> list[str]:
-        """Registered instrument names, sorted."""
+        """Registered instrument keys (name plus canonical labels), sorted."""
         return sorted(self._instruments)
 
-    def get(self, name: str) -> Counter | Gauge | Histogram | None:
-        """The named instrument, or None."""
+    def get(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Counter | Gauge | Histogram | None:
+        """The named instrument (with the given label set), or None."""
+        if labels:
+            name = instrument_key(name, validate_labels(name, labels))
         return self._instruments.get(name)
 
     def reset(self) -> None:
@@ -275,7 +358,11 @@ def merge_summaries(summaries: Iterable[Mapping]) -> dict:
             into = merged.get(name)
             if into is None:
                 merged[name] = {
-                    key: list(value) if isinstance(value, list) else value
+                    key: (
+                        list(value)
+                        if isinstance(value, list)
+                        else dict(value) if isinstance(value, dict) else value
+                    )
                     for key, value in entry.items()
                 }
                 continue

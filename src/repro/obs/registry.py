@@ -21,7 +21,7 @@ lookup and a branch.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from .instruments import (
     Counter,
@@ -52,18 +52,23 @@ def set_registry(registry: Registry) -> Registry:
     return previous
 
 
-def counter(name: str, help: str = "") -> Counter:
+def counter(
+    name: str, help: str = "", labels: Mapping[str, str] | None = None
+) -> Counter:
     """Get or create a counter in the global registry."""
-    return _REGISTRY.counter(name, help)
+    return _REGISTRY.counter(name, help, labels)
 
 
-def gauge(name: str, help: str = "") -> Gauge:
+def gauge(name: str, help: str = "", labels: Mapping[str, str] | None = None) -> Gauge:
     """Get or create a gauge in the global registry."""
-    return _REGISTRY.gauge(name, help)
+    return _REGISTRY.gauge(name, help, labels)
 
 
 def histogram(
-    name: str, help: str = "", buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    name: str,
+    help: str = "",
+    buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    labels: Mapping[str, str] | None = None,
 ) -> Histogram:
     """Get or create a histogram in the global registry."""
-    return _REGISTRY.histogram(name, help, buckets)
+    return _REGISTRY.histogram(name, help, buckets, labels)

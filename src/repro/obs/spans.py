@@ -12,6 +12,20 @@ merged fleet view.
 When instrumentation is disabled, :func:`span` returns a shared no-op
 context manager: no timer read, no allocation beyond the call itself.
 
+Every span also carries *trace identity* — a trace id shared by the
+whole tree it belongs to, its own span id, and its parent's span id —
+assigned by :mod:`repro.obs.trace` (the only minting site, rule RP010).
+Root spans adopt the remote context installed by
+:func:`repro.obs.trace.attached` when one is present, which is how a
+worker-side ``monitor.apply`` span joins the coordinator-side trace of
+the ``apply`` call that caused it.
+
+A span closed by a propagating exception records ``error=True`` plus
+the exception type name, and its duration lands in a separate
+``{error="<TypeName>"}``-labelled ``"<name>.seconds"`` histogram — so a
+failing apply is distinguishable from a merely slow one in both the
+trace view and the metrics.
+
 The span stack is process-local and deliberately not thread-aware: per
 rule RP008 everything outside :mod:`repro.runtime` is single-threaded,
 and the runtime parallelises with *processes*, each carrying its own
@@ -25,13 +39,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from . import state
+from . import state, trace
 from .instruments import Registry
 
 DEFAULT_SPAN_CAPACITY = 2048
 
 _ring: deque["SpanRecord"] = deque(maxlen=DEFAULT_SPAN_CAPACITY)
-_stack: list[str] = []
 
 
 @dataclass(frozen=True)
@@ -44,13 +57,18 @@ class SpanRecord:
     depth: int  # 0 = top level at close time
     parent: str | None  # enclosing span name, if any
     error: bool  # closed by an exception propagating through?
+    trace_id: str = ""  # shared by every span of one logical operation
+    span_id: str = ""  # this span's own id
+    parent_id: str | None = None  # parent span id (may live in another process)
+    process: str = ""  # trace track label (coordinator / shard-N / pid-N)
+    error_type: str | None = None  # exception type name when error is True
     attrs: dict[str, Any] = field(default_factory=dict)
 
 
 class _LiveSpan:
     """Active span handle (returned by :func:`span` when enabled)."""
 
-    __slots__ = ("name", "attrs", "registry", "started", "duration")
+    __slots__ = ("name", "attrs", "registry", "started", "duration", "frame")
 
     def __init__(self, name: str, attrs: dict[str, Any], registry: Registry) -> None:
         self.name = name
@@ -58,27 +76,43 @@ class _LiveSpan:
         self.registry = registry
         self.started = 0.0
         self.duration = 0.0
+        self.frame: trace.Frame | None = None
 
     def __enter__(self) -> "_LiveSpan":
-        _stack.append(self.name)
+        self.frame = trace.push_span(self.name)
         self.started = time.perf_counter()
         return self
 
     def __exit__(self, exc_type: object, *exc_info: object) -> None:
         self.duration = time.perf_counter() - self.started
-        _stack.pop()
+        frame = self.frame
+        assert frame is not None
+        trace.pop_span(frame)
+        error = exc_type is not None
+        error_type = getattr(exc_type, "__name__", None) if error else None
         _ring.append(
             SpanRecord(
                 name=self.name,
                 started=self.started,
                 duration=self.duration,
-                depth=len(_stack),
-                parent=_stack[-1] if _stack else None,
-                error=exc_type is not None,
+                depth=trace.depth(),
+                parent=frame.parent_name,
+                error=error,
+                trace_id=frame.trace_id,
+                span_id=frame.span_id,
+                parent_id=frame.parent_id,
+                process=trace.process_label(),
+                error_type=error_type,
                 attrs=self.attrs,
             )
         )
-        self.registry.histogram(f"{self.name}.seconds").observe(self.duration)
+        if error:
+            histogram = self.registry.histogram(
+                f"{self.name}.seconds", labels={"error": error_type or "Exception"}
+            )
+        else:
+            histogram = self.registry.histogram(f"{self.name}.seconds")
+        histogram.observe(self.duration)
 
 
 class _NoopSpan:
@@ -132,7 +166,7 @@ def set_span_capacity(capacity: int) -> None:
 
 def span_depth() -> int:
     """How many spans are currently open (0 outside any span)."""
-    return len(_stack)
+    return trace.depth()
 
 
 def iter_spans(name: str | None = None) -> Iterator[SpanRecord]:

@@ -63,6 +63,7 @@ from .worker import (
     CMD_REMOVE_STREAM,
     CMD_STATS,
     CMD_STOP,
+    CMD_TRACE,
     STATE_COMMANDS,
     WorkerSpec,
     worker_main,
@@ -193,6 +194,9 @@ class ShardedMonitor:
         self._accepted_batches = 0
         self._batches_since_checkpoint = 0
         self._closed = False
+        # Name this process's track in exported traces before workers
+        # fork (forked children overwrite the label with shard-<k>).
+        obs.set_process_label("coordinator")
         self._workers: dict[int, _WorkerHandle] = {
             shard: self._spawn(shard, self.spec) for shard in range(num_workers)
         }
@@ -331,11 +335,18 @@ class ShardedMonitor:
                     ) from None
 
     def _submit_control(self, shard: int, command: tuple) -> None:
-        """Control traffic: always lossless and blocking."""
+        """Control traffic: always lossless and blocking.
+
+        The wire carries the trace-stamped envelope; the journal records
+        the *base* command, so recovery replays open fresh traces
+        instead of parenting to spans that ended before the respawned
+        worker was born.
+        """
+        envelope = obs.stamp_envelope(command)
         for attempt in (0, 1):
             handle = self._handle_for(shard)
             try:
-                self._put_blocking(handle, command)
+                self._put_blocking(handle, envelope)
                 break
             except WorkerDied:
                 if not self.auto_recover or attempt:
@@ -345,19 +356,25 @@ class ShardedMonitor:
             self._journals[shard].record(command)
 
     def _submit_update(self, shard: int, command: tuple) -> bool:
-        """Data traffic: subject to the configured backpressure policy."""
+        """Data traffic: subject to the configured backpressure policy.
+
+        Stamped envelopes travel the wire (and wait in the spill buffer,
+        keeping the submit-time trace context); journals record base
+        commands — see :meth:`_submit_control`.
+        """
+        envelope = obs.stamp_envelope(command)
         handle = self._handle_for(shard)
         if self.backpressure == "block":
             try:
-                self._put_blocking(handle, command)
+                self._put_blocking(handle, envelope)
             except WorkerDied:
                 if not self.auto_recover:
                     raise
                 self.recover(shard)
-                self._put_blocking(self._workers[shard], command)
+                self._put_blocking(self._workers[shard], envelope)
         elif self.backpressure == "drop":
             try:
-                handle.inbox.put_nowait(command)
+                handle.inbox.put_nowait(envelope)
             except queue_module.Full:
                 self._dropped += 1
                 if obs.enabled():
@@ -369,16 +386,16 @@ class ShardedMonitor:
         else:  # spill
             spill = self._spill[shard]
             if spill:
-                spill.append(command)
+                spill.append(envelope)
                 self._spilled += 1
                 self._record_spilled()
                 self._drain_spill(shard, block=False)
                 self._journals[shard].record(command)
                 return True
             try:
-                handle.inbox.put_nowait(command)
+                handle.inbox.put_nowait(envelope)
             except queue_module.Full:
-                spill.append(command)
+                spill.append(envelope)
                 self._spilled += 1
                 self._record_spilled()
                 self._journals[shard].record(command)
@@ -461,7 +478,9 @@ class ShardedMonitor:
             handle = self._handle_for(shard)
             request_id = self._next_request()
             try:
-                self._put_blocking(handle, (kind, request_id, *extra))
+                self._put_blocking(
+                    handle, obs.stamp_envelope((kind, request_id, *extra))
+                )
                 return self._await_response(handle, kind)
             except WorkerDied:
                 if not self.auto_recover or attempt:
@@ -503,6 +522,19 @@ class ShardedMonitor:
         once per process)."""
         warn_poll_events_deprecated(type(self).__name__)
         return self.events()
+
+    def trace_spans(self) -> list[obs.SpanRecord]:
+        """Every collected span across the fleet: the coordinator's own
+        ring plus each worker's (shipped over :data:`CMD_TRACE`).  All
+        records share the ``perf_counter`` timebase, and worker-side
+        root spans carry the coordinator-side parent ids stamped on the
+        command envelopes — the raw material of ``repro trace``."""
+        self._ensure_open()
+        records: list[obs.SpanRecord] = list(obs.spans())
+        for shard in self._workers:
+            response = self._request(shard, CMD_TRACE)
+            records.extend(response[3])
+        return records
 
     def inbox_depths(self) -> dict[int, int]:
         """Best-effort pending-command count per worker inbox (``qsize``

@@ -36,6 +36,7 @@ CMD_REMOVE_STREAM = "remove_stream"
 CMD_APPLY = "apply"
 CMD_POLL = "poll"
 CMD_STATS = "stats"
+CMD_TRACE = "trace"
 CMD_CHECKPOINT = "checkpoint"
 CMD_STOP = "stop"
 
@@ -115,6 +116,10 @@ class ShardState:
             return (CMD_POLL, command[1], self.shard_id, candidates)
         if kind == CMD_STATS:
             return (CMD_STATS, command[1], self.shard_id, self.stats())
+        if kind == CMD_TRACE:
+            # Ship the process-local span ring (records carry this
+            # worker's trace/span/parent ids and process label).
+            return (CMD_TRACE, command[1], self.shard_id, obs.spans())
         if kind == CMD_CHECKPOINT:
             _, request_id, directory, shard_note = command
             timer = Stopwatch()
@@ -144,16 +149,37 @@ class ShardState:
 
 def worker_main(shard_id: int, spec: WorkerSpec, inbox, outbox) -> None:
     """Process entry point: build the shard monitor and serve commands
-    until :data:`CMD_STOP` (or a crash, reported on the outbox)."""
+    until :data:`CMD_STOP` (or a crash, reported on the outbox).
+
+    Each inbox command may arrive stamped with the coordinator's trace
+    context (:func:`repro.obs.stamp_envelope`); the worker splits the
+    envelope and executes the base command under
+    :func:`repro.obs.attached`, so the root spans it opens join the
+    coordinator-side trace of the call that caused them.  Journal
+    replays during recovery go through :meth:`ShardState.execute`
+    directly with bare commands, hence open fresh traces.
+    """
+    obs.set_process_label(f"shard-{shard_id}")
+    # A recovery respawn forks from a coordinator that may be mid-span:
+    # drop every piece of observability state inherited across the fork
+    # (open frames, the span ring, the registry) so this process starts
+    # clean — replayed journal commands open *fresh* root traces, and
+    # the shard's registry never double-counts coordinator instruments
+    # when stats are merged.
+    obs.trace.reset()
+    obs.clear_spans()
+    obs.set_registry(obs.Registry())
     try:
         state = ShardState(shard_id, spec.build_monitor())
     except BaseException:  # noqa: BLE001 - startup failures must surface
         outbox.put(("error", None, shard_id, traceback.format_exc()))
         raise
     while True:
-        command = inbox.get()
+        envelope = inbox.get()
+        command, ctx = obs.split_envelope(envelope)
         try:
-            response = state.execute(command)
+            with obs.attached(ctx):
+                response = state.execute(command)
         except BaseException:  # noqa: BLE001 - report, then die loudly
             outbox.put(("error", None, shard_id, traceback.format_exc()))
             raise

@@ -1,0 +1,22 @@
+"""Known-bad fixture: ad-hoc trace-id minting in an instrumented package.
+
+Analyzed as if it were ``repro.runtime.badmod`` — the runtime propagates
+trace contexts but must never fabricate ids itself: every trace/span id
+comes from ``repro.obs.trace`` (pid + per-process counter), or exported
+traces stop assembling into trees.
+"""
+
+import uuid  # expect-violation
+from secrets import token_hex  # expect-violation
+
+
+def new_trace_id() -> str:  # expect-violation
+    return uuid.uuid4().hex
+
+
+def fabricate_span_id() -> str:
+    return os.urandom(8).hex()  # expect-violation
+
+
+def fabricate_token() -> str:
+    return token_hex(8)

@@ -30,6 +30,7 @@ CASES = {
     "rp007_bad.py": ("RP007", "repro.core.badmod", "repro.core"),
     "rp008_bad.py": ("RP008", "repro.core.badmod", "repro.core"),
     "rp009_bad.py": ("RP009", "repro.join.badmod", "repro.join"),
+    "rp010_bad.py": ("RP010", "repro.runtime.badmod", "repro.runtime"),
 }
 
 

@@ -1,0 +1,219 @@
+"""The ``repro top`` dashboard: quantile math, frame rendering from
+every stats shape (bare summary, local monitor, sharded ``merged_obs``),
+and the repaint loop."""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro import obs
+from repro.dashboard import (
+    ANSI_CLEAR,
+    histogram_quantile,
+    render_dashboard,
+    run_top,
+)
+from repro.obs import Registry
+
+from .conftest import random_labeled_graph
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    previous = obs.set_registry(Registry())
+    obs.clear_spans()
+    was_enabled = obs.enabled()
+    obs.enable()
+    yield
+    obs.set_registry(previous)
+    obs.clear_spans()
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
+HIST = {
+    "kind": "histogram",
+    "help": "",
+    "bounds": [0.001, 0.01, 0.1],
+    "counts": [2, 6, 2, 0],
+    "sum": 0.06,
+    "count": 10,
+}
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_none(self):
+        empty = {"kind": "histogram", "bounds": [1.0], "counts": [0, 0], "count": 0}
+        assert histogram_quantile(empty, 0.5) is None
+
+    def test_interpolates_inside_the_crossing_bucket(self):
+        # p50: target 5 of 10; 2 land below 1ms, crossing the second
+        # bucket (1ms..10ms) at (5-2)/6 of its width.
+        assert histogram_quantile(HIST, 0.5) == pytest.approx(
+            0.001 + (0.01 - 0.001) * 3 / 6
+        )
+
+    def test_low_quantile_lands_in_first_bucket(self):
+        assert histogram_quantile(HIST, 0.1) == pytest.approx(0.001 * 1 / 2)
+
+    def test_overflow_bucket_reports_last_bound(self):
+        tail = {"kind": "histogram", "bounds": [0.001], "counts": [0, 4], "count": 4}
+        assert histogram_quantile(tail, 0.99) == 0.001
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(HIST, 1.5)
+
+
+def synthetic_stats() -> dict:
+    return {
+        "num_streams": 2,
+        "num_queries": 3,
+        "method": "nl",
+        "inbox_depths": {0: 1, 1: 0},
+        "backpressure": {
+            "policy": "spill",
+            "accepted_batches": 12,
+            "dropped": 1,
+            "spilled": 2,
+            "parked": 0,
+        },
+        "obs": {
+            "monitor.apply.seconds": dict(HIST),
+            "monitor.polls": {"kind": "counter", "help": "", "value": 4},
+            "monitor.changes": {"kind": "counter", "help": "", "value": 20},
+            "monitor.events": {"kind": "counter", "help": "", "value": 3},
+            'filter.candidates{query="q0",stream="s0"}': {
+                "kind": "counter",
+                "help": "",
+                "value": 5,
+                "labels": {"query": "q0", "stream": "s0"},
+            },
+            "filter.fp_ratio_estimate": {"kind": "gauge", "help": "", "value": 0.25},
+            "filter.probe.checked": {"kind": "counter", "help": "", "value": 8},
+            "filter.probe.skipped": {"kind": "counter", "help": "", "value": 2},
+            'join.nl.pruned{dim="(1, \'A\', \'B\')"}': {
+                "kind": "counter",
+                "help": "",
+                "value": 6,
+                "labels": {"dim": "(1, 'A', 'B')"},
+            },
+            'join.nl.pruned{dim="combination"}': {
+                "kind": "counter",
+                "help": "",
+                "value": 2,
+                "labels": {"dim": "combination"},
+            },
+        },
+    }
+
+
+class TestRenderDashboard:
+    def test_frame_shows_every_section(self):
+        frame = render_dashboard(synthetic_stats())
+        assert "streams=2  queries=3" in frame
+        assert "engine=nl" in frame
+        assert "p50=" in frame and "p90=" in frame and "p99=" in frame
+        assert "changes=20  polls=4  events=3" in frame
+        assert "shard0=1  shard1=0" in frame
+        assert "policy=spill" in frame and "dropped=1" in frame
+        assert "candidates=5" in frame
+        assert "fp_ratio~0.250" in frame
+        assert "probed=8" in frame and "probe_skipped=2" in frame
+        assert "8 pruned" in frame
+        assert "(1, 'A', 'B')" in frame and "combination" in frame
+
+    def test_frame_degrades_without_observability(self):
+        frame = render_dashboard({"num_streams": 1, "num_queries": 1})
+        assert "streams=1" in frame
+        assert "fp_ratio~-" in frame  # no estimate yet
+
+    def test_bare_summary_is_accepted(self):
+        frame = render_dashboard(synthetic_stats()["obs"])
+        assert "p50=" in frame and "candidates=5" in frame
+
+    def test_live_monitor_stats_render(self):
+        from repro.core.monitor import StreamMonitor
+        from repro.datasets.stream_gen import synthesize_stream
+
+        rng = random.Random(9)
+        queries = {
+            f"q{i}": random_labeled_graph(rng, 3, extra_edges=1) for i in range(2)
+        }
+        monitor = StreamMonitor(queries, method="dsc")
+        base = random_labeled_graph(rng, 6, extra_edges=2)
+        stream = synthesize_stream(base, 0.3, 0.2, 4, rng, all_pairs=True, name="s0")
+        monitor.add_stream("s0", stream.initial)
+        for ops in stream.operations:
+            monitor.apply("s0", ops)
+            monitor.matches()
+        stats = dict(monitor.stats())
+        stats["obs"] = obs.get_registry().summary()
+        frame = render_dashboard(stats)
+        assert "apply latency" in frame and "(n=" in frame
+        assert "pruning power" in frame
+
+
+class TestRunTop:
+    def test_paints_the_requested_frames_without_clearing(self):
+        out = io.StringIO()
+        frames = run_top(
+            lambda: synthetic_stats(), out, interval=0.0, iterations=3, clear=False
+        )
+        assert frames == 3
+        text = out.getvalue()
+        assert text.count("repro top") == 3
+        assert ANSI_CLEAR not in text
+
+    def test_clear_mode_prefixes_each_frame(self):
+        out = io.StringIO()
+        run_top(lambda: synthetic_stats(), out, interval=0.0, iterations=2, clear=True)
+        assert out.getvalue().count(ANSI_CLEAR) == 2
+
+    def test_keyboard_interrupt_ends_the_loop_cleanly(self):
+        out = io.StringIO()
+        polls = {"n": 0}
+
+        def poll():
+            if polls["n"] >= 1:
+                raise KeyboardInterrupt
+            polls["n"] += 1
+            return synthetic_stats()
+
+        assert run_top(poll, out, interval=0.0, iterations=None, clear=False) == 1
+
+
+class TestTopCli:
+    def test_replay_mode_paints_and_exits(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.datasets.stream_gen import synthesize_stream
+        from repro.graph.io import write_graph_set, write_stream
+
+        rng = random.Random(13)
+        queries = {
+            f"q{i}": random_labeled_graph(rng, 3, extra_edges=1) for i in range(2)
+        }
+        qpath = tmp_path / "queries.txt"
+        write_graph_set(list(queries.values()), qpath, names=list(queries))
+        spaths = []
+        for i in range(2):
+            base = random_labeled_graph(rng, 6, extra_edges=2)
+            stream = synthesize_stream(
+                base, 0.3, 0.2, 3, rng, all_pairs=True, name=f"s{i}"
+            )
+            path = tmp_path / f"s{i}.txt"
+            write_stream(stream, path)
+            spaths.append(str(path))
+        code = main(
+            ["top", "--queries", str(qpath), "--streams", *spaths,
+             "--iterations", "2", "--interval", "0", "--no-clear"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top") == 2
+        assert "apply latency" in out

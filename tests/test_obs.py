@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import pickle
+import re
 
 import pytest
 from hypothesis import given, settings
@@ -382,16 +383,27 @@ def parse_prometheus_text(text: str) -> dict:
     for metric, kind in types.items():
         if kind != "histogram":
             continue
+        # Bucket series group by their non-le labels (a labeled and an
+        # unlabeled series of the same metric are distinct histograms).
         buckets = samples[f"{metric}_bucket"]
-        ordered = [value for _, value in sorted(buckets.items())]
-        cumulative = [buckets[key] for key in buckets]
-        assert all(
-            a <= b for a, b in zip(cumulative, cumulative[1:])
-        ), f"{metric} buckets not cumulative"
-        inf_key = '{le="+Inf"}'
-        assert inf_key in buckets
-        assert buckets[inf_key] == samples[f"{metric}_count"][""]
-        del ordered
+        cumulative: dict[str, list[float]] = {}
+        inf_by_series: dict[str, float] = {}
+        for labels, value in buckets.items():  # insertion order = render order
+            assert 'le="' in labels, f"{metric}_bucket sample without le: {labels}"
+            series = re.sub(r',?le="[^"]*"', "", labels)
+            if series == "{}":
+                series = ""
+            run = cumulative.setdefault(series, [])
+            assert not run or run[-1] <= value, (
+                f"{metric}{labels} buckets not cumulative"
+            )
+            run.append(value)
+            if 'le="+Inf"' in labels:
+                inf_by_series[series] = value
+        counts = samples[f"{metric}_count"]
+        assert set(inf_by_series) == set(counts), f"{metric} series mismatch"
+        for series, inf_value in inf_by_series.items():
+            assert inf_value == counts[series], f"{metric}{series} +Inf != _count"
     return samples
 
 
@@ -438,6 +450,124 @@ class TestExposition:
         obs.counter("c").inc(2)
         summary = obs.get_registry().summary()
         assert json.loads(render_json(summary)) == summary
+
+
+class TestLabels:
+    """Labelled instruments: identity, summary shape, escaping, merge."""
+
+    def test_label_sets_are_distinct_series(self):
+        obs.counter("hits", labels={"stream": "s0"}).inc(2)
+        obs.counter("hits", labels={"stream": "s1"}).inc(3)
+        obs.counter("hits").inc(1)
+        summary = obs.get_registry().summary()
+        assert summary['hits{stream="s0"}']["value"] == 2
+        assert summary['hits{stream="s1"}']["value"] == 3
+        assert summary["hits"]["value"] == 1
+        assert summary['hits{stream="s0"}']["labels"] == {"stream": "s0"}
+        # Unlabelled entries keep the pre-label summary shape exactly.
+        assert "labels" not in summary["hits"]
+
+    def test_label_order_does_not_matter(self):
+        a = obs.counter("x", labels={"a": "1", "b": "2"})
+        b = obs.counter("x", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_non_string_label_value_rejected(self):
+        with pytest.raises(TypeError):
+            obs.counter("bad", labels={"n": 3})
+
+    def test_bad_label_name_rejected(self):
+        with pytest.raises(ValueError):
+            obs.counter("bad", labels={"0leading-digit": "v"})
+
+    def test_escaping_golden(self):
+        """The 0.0.4 escaping rules: backslash, double quote, newline."""
+        from repro.obs import escape_label_value
+
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("two\nlines") == "two\\nlines"
+        # Backslash escapes first, so an escaped quote stays escaped.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_escaped_values_render_and_parse(self):
+        obs.counter("esc", labels={"v": 'a\\b"c\nd'}).inc(1)
+        text = render_prometheus(obs.get_registry().summary())
+        assert 'repro_esc_total{v="a\\\\b\\"c\\nd"} 1' in text
+        parse_prometheus_text(text)
+
+    def test_type_header_once_across_label_sets(self):
+        obs.counter("hits", labels={"stream": "s0"}).inc()
+        obs.counter("hits", labels={"stream": "s1"}).inc()
+        obs.counter("hits").inc()
+        text = render_prometheus(obs.get_registry().summary())
+        assert text.count("# TYPE repro_hits_total counter") == 1
+        samples = parse_prometheus_text(text)
+        assert set(samples["repro_hits_total"]) == {
+            "",
+            '{stream="s0"}',
+            '{stream="s1"}',
+        }
+
+    def test_labeled_histogram_renders_le_last_and_parses(self):
+        obs.histogram(
+            "lat", buckets=(1.0, 2.0), labels={"error": "ValueError"}
+        ).observe(0.5)
+        obs.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        text = render_prometheus(obs.get_registry().summary())
+        assert 'repro_lat_bucket{error="ValueError",le="1"} 1' in text
+        assert 'repro_lat_count{error="ValueError"} 1' in text
+        samples = parse_prometheus_text(text)
+        assert samples["repro_lat_count"][""] == 1
+        assert samples["repro_lat_count"]['{error="ValueError"}'] == 1
+
+    def test_merge_sums_per_label_series(self):
+        def build():
+            registry = Registry()
+            registry.counter("hits", labels={"stream": "s0"}).inc(2)
+            registry.counter("hits", labels={"stream": "s1"}).inc(1)
+            registry.counter("hits").inc(4)
+            return registry.summary()
+
+        merged = merge_summaries([build(), build()])
+        assert merged['hits{stream="s0"}']["value"] == 4
+        assert merged['hits{stream="s1"}']["value"] == 2
+        assert merged["hits"]["value"] == 8
+        assert merged['hits{stream="s0"}']["labels"] == {"stream": "s0"}
+
+    def test_labeled_instrument_pickles_as_registry_reference(self):
+        local = obs.counter("pick.labeled", labels={"k": "v"})
+        local.inc(2)
+        clone = pickle.loads(pickle.dumps(local))
+        assert clone is obs.counter("pick.labeled", labels={"k": "v"})
+
+
+class TestErrorSpans:
+    def test_error_span_records_type_and_labeled_histogram(self):
+        with pytest.raises(KeyError):
+            with obs.span("stage.failing"):
+                raise KeyError("missing")
+        [record] = obs.spans()
+        assert record.error
+        assert record.error_type == "KeyError"
+        registry = obs.get_registry()
+        labeled = registry.get("stage.failing.seconds", labels={"error": "KeyError"})
+        assert labeled is not None and labeled.count == 1
+        # The success-path histogram stays untouched.
+        plain = registry.get("stage.failing.seconds")
+        assert plain is None or plain.count == 0
+
+    def test_error_labeled_latency_renders_as_valid_prometheus(self):
+        with pytest.raises(RuntimeError):
+            with obs.span("stage.mixed"):
+                raise RuntimeError("boom")
+        with obs.span("stage.mixed"):
+            pass
+        text = render_prometheus(obs.get_registry().summary())
+        samples = parse_prometheus_text(text)
+        assert samples["repro_stage_mixed_seconds_count"][""] == 1
+        assert samples["repro_stage_mixed_seconds_count"]['{error="RuntimeError"}'] == 1
 
 
 class TestStatsCommand:

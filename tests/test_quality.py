@@ -1,0 +1,304 @@
+"""Filter-quality telemetry: candidate counters, pruning-power blame,
+the budgeted precision probe, and the fig13/fig14 reconciliation.
+
+The acceptance property lives in :class:`TestFigReconcile`: replaying a
+fig14-style workload with the probe at 100% sampling and no time budget
+must reproduce the offline false-positive ratio *exactly*, and sampled
+rates must agree within the documented Bernoulli confidence bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.monitor import StreamMonitor
+from repro.core.verify import PrecisionProbe
+from repro.graph.operations import EdgeChange
+from repro.obs import Registry
+from repro.obs.quality import ProbeBudget, blame_dimension
+
+from .conftest import random_labeled_graph
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Each test gets an enabled, empty registry and span buffer."""
+    previous = obs.set_registry(Registry())
+    obs.clear_spans()
+    was_enabled = obs.enabled()
+    obs.enable()
+    yield
+    obs.set_registry(previous)
+    obs.clear_spans()
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
+def counter_value(name: str, **labels: str) -> float:
+    instrument = obs.get_registry().get(name, labels=labels or None)
+    return instrument.value if instrument is not None else 0.0
+
+
+def pruned_series(engine: str) -> dict[str, float]:
+    """dim -> count for one engine's ``join.<engine>.pruned`` metric."""
+    base = f"join.{engine}.pruned"
+    out: dict[str, float] = {}
+    for key, entry in obs.get_registry().summary().items():
+        if key == base or key.startswith(base + "{"):
+            out[(entry.get("labels") or {}).get("dim", "?")] = entry["value"]
+    return out
+
+
+# ----------------------------------------------------------------------
+# blame semantics
+# ----------------------------------------------------------------------
+class TestBlameDimension:
+    def test_uncovered_dimension_is_blamed(self):
+        query = {"a": 2, "b": 1}
+        streams = [{"a": 1, "b": 5}, {"a": 0, "b": 9}]
+        assert blame_dimension(query, streams) == "a"
+
+    def test_first_uncovered_in_sorted_order(self):
+        query = {"b": 3, "a": 3}
+        streams = [{"a": 1, "b": 1}]
+        assert blame_dimension(query, streams) == "a"
+
+    def test_combination_when_each_dim_coverable_alone(self):
+        query = {"a": 2, "b": 2}
+        streams = [{"a": 5, "b": 0}, {"a": 0, "b": 5}]
+        assert blame_dimension(query, streams) == "combination"
+
+    def test_empty_stream_set_blames_first_dimension(self):
+        assert blame_dimension({"x": 1}, []) == "x"
+
+    def test_tuple_dimensions_stringify(self):
+        query = {(1, "A", "B"): 2}
+        assert blame_dimension(query, [{(1, "A", "B"): 1}]) == str((1, "A", "B"))
+
+
+# ----------------------------------------------------------------------
+# recorders
+# ----------------------------------------------------------------------
+class TestRecorders:
+    def test_record_candidates_counts_per_pair(self):
+        obs.quality.record_candidates([("s0", "q0"), ("s0", "q1"), ("s0", "q0")])
+        assert counter_value("filter.candidates", stream="s0", query="q0") == 2
+        assert counter_value("filter.candidates", stream="s0", query="q1") == 1
+
+    def test_record_pruned_counts_per_dimension(self):
+        obs.quality.record_pruned("nl", "a")
+        obs.quality.record_pruned("nl", "a")
+        obs.quality.record_pruned("nl", "combination")
+        assert pruned_series("nl") == {"a": 2.0, "combination": 1.0}
+
+    def test_record_probe_gauge_is_cumulative(self):
+        obs.quality.record_probe(checked=4, false_positives=1)
+        gauge = obs.get_registry().get("filter.fp_ratio_estimate")
+        assert gauge.value == pytest.approx(0.25)
+        obs.quality.record_probe(checked=4, false_positives=3, skipped=2)
+        # 4 of 8 cumulative, not 3 of 4 from the last pass.
+        assert gauge.value == pytest.approx(0.5)
+        assert counter_value("filter.probe.skipped") == 2
+
+    def test_record_probe_without_checks_sets_no_gauge(self):
+        obs.quality.record_probe(checked=0, false_positives=0, skipped=5)
+        assert obs.get_registry().get("filter.fp_ratio_estimate") is None
+
+    def test_disabled_recorders_touch_nothing(self):
+        obs.disable()
+        obs.quality.record_candidates([("s0", "q0")])
+        obs.quality.record_pruned("nl", "a")
+        obs.quality.record_probe(checked=3, false_positives=1)
+        assert obs.get_registry().summary() == {}
+
+    def test_gauge_renders_with_the_documented_prometheus_name(self):
+        obs.quality.record_probe(checked=2, false_positives=1)
+        text = obs.render_prometheus(obs.get_registry().summary())
+        assert "repro_filter_fp_ratio_estimate 0.5" in text
+
+
+# ----------------------------------------------------------------------
+# the probe budget
+# ----------------------------------------------------------------------
+class TestProbeBudget:
+    def test_rate_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ProbeBudget(rate=-0.1)
+        with pytest.raises(ValueError):
+            ProbeBudget(rate=1.5)
+        with pytest.raises(ValueError):
+            ProbeBudget(budget_seconds=-1.0)
+
+    def test_uncapped_budget_never_expires(self):
+        budget = ProbeBudget(rate=1.0, budget_seconds=None)
+        budget.start()
+        assert not budget.expired()
+
+    def test_zero_budget_expires_immediately(self):
+        budget = ProbeBudget(rate=1.0, budget_seconds=0.0)
+        budget.start()
+        assert budget.expired()
+
+
+# ----------------------------------------------------------------------
+# the precision probe on a live monitor
+# ----------------------------------------------------------------------
+def tiny_monitor(method: str = "dsc", seed: int = 5):
+    from repro.datasets.stream_gen import synthesize_stream
+
+    rng = random.Random(seed)
+    queries = {
+        f"q{i}": random_labeled_graph(rng, rng.randint(2, 4), extra_edges=1)
+        for i in range(3)
+    }
+    monitor = StreamMonitor(queries, method=method)
+    streams = {}
+    for i in range(3):
+        base = random_labeled_graph(rng, rng.randint(5, 8), extra_edges=2)
+        streams[f"s{i}"] = synthesize_stream(
+            base, 0.3, 0.2, 5, rng, all_pairs=True, name=f"s{i}"
+        )
+    for stream_id, stream in streams.items():
+        monitor.add_stream(stream_id, stream.initial)
+    horizon = min(len(s.operations) for s in streams.values())
+    for t in range(horizon):
+        for stream_id, stream in streams.items():
+            monitor.apply(stream_id, stream.operations[t])
+        monitor.matches()  # poll: the engines evaluate (and blame) here
+    return monitor
+
+
+class TestPrecisionProbe:
+    def test_full_rate_equals_offline_verification(self):
+        monitor = tiny_monitor()
+        emitted = monitor.matches()
+        confirmed = monitor.verified_matches(emitted)
+        probe = PrecisionProbe(monitor, rate=1.0, budget_seconds=None)
+        result = probe.sample()
+        assert result["checked"] == len(emitted)
+        assert result["skipped"] == 0
+        expected = (len(emitted) - len(confirmed)) / len(emitted)
+        assert probe.fp_ratio_estimate == pytest.approx(expected)
+
+    def test_zero_rate_checks_nothing(self):
+        monitor = tiny_monitor()
+        probe = PrecisionProbe(monitor, rate=0.0)
+        result = probe.sample()
+        assert result["checked"] == 0
+        assert result["skipped"] == len(monitor.matches())
+        assert probe.fp_ratio_estimate is None
+
+    def test_exhausted_budget_skips_instead_of_blocking(self):
+        monitor = tiny_monitor()
+        probe = PrecisionProbe(monitor, rate=1.0, budget_seconds=0.0)
+        result = probe.sample()
+        assert result["checked"] == 0
+        assert result["skipped"] == len(monitor.matches())
+
+    def test_probe_never_alters_the_filter_output(self):
+        monitor = tiny_monitor()
+        before = set(monitor.matches())
+        PrecisionProbe(monitor, rate=1.0, budget_seconds=None).sample()
+        assert set(monitor.matches()) == before
+
+    def test_probe_feeds_the_live_gauge_and_span(self):
+        monitor = tiny_monitor()
+        PrecisionProbe(monitor, rate=1.0, budget_seconds=None).sample()
+        gauge = obs.get_registry().get("filter.fp_ratio_estimate")
+        assert gauge is not None and 0.0 <= gauge.value <= 1.0
+        assert any(record.name == "monitor.probe" for record in obs.spans())
+
+    def test_sampling_is_seeded_and_reproducible(self):
+        tallies = []
+        for _ in range(2):
+            monitor = tiny_monitor()
+            probe = PrecisionProbe(monitor, rate=0.5, budget_seconds=None, seed=7)
+            tallies.append(probe.sample())
+        assert tallies[0] == tallies[1]
+
+
+# ----------------------------------------------------------------------
+# per-engine pruning-power counters
+# ----------------------------------------------------------------------
+class TestEnginePruningCounters:
+    @pytest.mark.parametrize("method", ["nl", "dsc", "skyline", "matrix"])
+    def test_failed_probes_are_blamed(self, method):
+        monitor = tiny_monitor(method=method)
+        series = pruned_series(method)
+        assert series, f"{method} recorded no pruned candidates"
+        assert all(count > 0 for count in series.values())
+        # Every blamed dimension is either a stringified NPV dimension
+        # or the documented "combination" verdict.
+        for dim in series:
+            assert dim == "combination" or dim.startswith("(")
+
+    def test_engines_agree_on_candidates_while_blaming(self):
+        """Recording blame must not perturb the filter verdicts."""
+        answers = {
+            method: frozenset(tiny_monitor(method=method).matches())
+            for method in ("nl", "dsc", "skyline", "matrix")
+        }
+        assert len(set(answers.values())) == 1
+
+    def test_monitor_matches_records_candidate_counters(self):
+        monitor = tiny_monitor()
+        emitted = monitor.matches()
+        total = sum(
+            entry["value"]
+            for key, entry in obs.get_registry().summary().items()
+            if key.startswith("filter.candidates")
+        )
+        assert total >= len(emitted) > 0
+
+
+# ----------------------------------------------------------------------
+# reconciling the live estimate with the offline figs 13/14 ratio
+# ----------------------------------------------------------------------
+class TestFigReconcile:
+    @pytest.fixture(scope="class")
+    def fig14_workload(self):
+        from repro.experiments.config import SMOKE
+        from repro.experiments.workloads import build_synthetic_stream_workload
+
+        return build_synthetic_stream_workload(SMOKE, "dense").limited(
+            num_queries=4, num_streams=4, timestamps=8
+        )
+
+    def test_full_sampling_matches_offline_exactly(self, fig14_workload):
+        from repro.experiments.fp_reconcile import reconcile
+
+        result = reconcile(fig14_workload, method="dsc", rate=1.0, budget_seconds=None)
+        assert result["offline"]["candidates"] > 0
+        # The workload is chosen so the filter has real false positives —
+        # otherwise the ratio comparison is vacuous.
+        assert result["offline"]["false_positives"] > 0
+        assert result["probed"]["skipped"] == 0
+        assert result["difference"] == 0.0
+        assert result["agrees"]
+
+    def test_sampled_rate_agrees_within_the_bound(self, fig14_workload):
+        from repro.experiments.fp_reconcile import reconcile
+
+        result = reconcile(
+            fig14_workload, method="dsc", rate=0.5, budget_seconds=None, seed=3
+        )
+        assert 0 < result["probed"]["checked"] < result["offline"]["candidates"]
+        assert result["bound"] is not None
+        assert result["agrees"], (
+            f"offline {result['offline']['fp_ratio']:.4f} vs "
+            f"estimate {result['probed']['fp_ratio_estimate']:.4f} "
+            f"exceeds bound {result['bound']:.4f}"
+        )
+
+    def test_zero_rate_reports_disagreement_not_a_crash(self, fig14_workload):
+        from repro.experiments.fp_reconcile import reconcile
+
+        result = reconcile(fig14_workload, method="dsc", rate=0.0)
+        assert result["probed"]["fp_ratio_estimate"] is None
+        assert result["bound"] is None
+        assert not result["agrees"]
