@@ -6,15 +6,31 @@ filtering path, seeded dataset generation, deterministic result
 ordering — instead of trusting every future PR to preserve them by
 convention.  See ``docs/static_analysis.md`` for the rule catalog.
 
+Two rule tiers share one finding/suppression pipeline:
+
+* per-module rules (:class:`Rule`) see one :class:`ModuleContext`;
+* project rules (:class:`ProjectRule`, RP011+) query the whole-program
+  :class:`ProjectModel` — import graph, symbol tables, call graph —
+  and run under ``repro lint --project``.
+
 Public API::
 
     from repro.analysis import Analyzer, Finding, Severity
     findings = Analyzer().analyze_paths(["src", "benchmarks"])
+    findings = Analyzer().analyze_project(["src", "benchmarks"])
 """
 
 from .engine import Analyzer, iter_python_files
 from .findings import Finding, Severity
 from .layering import ALLOWED_IMPORTS, FILTERING_PATH_UNITS, resolve_unit
+from .project import (
+    PROJECT_REGISTRY,
+    ProjectModel,
+    ProjectRule,
+    all_project_rules,
+    make_project_rules,
+    register_project,
+)
 from .rules import REGISTRY, ModuleContext, Rule, all_rules, make_rules, register
 
 __all__ = [
@@ -23,12 +39,18 @@ __all__ = [
     "FILTERING_PATH_UNITS",
     "Finding",
     "ModuleContext",
+    "PROJECT_REGISTRY",
+    "ProjectModel",
+    "ProjectRule",
     "REGISTRY",
     "Rule",
     "Severity",
+    "all_project_rules",
     "all_rules",
     "iter_python_files",
+    "make_project_rules",
     "make_rules",
     "register",
+    "register_project",
     "resolve_unit",
 ]

@@ -13,8 +13,10 @@ from typing import Iterable, Sequence
 
 from .findings import Finding, Severity
 from .layering import module_name_for_path, resolve_unit
+from .project import ProjectRule, all_project_rules
 from .rules import ModuleContext, Rule, make_rules
 from . import rulepack  # noqa: F401 - importing registers the rule pack
+from . import project_rules  # noqa: F401 - registers the project rule pack
 
 #: Directory names never descended into during discovery.
 _SKIP_DIRS = {
@@ -50,8 +52,15 @@ def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
 class Analyzer:
     """Runs a rule set over source files and returns structured findings."""
 
-    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        project_rules: Sequence[ProjectRule] | None = None,
+    ) -> None:
         self.rules: list[Rule] = list(rules) if rules is not None else make_rules()
+        self.project_rules: list[ProjectRule] = (
+            list(project_rules) if project_rules is not None else all_project_rules()
+        )
 
     # ------------------------------------------------------------------
     def analyze_source(
@@ -107,10 +116,62 @@ class Analyzer:
         )
 
     def analyze_paths(self, paths: Sequence[Path | str]) -> list[Finding]:
-        """Analyze files and directory trees; sorted, suppression-filtered."""
+        """Analyze files and directory trees; sorted, suppression-filtered.
+
+        One unreadable or non-UTF-8 file degrades to an ``RP000`` ERROR
+        finding for that file — the rest of the run continues.
+        """
         findings: list[Finding] = []
         for file in iter_python_files(paths):
-            findings.extend(self.analyze_file(file))
+            try:
+                findings.extend(self.analyze_file(file))
+            except (OSError, UnicodeDecodeError) as error:
+                findings.append(
+                    Finding(
+                        path=str(file),
+                        line=1,
+                        column=1,
+                        rule_id="RP000",
+                        message=f"unreadable file: {error}",
+                        severity=Severity.ERROR,
+                    )
+                )
+        return sorted(findings)
+
+    def analyze_project(self, paths: Sequence[Path | str]) -> list[Finding]:
+        """Whole-program analysis: per-module rules *plus* the
+        cross-file project rules (RP011+), over one shared parse.
+
+        The :class:`~repro.analysis.project.ProjectModel` is built once
+        and every rule queries it, so ``--project`` costs one tree walk
+        more than the per-file mode, not one per rule.  Suppression
+        comments apply to project findings exactly as to per-module
+        ones.
+        """
+        from .project import ProjectModel
+
+        model = ProjectModel.build(paths)
+        findings: list[Finding] = list(model.errors)
+        for info in model.infos:
+            context = info.context()
+            per_file: list[Finding] = []
+            for rule in self.rules:
+                if rule.applies_to(context):
+                    per_file.extend(rule.check(context))
+            findings.extend(self._apply_suppressions(info.source, per_file))
+        cross_file: list[Finding] = []
+        for project_rule in self.project_rules:
+            cross_file.extend(project_rule.check(model))
+        sources = {info.path: info.source for info in model.infos}
+        by_path: dict[str, list[Finding]] = {}
+        for finding in cross_file:
+            by_path.setdefault(finding.path, []).append(finding)
+        for path, group in by_path.items():
+            source = sources.get(path)
+            if source is None:
+                findings.extend(group)
+            else:
+                findings.extend(self._apply_suppressions(source, group))
         return sorted(findings)
 
     # ------------------------------------------------------------------

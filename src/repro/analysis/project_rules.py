@@ -1,0 +1,602 @@
+"""The cross-file rule pack (RP011-RP015), over the semantic model.
+
+These rules protect the *inter-component* protocols the sharded runtime
+depends on — invariants no single-file rule can see:
+
+========  ==========================================================
+RP011     pickle-boundary safety: values placed on runtime queues or
+          into journal records must be built from pickle-safe,
+          fork-safe types (no lambdas, generator expressions, locally
+          defined functions/classes, or references to module-level
+          mutable state — resolved across files)
+RP012     span coverage: the public functions on the instrumented hot
+          paths (the table in ``docs/observability.md``) must open an
+          ``obs.span`` themselves or via a resolvable callee
+RP013     no swallowed exceptions on the runtime control path: bare or
+          ``except Exception``/``BaseException`` handlers whose body
+          does nothing, in any function the call graph reaches from
+          the coordinator/worker public surface
+RP014     checkpoint round-trip symmetry: every manifest key written
+          by checkpoint ``save`` code must be consumed somewhere by
+          ``restore``/stats code, and every non-defaulted read must
+          have a writer — diffed at the symbol level across files
+RP015     whole-graph import layering: module-level import cycles, and
+          transitive (multi-hop) reach from a filtering-path module to
+          ``repro.isomorphism`` — upgrades RP001's per-file edge check
+          to a property of the whole import graph
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding, Severity
+from .layering import FILTERING_PATH_UNITS, resolve_unit
+from .project import (
+    ModuleInfo,
+    ProjectModel,
+    ProjectRule,
+    _flatten_attribute,
+    register_project,
+)
+
+# ----------------------------------------------------------------------
+# RP011 — pickle-boundary safety for runtime commands / journal records
+# ----------------------------------------------------------------------
+
+#: Callees whose arguments cross the coordinator<->worker process
+#: boundary (queue puts, journal appends, trace-envelope stamping).
+_BOUNDARY_CALLS = frozenset({"put", "put_nowait", "record", "stamp_envelope"})
+
+#: Prefix naming the runtime's command-tuple constants.
+_COMMAND_PREFIX = "CMD_"
+
+
+@register_project
+class PickleBoundaryRule(ProjectRule):
+    """Runtime queue commands and journal records must be pickle-safe
+    and fork-safe."""
+
+    rule_id = "RP011"
+    title = "pickle-boundary safety for runtime commands/journal records"
+    rationale = (
+        "Every command crosses the coordinator->worker process boundary "
+        "twice: once over a multiprocessing queue (pickled), and again "
+        "on recovery when the journal tail is replayed into a respawned "
+        "worker.  A lambda or locally defined callable fails to pickle "
+        "at the worst possible moment (mid-recovery); a reference to "
+        "module-level mutable state silently forks into divergent "
+        "copies, so the replayed worker converges to a *different* "
+        "state than the one that died — breaking the no-false-negative "
+        "recovery guarantee (Lemma 4.2 applied shard-locally)."
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Finding]:
+        for info in model.infos:
+            if info.unit != "repro.runtime":
+                continue
+            yield from self._check_module(model, info)
+
+    def _check_module(
+        self, model: ProjectModel, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        # A CMD_* tuple passed straight into put()/record() is yielded
+        # both as a call payload and as a command tuple; dedupe so each
+        # offending expression is reported once.
+        seen: set[tuple[int, int, str]] = set()
+        for symbol in info.symbols.functions.values():
+            local_defs = self._local_definitions(symbol.node)
+            for node in ast.walk(symbol.node):
+                for site in self._boundary_payloads(node):
+                    for finding in self._check_payload(
+                        model, info, site, local_defs
+                    ):
+                        key = (finding.line, finding.column, finding.message)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        yield finding
+
+    @staticmethod
+    def _local_definitions(fn: ast.AST) -> set[str]:
+        """Names bound to functions/classes defined *inside* ``fn``
+        (pickle resolves by qualified name and cannot reach these)."""
+        names: set[str] = set()
+        for node in ast.walk(fn):
+            if node is fn:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+        return names
+
+    @staticmethod
+    def _boundary_payloads(node: ast.AST) -> Iterator[ast.expr]:
+        """Expressions that cross the process boundary at ``node``."""
+        if isinstance(node, ast.Call):
+            chain = _flatten_attribute(node.func)
+            if chain and chain[-1] in _BOUNDARY_CALLS:
+                yield from node.args
+        elif isinstance(node, ast.Tuple):
+            first = node.elts[0] if node.elts else None
+            if isinstance(first, ast.Name) and first.id.startswith(_COMMAND_PREFIX):
+                yield node
+
+    def _check_payload(
+        self,
+        model: ProjectModel,
+        info: ModuleInfo,
+        payload: ast.expr,
+        local_defs: set[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(payload):
+            if isinstance(node, ast.Lambda):
+                yield info.finding(
+                    node,
+                    self.rule_id,
+                    "lambda in a runtime command/journal payload: lambdas "
+                    "cannot be pickled across the worker boundary (and fail "
+                    "again at journal replay); use a module-level function",
+                )
+            elif isinstance(node, ast.GeneratorExp):
+                yield info.finding(
+                    node,
+                    self.rule_id,
+                    "generator expression in a runtime command/journal "
+                    "payload: generators cannot be pickled; materialize an "
+                    "explicit list/tuple first",
+                )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in local_defs:
+                    yield info.finding(
+                        node,
+                        self.rule_id,
+                        f"locally defined {node.id!r} in a runtime "
+                        "command/journal payload: pickle resolves callables "
+                        "by qualified name and cannot reach function-local "
+                        "definitions; move it to module level",
+                    )
+                    continue
+                resolved = model.resolve_global(info, node.id)
+                if resolved is None:
+                    continue
+                owner, name = resolved
+                if name in owner.symbols.mutable_globals:
+                    yield info.finding(
+                        node,
+                        self.rule_id,
+                        f"module-level mutable {name!r} (defined in "
+                        f"{owner.canonical}) referenced in a runtime "
+                        "command/journal payload: each fork gets a divergent "
+                        "copy, so journal replay reconstructs different "
+                        "state than the worker that died; pass an immutable "
+                        "snapshot instead",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RP012 — span coverage on the instrumented hot paths
+# ----------------------------------------------------------------------
+
+#: The instrumented hot paths: the "What is instrumented" table of
+#: ``docs/observability.md``, as (canonical module, qualname) pairs.
+#: Every entry must open an ``obs.span`` lexically or via a callee the
+#: call graph certainly resolves; waive a deliberate exception with
+#: ``# repro: noqa[RP012]`` on the ``def`` line.
+HOT_PATHS: tuple[tuple[str, str], ...] = (
+    ("repro.core.monitor", "StreamMonitor.apply"),
+    ("repro.core.monitor", "StreamMonitor.matches"),
+    ("repro.core.monitor", "StreamMonitor.events"),
+    ("repro.core.monitor", "StreamMonitor.verified_matches"),
+    ("repro.core.verify", "CachingVerifier.verified_matches"),
+    ("repro.core.verify", "PrecisionProbe.sample"),
+    ("repro.join.base", "JoinEngine.candidates"),
+    ("repro.runtime.coordinator", "ShardedMonitor.apply"),
+    ("repro.runtime.coordinator", "ShardedMonitor.matches"),
+    ("repro.runtime.coordinator", "ShardedMonitor.events"),
+    ("repro.runtime.worker", "ShardState.execute"),
+)
+
+
+@register_project
+class SpanCoverageRule(ProjectRule):
+    """Instrumented hot paths must actually open spans."""
+
+    rule_id = "RP012"
+    title = "span coverage on the instrumented hot paths"
+    rationale = (
+        "docs/observability.md promises that every hot path feeds a "
+        "`<name>.seconds` histogram and the coordinator->worker trace "
+        "tree; a refactor that drops the `with obs.span(...)` from one "
+        "of these functions silently un-instruments it — `repro stats` "
+        "and `repro top` keep rendering, with a hole where that stage's "
+        "latency used to be.  The call graph accepts spans opened by a "
+        "certainly-resolved callee (events() timing via matches() is "
+        "fine); anything weaker needs an explicit waiver."
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Finding]:
+        for module, qualname in HOT_PATHS:
+            info = model.modules.get(module)
+            if info is None:
+                continue  # partial tree (fixtures, single-package runs)
+            symbol = info.symbols.functions.get(qualname)
+            if symbol is None:
+                yield Finding(
+                    path=info.path,
+                    line=1,
+                    column=1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"hot-path function {module}.{qualname} is listed in "
+                        "the span-coverage table but no longer exists; "
+                        "update HOT_PATHS in repro/analysis/project_rules.py "
+                        "and the docs/observability.md table together"
+                    ),
+                    severity=Severity.WARNING,
+                )
+                continue
+            if not model.opens_span(symbol.key):
+                yield info.finding(
+                    symbol.node,
+                    self.rule_id,
+                    f"hot-path function {qualname}() opens no obs.span "
+                    "(directly or via a resolvable callee); every "
+                    "instrumented stage in docs/observability.md must feed "
+                    "its `<name>.seconds` histogram and the trace tree",
+                    severity=Severity.WARNING,
+                )
+
+
+# ----------------------------------------------------------------------
+# RP013 — no swallowed exceptions on the runtime control path
+# ----------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or one naming Exception/BaseException."""
+    if handler.type is None:
+        return True
+    candidates: list[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for expr in candidates:
+        chain = _flatten_attribute(expr)
+        if chain and chain[-1] in _BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _body_does_nothing(handler: ast.ExceptHandler) -> bool:
+    """Only ``pass``, ``...`` or ``continue`` — the caller learns nothing."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Continue):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+@register_project
+class SwallowedExceptionRule(ProjectRule):
+    """Broad do-nothing excepts reachable from the runtime surface."""
+
+    rule_id = "RP013"
+    title = "no swallowed exceptions on the runtime control path"
+    rationale = (
+        "The runtime's failure model is crash-and-recover: a worker "
+        "that hits an unexpected error reports it on the outbox and "
+        "dies loudly, the coordinator respawns it from checkpoint + "
+        "journal.  A broad `except: pass` anywhere the control flow "
+        "reaches converts a detectable crash into silent state "
+        "divergence — the exact failure the journal/checkpoint "
+        "machinery exists to prevent, and the kind soak tests only "
+        "catch probabilistically.  Narrow, typed handlers (e.g. "
+        "`except (WorkerDied, TimeoutError): pass` on a best-effort "
+        "close) stay legal; it is the broad do-nothing handler that is "
+        "banned."
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Finding]:
+        entries = [
+            symbol.key
+            for info in model.infos
+            if info.unit == "repro.runtime"
+            for symbol in info.symbols.functions.values()
+            if symbol.is_public
+        ]
+        if not entries:
+            return
+        reachable = model.call_graph.reachable(entries, include_dynamic=True)
+        for key in sorted(reachable):
+            symbol = model.function_by_key(key)
+            if symbol is None:
+                continue
+            info = model.modules.get(symbol.module)
+            if info is None or not info.unit.startswith("repro."):
+                continue
+            for node in ast.walk(symbol.node):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if _is_broad_handler(node) and _body_does_nothing(node):
+                    yield info.finding(
+                        node,
+                        self.rule_id,
+                        f"broad do-nothing except in {symbol.qualname}(), "
+                        "which is reachable from the runtime control path "
+                        f"(entry surface of repro.runtime); crash loudly so "
+                        "checkpoint/journal recovery can restore a "
+                        "consistent shard, or narrow the handler to the "
+                        "specific exceptions being tolerated",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RP014 — checkpoint manifest round-trip symmetry
+# ----------------------------------------------------------------------
+
+#: The manifest convention: checkpoint writers/readers exchange schema
+#: through a dict named ``manifest`` (see repro/core/checkpoint.py).
+_MANIFEST_NAME = "manifest"
+
+#: Units that participate in the checkpoint protocol.
+_CHECKPOINT_UNITS = frozenset({"repro.core", "repro.runtime"})
+
+
+@register_project
+class CheckpointSymmetryRule(ProjectRule):
+    """Manifest fields written by save must be consumed by restore."""
+
+    rule_id = "RP014"
+    title = "checkpoint manifest round-trip symmetry"
+    rationale = (
+        "Recovery correctness is a two-sided contract: save_monitor "
+        "records what a restored worker will need, load_monitor/"
+        "checkpoint_stats consume it.  A key written but never read is "
+        "dead state the snapshot hauls forever (and a likely sign the "
+        "restore path forgot it — the vertex-id-kind bug class); a key "
+        "read with [] but never written crashes every restore, i.e. "
+        "exactly when a worker already died.  The two live in "
+        "different functions (and potentially files), so only a "
+        "symbol-level whole-program diff can keep them symmetric.  "
+        "Deliberately tolerant reads use .get(key, default) and are "
+        "exempt (the back-compat idiom for manifests written by older "
+        "versions)."
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Finding]:
+        writes: dict[str, list[tuple[ModuleInfo, ast.AST]]] = {}
+        strict_reads: dict[str, list[tuple[ModuleInfo, ast.AST]]] = {}
+        tolerant_reads: set[str] = set()
+        for info in model.infos:
+            if info.unit not in _CHECKPOINT_UNITS:
+                continue
+            self._scan_module(info, writes, strict_reads, tolerant_reads)
+        if not writes and not strict_reads:
+            return
+        read_keys = set(strict_reads) | tolerant_reads
+        for key in sorted(set(writes) - read_keys):
+            for info, node in writes[key]:
+                yield info.finding(
+                    node,
+                    self.rule_id,
+                    f"manifest key {key!r} is written by checkpoint save "
+                    "code but never read by any restore/stats path; either "
+                    "consume it in load_monitor/checkpoint_stats or stop "
+                    "writing dead state into every snapshot",
+                )
+        for key in sorted(set(strict_reads) - set(writes)):
+            for info, node in strict_reads[key]:
+                yield info.finding(
+                    node,
+                    self.rule_id,
+                    f"manifest key {key!r} is read with [] but no checkpoint "
+                    "save path ever writes it — every restore will raise "
+                    "KeyError; write it in save_monitor or use "
+                    ".get() with an explicit default",
+                )
+
+    @staticmethod
+    def _scan_module(
+        info: ModuleInfo,
+        writes: dict[str, list[tuple[ModuleInfo, ast.AST]]],
+        strict_reads: dict[str, list[tuple[ModuleInfo, ast.AST]]],
+        tolerant_reads: set[str],
+    ) -> None:
+        def is_manifest(expr: ast.expr) -> bool:
+            return isinstance(expr, ast.Name) and expr.id == _MANIFEST_NAME
+
+        def constant_key(expr: ast.expr) -> str | None:
+            if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+                return expr.value
+            return None
+
+        for node in ast.walk(info.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                value = node.value
+                if value is None:
+                    continue
+                for target in targets:
+                    # manifest = {"key": ..., ...}
+                    if is_manifest(target) and isinstance(value, ast.Dict):
+                        for key_node in value.keys:
+                            if key_node is None:
+                                continue
+                            key = constant_key(key_node)
+                            if key is not None:
+                                writes.setdefault(key, []).append((info, key_node))
+                    # manifest["key"] = ...
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and is_manifest(target.value)
+                    ):
+                        key = constant_key(target.slice)
+                        if key is not None:
+                            writes.setdefault(key, []).append((info, target))
+            elif isinstance(node, ast.Subscript) and is_manifest(node.value):
+                if isinstance(node.ctx, ast.Load):
+                    key = constant_key(node.slice)
+                    if key is not None:
+                        strict_reads.setdefault(key, []).append((info, node))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and is_manifest(node.func.value)
+                and node.args
+            ):
+                key = constant_key(node.args[0])
+                if key is not None:
+                    if len(node.args) > 1 or node.keywords:
+                        tolerant_reads.add(key)
+                    else:
+                        # .get(key) with no default: still a read, but it
+                        # hides a missing writer behind None — count it as
+                        # tolerant (the value is checked by the caller).
+                        tolerant_reads.add(key)
+
+
+# ----------------------------------------------------------------------
+# RP015 — whole-graph import layering (cycles + transitive reach)
+# ----------------------------------------------------------------------
+
+
+@register_project
+class WholeGraphLayeringRule(ProjectRule):
+    """Import cycles and transitive isomorphism reach, on the real graph."""
+
+    rule_id = "RP015"
+    title = "whole-graph import layering (cycles, transitive isomorphism)"
+    rationale = (
+        "RP001 checks each import statement against the layering matrix "
+        "one file at a time; two properties only exist at the graph "
+        "level.  (1) Cycles: every module involved in an import cycle "
+        "is initialized in an order that depends on who gets imported "
+        "first — checkpoint restore, journal replay and worker fork all "
+        "import modules in different orders, so cyclic modules can see "
+        "each other half-initialized exactly during recovery.  "
+        "(2) Transitive reach: the matrix can be edited edge-by-edge "
+        "into a state where a filtering-path unit reaches "
+        "repro.isomorphism through an intermediary, violating the "
+        "Lemma 4.2 contract (the filter must answer from NPV dominance "
+        "alone) without any single import looking wrong.  TYPE_CHECKING "
+        "imports never execute and are exempt from both checks."
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Finding]:
+        yield from self._check_cycles(model)
+        yield from self._check_transitive_isomorphism(model)
+
+    def _check_cycles(self, model: ProjectModel) -> Iterator[Finding]:
+        for cycle in model.import_graph.cycles():
+            anchor_module = cycle[0]
+            follows = cycle[1] if len(cycle) > 1 else cycle[0]
+            edge = model.import_graph.edge_between(anchor_module, follows)
+            if edge is None:
+                # The SCC guarantees *some* intra-cycle edge from the
+                # anchor; find the first one deterministically.
+                members = set(cycle)
+                for candidate in model.import_graph.edges_from(anchor_module):
+                    if candidate.target in members and not candidate.typing_only:
+                        edge = candidate
+                        break
+            info = model.modules.get(anchor_module)
+            if info is None or edge is None:
+                continue
+            path = " -> ".join([*cycle, cycle[0]])
+            yield Finding(
+                path=info.path,
+                line=edge.lineno,
+                column=edge.column + 1,
+                rule_id=self.rule_id,
+                message=(
+                    f"import cycle: {path}; cyclic modules observe each "
+                    "other half-initialized depending on import order "
+                    "(which differs between normal start, checkpoint "
+                    "restore and worker fork) — break the cycle or move "
+                    "the import under TYPE_CHECKING if it is typing-only"
+                ),
+            )
+
+    def _check_transitive_isomorphism(
+        self, model: ProjectModel
+    ) -> Iterator[Finding]:
+        # Targets: analyzed isomorphism modules, plus direct edges whose
+        # target resolves to the isomorphism unit even when that module
+        # is outside the analyzed set.
+        iso_nodes = {
+            name
+            for name in model.import_graph.nodes
+            if resolve_unit(name) == "repro.isomorphism"
+        }
+        for info in model.infos:
+            if info.unit not in FILTERING_PATH_UNITS:
+                continue
+            # One hop beyond the model: an in-model path to a module
+            # whose *raw* imports leave for repro.isomorphism.
+            path = model.import_graph.shortest_path(info.canonical, iso_nodes)
+            if path is None:
+                path = self._path_via_raw_edge(model, info)
+            if path is None or len(path) < 2:
+                # Direct (len == 2 with iso target is still worth RP015
+                # only when RP001 cannot see it; a direct edge is RP001's
+                # finding — skip to avoid double-reporting.
+                continue
+            if len(path) == 2 and resolve_unit(path[1]) == "repro.isomorphism":
+                continue  # direct import: RP001 reports this one
+            edge = model.import_graph.edge_between(path[0], path[1])
+            if edge is None:
+                continue
+            yield Finding(
+                path=info.path,
+                line=edge.lineno,
+                column=edge.column + 1,
+                rule_id=self.rule_id,
+                message=(
+                    f"filtering-path module {info.canonical} transitively "
+                    f"reaches repro.isomorphism: {' -> '.join(path)}; "
+                    "completeness must come from NPV dominance alone "
+                    "(Lemma 4.2) — no import chain from the filter may end "
+                    "at the exact matcher"
+                ),
+            )
+
+    @staticmethod
+    def _path_via_raw_edge(
+        model: ProjectModel, info: ModuleInfo
+    ) -> list[str] | None:
+        """A path whose final hop is a raw (outside-the-model) import of
+        a ``repro.isomorphism`` module."""
+        bridging = {
+            name
+            for name, candidate in model.modules.items()
+            if any(
+                resolve_unit(target) == "repro.isomorphism" and not typing_only
+                for target, _, _, typing_only in candidate.repro_imports
+            )
+        }
+        if not bridging:
+            return None
+        path = model.import_graph.shortest_path(info.canonical, bridging)
+        if path is None:
+            return None
+        bridge = model.modules[path[-1]]
+        for target, _, _, typing_only in bridge.repro_imports:
+            if resolve_unit(target) == "repro.isomorphism" and not typing_only:
+                return [*path, target]
+        return None

@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 rendering for CI annotation.
+
+Minimal but valid: one ``run`` with the rule catalog in
+``tool.driver.rules`` and one ``result`` per finding, so GitHub code
+scanning (and any SARIF viewer) can annotate the diff.  Stdlib-only,
+like the rest of ``repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding, Severity
+
+#: SARIF schema pin — bump deliberately, not incidentally.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL_FOR_SEVERITY = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+}
+
+
+def _rule_catalog() -> list[dict[str, object]]:
+    """Every registered rule (per-module and project), as SARIF
+    ``reportingDescriptor`` objects."""
+    from .project import PROJECT_REGISTRY
+    from .rules import REGISTRY
+
+    catalog: list[dict] = []
+    merged: dict[str, tuple[str, str]] = {}
+    for rule_id in REGISTRY:
+        rule = REGISTRY[rule_id]
+        merged[rule_id] = (rule.title, rule.rationale)
+    for rule_id in PROJECT_REGISTRY:
+        rule = PROJECT_REGISTRY[rule_id]
+        merged[rule_id] = (rule.title, rule.rationale)
+    for rule_id in sorted(merged):
+        title, rationale = merged[rule_id]
+        catalog.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": title},
+                "fullDescription": {"text": rationale},
+            }
+        )
+    return catalog
+
+
+def render_sarif(findings: list[Finding]) -> str:
+    """The findings as one SARIF 2.1.0 document (JSON text)."""
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": _LEVEL_FOR_SEVERITY.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "docs/static_analysis.md",
+                        "rules": _rule_catalog(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

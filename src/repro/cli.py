@@ -11,7 +11,7 @@ Ten subcommands::
     python -m repro trace ...       # export a replay's span tree (Perfetto/text)
     python -m repro top ...         # live dashboard over stats()
     python -m repro experiment ...  # run a paper-figure driver
-    python -m repro lint ...        # static analysis (RP001-RP010)
+    python -m repro lint ...        # static analysis (--project adds cross-file rules)
 
 Graphs and query sets use the text format of :mod:`repro.graph.io`
 (gSpan-style ``t # / v / e`` blocks); streams add ``op`` blocks.
@@ -293,16 +293,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     # -- lint ---------------------------------------------------------------
+    from .analysis.cli import add_lint_arguments
+
     lint = subparsers.add_parser(
         "lint",
         help="static analysis of the repo's soundness/layering invariants",
     )
-    lint.add_argument(
-        "paths", nargs="*", default=["src", "benchmarks"], help="files/dirs to analyze"
-    )
-    lint.add_argument("--format", choices=["text", "json"], default="text")
-    lint.add_argument("--select", help="comma-separated rule ids (default: all)")
-    lint.add_argument("--list-rules", action="store_true", help="print the rule catalog")
+    add_lint_arguments(lint)
     return parser
 
 

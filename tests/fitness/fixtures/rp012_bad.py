@@ -1,0 +1,36 @@
+"""RP012 fixture — analyzed as if it were ``repro.core.monitor``.
+
+A StreamMonitor whose hot paths lost their spans in a refactor: apply()
+opens nothing, matches() opens nothing, events() would be covered only
+through a *dynamic* call (not accepted), while verified_matches() keeps
+its span and stays clean.
+"""
+
+from repro import obs
+
+
+class StreamMonitor:
+    def apply(self, update):  # expect-violation
+        return self._ingest(update)
+
+    def matches(self, query_id):  # expect-violation
+        return list(self._scan(query_id))
+
+    def events(self, query_id):  # expect-violation
+        # Dynamic dispatch: the receiver's type is unknown, so the span
+        # inside whatever ``source.matches`` is does not count.
+        source = self._pick_source()
+        return source.matches(query_id)
+
+    def verified_matches(self, query_id):  # covered: opens a span itself
+        with obs.span("monitor.verified_matches"):
+            return self.matches(query_id)
+
+    def _ingest(self, update):
+        return update
+
+    def _scan(self, query_id):
+        yield query_id
+
+    def _pick_source(self):
+        return self

@@ -1,0 +1,45 @@
+"""RP013 fixture — analyzed as if it were ``repro.runtime.badmod``.
+
+The public runtime surface reaches, through two hops of the call graph,
+a helper that swallows every exception.  A typed best-effort handler on
+the same path stays legal.
+"""
+
+
+def drain(queue):
+    return _drain_step(queue)
+
+
+def _drain_step(queue):
+    return _swallow(queue)
+
+
+def _swallow(queue):
+    try:
+        return queue.get_nowait()
+    except Exception:  # expect-violation
+        pass
+
+
+def close(worker):
+    try:
+        worker.join()
+    except (TimeoutError, OSError):  # allowed: typed, best-effort close
+        pass
+
+
+def shutdown(worker):
+    try:
+        worker.terminate()
+    except BaseException:  # logged, not swallowed — allowed
+        worker.log_failure()
+        raise
+
+
+def _unreachable_helper():
+    # Not reachable from any public function: not on the control path,
+    # so even a broad do-nothing except is out of scope here.
+    try:
+        return 1
+    except Exception:
+        pass

@@ -1,0 +1,34 @@
+"""RP014 fixture — analyzed as if it were ``repro.core.badmod``.
+
+The checkpoint manifest written by save and the one consumed by restore
+have drifted: ``depth_limit`` is written but never read back (the
+restored monitor silently loses it), and restore demands ``shard`` with
+``[]`` although no save path ever writes it.
+"""
+
+
+def save_monitor(monitor, path):
+    manifest = {
+        "format": 1,
+        "method": monitor.method,
+        "depth_limit": monitor.depth_limit,  # expect-violation
+        "query_ids": sorted(monitor.queries),
+    }
+    manifest["stream_count"] = len(monitor.streams)  # expect-violation
+    path.write_text(repr(manifest))
+
+
+def load_monitor(path):
+    manifest = eval(path.read_text())  # noqa: S307 — fixture only
+    monitor = {}
+    monitor["method"] = manifest["method"]
+    monitor["queries"] = manifest["query_ids"]
+    monitor["shard"] = manifest["shard"]  # expect-violation
+    # Tolerant back-compat read: exempt even though never written.
+    monitor["labels"] = manifest.get("edge_labels", None)
+    return monitor
+
+
+def checkpoint_stats(path):
+    manifest = eval(path.read_text())  # noqa: S307 — fixture only
+    return {"format": manifest["format"]}

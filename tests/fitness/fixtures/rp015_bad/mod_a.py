@@ -1,0 +1,8 @@
+# module: repro.nnt.cycle_a
+"""Half of an import cycle inside the NNT unit."""
+
+import repro.nnt.cycle_b  # expect-violation
+
+
+def forward(x):
+    return repro.nnt.cycle_b.backward(x)

@@ -1,0 +1,8 @@
+# module: repro.nnt.cycle_b
+"""The other half of the cycle: imports cycle_a right back."""
+
+import repro.nnt.cycle_a
+
+
+def backward(x):
+    return repro.nnt.cycle_a.forward(x)

@@ -1,0 +1,10 @@
+# module: repro.join.helper
+"""A filtering-path module that reaches the exact matcher transitively:
+no single import here looks wrong, but helper -> core.helper ->
+isomorphism violates the Lemma 4.2 contract at the graph level."""
+
+import repro.core.helper  # expect-violation
+
+
+def candidates(window):
+    return repro.core.helper.prepare(window)

@@ -1,0 +1,8 @@
+# module: repro.core.helper
+"""An innocent-looking intermediary that leans on the exact matcher."""
+
+import repro.isomorphism.vf2
+
+
+def prepare(window):
+    return repro.isomorphism.vf2.match(window)

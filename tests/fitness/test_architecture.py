@@ -31,6 +31,14 @@ def test_tree_is_clean() -> None:
     assert findings == [], "\n".join(f.render() for f in findings)
 
 
+def test_project_tree_is_clean() -> None:
+    """Whole-program mode too: `repro lint --project src benchmarks`
+    exits 0 with zero suppressions — the cross-file protocol rules
+    (RP011-RP015) hold on the real runtime, not just on fixtures."""
+    findings = Analyzer().analyze_project(LINT_SCOPE)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
 def test_filtering_path_never_mentions_isomorphism() -> None:
     """Belt-and-braces textual check, independent of the rule engine:
     no module under nnt/ or join/ imports repro.isomorphism at all."""
@@ -83,10 +91,17 @@ def test_filtering_path_units_are_isomorphism_free_in_the_matrix() -> None:
 
 
 def test_every_rule_is_documented() -> None:
-    """docs/static_analysis.md catalogs every registered rule id."""
+    """docs/static_analysis.md catalogs every registered rule id —
+    per-module and project rules alike."""
+    from repro.analysis import all_project_rules
+
     catalog = (REPO_ROOT / "docs" / "static_analysis.md").read_text()
     for rule in make_rules():
         assert rule.rule_id in catalog, f"{rule.rule_id} missing from docs"
+    for project_rule in all_project_rules():
+        assert project_rule.rule_id in catalog, (
+            f"{project_rule.rule_id} missing from docs"
+        )
 
 
 def test_mutation_version_is_a_public_monotone_counter() -> None:

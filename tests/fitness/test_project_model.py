@@ -1,0 +1,205 @@
+"""The whole-program semantic model itself: import graph, call graph,
+symbol resolution, and the degradation paths the CLI depends on."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import Analyzer, ProjectModel, iter_python_files
+from repro.analysis.graphs import ImportEdge, ImportGraph
+from repro.analysis.layering import module_name_for_path
+from repro.analysis.rules import ModuleContext
+from repro.analysis.rulepack import _imported_repro_modules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT_SCOPE = [REPO_ROOT / "src", REPO_ROOT / "benchmarks"]
+
+
+# ----------------------------------------------------------------------
+# property: the model's import view is a superset of RP001's per-file view
+# ----------------------------------------------------------------------
+
+
+def test_import_graph_is_superset_of_per_file_view() -> None:
+    """Every ``repro.*`` import RP001 can see file-by-file also appears
+    in the model's per-module import record, so no whole-graph check can
+    be weaker than the per-file heuristic it upgrades."""
+    model = ProjectModel.build(LINT_SCOPE)
+    by_path = {info.path: info for info in model.infos}
+    for path in iter_python_files(LINT_SCOPE):
+        info = by_path[str(path)]
+        context = ModuleContext(
+            path=str(path),
+            module_name=module_name_for_path(path),
+            unit=info.unit,
+            tree=ast.parse(path.read_text(encoding="utf-8"), filename=str(path)),
+            source=info.source,
+        )
+        per_file: set[str] = set()
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                per_file.update(_imported_repro_modules(context, node))
+        model_view = {target for target, _, _, _ in info.repro_imports}
+        assert per_file <= model_view, (
+            f"{path}: per-file imports {sorted(per_file - model_view)} "
+            "missing from the project model"
+        )
+
+
+# ----------------------------------------------------------------------
+# graphs
+# ----------------------------------------------------------------------
+
+
+def _graph(edges: list[tuple[str, str]], nodes: set[str]) -> ImportGraph:
+    graph = ImportGraph(nodes)
+    for lineno, (source, target) in enumerate(edges, start=1):
+        graph.add_edge(ImportEdge(source, target, lineno, 0))
+    return graph
+
+
+def test_cycle_detection_finds_sccs_not_tree_edges() -> None:
+    graph = _graph(
+        [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")],
+        {"a", "b", "c", "d"},
+    )
+    assert graph.cycles() == [["a", "b", "c"]]
+
+
+def test_typing_only_edges_do_not_create_cycles() -> None:
+    graph = ImportGraph({"a", "b"})
+    graph.add_edge(ImportEdge("a", "b", 1, 0))
+    graph.add_edge(ImportEdge("b", "a", 1, 0, typing_only=True))
+    assert graph.cycles() == []
+
+
+def test_shortest_path_is_deterministic_and_minimal() -> None:
+    graph = _graph(
+        [("a", "b"), ("b", "d"), ("a", "c"), ("c", "d"), ("a", "d")],
+        {"a", "b", "c", "d"},
+    )
+    assert graph.shortest_path("a", {"d"}) == ["a", "d"]
+    assert graph.shortest_path("b", {"d"}) == ["b", "d"]
+    assert graph.shortest_path("d", {"a"}) is None
+
+
+def test_function_level_imports_are_lazy_not_cyclic() -> None:
+    """A function-body import is the canonical cycle *break*; the model
+    must not report the broken cycle as if it still existed."""
+    model = ProjectModel.from_sources(
+        [
+            (
+                "import repro.obs.registry\n",
+                "a.py",
+                "repro.obs.instruments",
+                None,
+            ),
+            (
+                "def lookup():\n    import repro.obs.instruments\n",
+                "b.py",
+                "repro.obs.registry",
+                None,
+            ),
+        ]
+    )
+    assert model.import_graph.cycles() == []
+
+
+# ----------------------------------------------------------------------
+# call graph / span queries
+# ----------------------------------------------------------------------
+
+
+def test_call_graph_resolves_self_and_typed_attributes() -> None:
+    source = (
+        "from repro import obs\n"
+        "class Inner:\n"
+        "    def work(self):\n"
+        "        with obs.span('inner.work'):\n"
+        "            return 1\n"
+        "class Outer:\n"
+        "    inner: Inner\n"
+        "    def run(self):\n"
+        "        return self.step()\n"
+        "    def step(self):\n"
+        "        return self.inner.work()\n"
+    )
+    model = ProjectModel.from_sources(
+        [(source, "m.py", "repro.core.modelmod", None)]
+    )
+    run_key = "repro.core.modelmod:Outer.run"
+    certain = model.call_graph.reachable([run_key], include_dynamic=False)
+    assert "repro.core.modelmod:Outer.step" in certain
+    assert "repro.core.modelmod:Inner.work" in certain
+    # And the span query sees through the whole chain.
+    assert model.opens_span(run_key)
+
+
+def test_opens_span_rejects_dynamic_only_coverage() -> None:
+    """A span behind an unresolvable receiver must not count."""
+    source = (
+        "from repro import obs\n"
+        "class Helper:\n"
+        "    def work(self):\n"
+        "        with obs.span('helper.work'):\n"
+        "            return 1\n"
+        "class Host:\n"
+        "    def run(self):\n"
+        "        target = self._pick()\n"
+        "        return target.work()\n"
+        "    def _pick(self):\n"
+        "        return Helper()\n"
+    )
+    model = ProjectModel.from_sources(
+        [(source, "m.py", "repro.core.modelmod", None)]
+    )
+    assert not model.opens_span("repro.core.modelmod:Host.run")
+
+
+def test_resolve_global_follows_imports_across_modules() -> None:
+    defining = "SHARED = []\nFROZEN = ('a', 'b')\n"
+    importing = "from repro.core.defs import SHARED, FROZEN\n"
+    model = ProjectModel.from_sources(
+        [
+            (defining, "defs.py", "repro.core.defs", None),
+            (importing, "use.py", "repro.core.use", None),
+        ]
+    )
+    use = model.modules["repro.core.use"]
+    owner, name = model.resolve_global(use, "SHARED")
+    assert owner.canonical == "repro.core.defs"
+    assert name in owner.symbols.mutable_globals
+    owner, name = model.resolve_global(use, "FROZEN")
+    assert name not in owner.symbols.mutable_globals
+
+
+# ----------------------------------------------------------------------
+# degradation: broken files must not abort the run (satellite)
+# ----------------------------------------------------------------------
+
+
+def test_analyze_paths_degrades_non_utf8_files(tmp_path: Path) -> None:
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    bad = tmp_path / "bad.py"
+    bad.write_bytes(b"x = '\xff\xfe broken'\n")
+
+    findings = Analyzer().analyze_paths([tmp_path])
+
+    rp000 = [f for f in findings if f.rule_id == "RP000"]
+    assert len(rp000) == 1
+    assert rp000[0].path == str(bad)
+    assert "unreadable" in rp000[0].message
+
+
+def test_project_model_degrades_broken_files(tmp_path: Path) -> None:
+    (tmp_path / "good.py").write_text("x = 1\n")
+    (tmp_path / "binary.py").write_bytes(b"\xff\xfe")
+    (tmp_path / "syntax.py").write_text("def broken(:\n")
+
+    model = ProjectModel.build([tmp_path])
+
+    assert len(model.infos) == 1  # the good file still parsed
+    assert {f.rule_id for f in model.errors} == {"RP000"}
+    assert len(model.errors) == 2

@@ -11,11 +11,12 @@ a *different* rule does not silence this one.
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 import pytest
 
-from repro.analysis import Analyzer
+from repro.analysis import Analyzer, Finding, ProjectModel, make_project_rules
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -103,3 +104,98 @@ def test_noqa_accepts_comma_separated_ids() -> None:
         source, module_name="repro.core.badmod", unit="repro.core"
     )
     assert findings == []
+
+
+# ----------------------------------------------------------------------
+# project rules (RP011+): fixtures run through the whole-program model
+# ----------------------------------------------------------------------
+
+#: single-file project fixtures -> (rule id, pretend module, pretend unit)
+PROJECT_CASES = {
+    "rp011_bad.py": ("RP011", "repro.runtime.badmod", "repro.runtime"),
+    "rp012_bad.py": ("RP012", "repro.core.monitor", "repro.core"),
+    "rp013_bad.py": ("RP013", "repro.runtime.badmod", "repro.runtime"),
+    "rp014_bad.py": ("RP014", "repro.core.badmod", "repro.core"),
+}
+
+_MODULE_HEADER = re.compile(r"# module: (\S+)")
+
+
+def _rp015_entries() -> list[tuple[str, str, str | None, str | None]]:
+    """The multi-module RP015 fixture: each file declares its pretend
+    module with a ``# module: <dotted>`` header comment."""
+    entries = []
+    for path in sorted((FIXTURES / "rp015_bad").glob("*.py")):
+        text = path.read_text()
+        header = _MODULE_HEADER.match(text)
+        assert header, f"{path} is missing its '# module:' header"
+        entries.append((text, str(path), header.group(1), None))
+    return entries
+
+
+def _project_findings(
+    rule_id: str, entries: list[tuple[str, str, str | None, str | None]]
+) -> list[Finding]:
+    """Run exactly one project rule over an in-memory model (the other
+    rules — including the per-module pack — would fire on the seeded
+    badness that is not under test)."""
+    model = ProjectModel.from_sources(entries)
+    rules = make_project_rules([rule_id])
+    assert rules, f"project rule {rule_id} is not registered"
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(model))
+    return findings
+
+
+@pytest.mark.parametrize("fixture_name", sorted(PROJECT_CASES))
+def test_project_rule_fires_on_bad_fixture(fixture_name: str) -> None:
+    rule_id, module_name, unit = PROJECT_CASES[fixture_name]
+    path = FIXTURES / fixture_name
+    expected = _expected_lines(path)
+    assert expected, f"fixture {fixture_name} has no expect-violation markers"
+
+    findings = _project_findings(
+        rule_id, [(path.read_text(), str(path), module_name, unit)]
+    )
+
+    assert {f.line for f in findings} == expected
+    assert {f.rule_id for f in findings} == {rule_id}
+    assert len(findings) == len(expected)
+
+
+def test_rp015_fires_on_cycle_and_transitive_reach() -> None:
+    """The multi-module fixture seeds one import cycle and one
+    transitive (two-hop) path from the filtering path to the exact
+    matcher; RP015 must report both, anchored at the import lines."""
+    entries = _rp015_entries()
+    expected = {
+        (path, lineno)
+        for _, path, _, _ in entries
+        for lineno in _expected_lines(Path(path))
+    }
+    assert expected
+
+    findings = _project_findings("RP015", entries)
+
+    assert {(f.path, f.line) for f in findings} == expected
+    assert {f.rule_id for f in findings} == {"RP015"}
+
+
+@pytest.mark.parametrize("fixture_name", sorted(PROJECT_CASES))
+def test_noqa_silences_project_rules(fixture_name: str) -> None:
+    """Project findings obey the same per-line suppression machinery as
+    per-module ones (analyze_project routes them through it)."""
+    rule_id, module_name, unit = PROJECT_CASES[fixture_name]
+    path = FIXTURES / fixture_name
+    lines = path.read_text().splitlines()
+    for lineno in _expected_lines(path):
+        lines[lineno - 1] += f"  # repro: noqa[{rule_id}]"
+    silenced = "\n".join(lines) + "\n"
+
+    findings = _project_findings(
+        rule_id, [(silenced, str(path), module_name, unit)]
+    )
+    filtered = Analyzer._apply_suppressions(silenced, findings)
+
+    assert filtered == []
