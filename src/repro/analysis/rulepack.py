@@ -1,4 +1,4 @@
-"""The initial rule pack (RP001-RP010), grounded in the paper.
+"""The per-module rule pack (RP001-RP010, RP016), grounded in the paper.
 
 Each rule protects one invariant the reproduction depends on:
 
@@ -28,6 +28,12 @@ RP010     only ``repro.obs.trace`` may mint trace/span ids (no
           instrumented packages) — distributed traces only assemble
           into one tree if every id comes from the single minting
           site and its deterministic pid+counter scheme
+RP016     ``multiprocessing.shared_memory`` (and its
+          ``resource_tracker``) may only be touched by
+          ``repro.runtime.shm`` — segment naming, generation tags
+          and crash-orphan cleanup are one protocol with one owner;
+          a second allocation site leaks segments past
+          ``ShardedMonitor.close()``
 ========  ==========================================================
 """
 
@@ -740,3 +746,74 @@ class TraceIdMintingRule(Rule):
                     f"re-definition of {node.name}() outside repro.obs.trace; "
                     "there is exactly one trace-id minting site",
                 )
+
+
+# ----------------------------------------------------------------------
+# RP016 — shared-memory segments are owned by repro.runtime.shm
+# ----------------------------------------------------------------------
+
+_SHM_MODULES = {
+    "multiprocessing.shared_memory",
+    "multiprocessing.resource_tracker",
+}
+
+#: The one module allowed to allocate/attach/unlink segments.
+_SHM_HOME = "repro.runtime.shm"
+
+
+@register
+class SharedMemoryContainmentRule(Rule):
+    """Shared-memory segment lifecycle has exactly one owner."""
+
+    rule_id = "RP016"
+    title = "shared-memory segments are touched only by repro.runtime.shm"
+    rationale = (
+        "The NPV plane's segments carry generation-tagged headers, "
+        "pid-scoped names and a crash-orphan sweep; those three only "
+        "compose into 'no leaked segments after close()' if every "
+        "allocate/attach/unlink goes through repro.runtime.shm.  A "
+        "second call site would mint segments the sweep cannot name "
+        "and fight the resource_tracker's registration bookkeeping "
+        "(Python 3.11 unlink() already unregisters — double "
+        "bookkeeping causes tracker KeyError spam or early reclaim)."
+    )
+    # RP008 already bans multiprocessing outside repro.runtime; this
+    # rule tightens the invariant *inside* the runtime (and everywhere
+    # else the analyzer looks).  Tests/examples may attach segments to
+    # assert on leaks without tripping it.
+    units = None
+
+    _EXEMPT_UNITS = frozenset({"tests", "examples"})
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        if context.module_name == _SHM_HOME:
+            return False
+        return context.unit not in self._EXEMPT_UNITS
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue  # relative imports cannot reach the stdlib
+                module = node.module or ""
+                names = [module] + [
+                    f"{module}.{alias.name}" for alias in node.names
+                ]
+            else:
+                continue
+            for name in names:
+                if name in _SHM_MODULES or any(
+                    name.startswith(owned + ".") for owned in _SHM_MODULES
+                ):
+                    yield context.finding(
+                        node,
+                        self.rule_id,
+                        f"import of {name!r} outside repro.runtime.shm: "
+                        "segment allocation, attachment and unlink are "
+                        "one protocol with one owner; go through "
+                        "repro.runtime.shm (NpvPlane/PlaneReader/"
+                        "ShmRing/cleanup_segments)",
+                    )
+                    break

@@ -144,6 +144,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="auto-checkpoint cadence in accepted batches (0 = off)",
     )
     replay.add_argument(
+        "--shm",
+        action="store_true",
+        help="shared-memory NPV plane + payload rings (workers >= 2; "
+        "most effective with --method matrix)",
+    )
+    replay.add_argument(
+        "--rescale-at",
+        action="append",
+        metavar="T:N",
+        help="rescale the worker pool to N workers after the events of "
+        "timestamp T (repeatable; workers >= 2)",
+    )
+    replay.add_argument(
         "--stats-every",
         type=int,
         default=0,
@@ -425,7 +438,9 @@ def _report_probe(probe) -> None:
     print(line)
 
 
-def _replay_and_report(monitor, streams, verify_with=None, stats_every=0, probe=None) -> None:
+def _replay_and_report(
+    monitor, streams, verify_with=None, stats_every=0, probe=None, rescales=None
+) -> None:
     """Drive ``monitor`` (StreamMonitor or ShardedMonitor — same API)
     through recorded streams, printing one line per match event.
 
@@ -435,7 +450,9 @@ def _replay_and_report(monitor, streams, verify_with=None, stats_every=0, probe=
     metrics are printed as a Prometheus text block every that many
     timestamps (and once more after the final poll).  A ``probe``
     samples the candidate set once per timestamp, after events are
-    reported — strictly off the filtering path.
+    reported — strictly off the filtering path.  ``rescales`` maps a
+    printed timestamp to a target worker-pool size; the pool is rescaled
+    live right after that timestamp's events (runtime path only).
     """
     from .obs import render_prometheus
 
@@ -455,6 +472,14 @@ def _replay_and_report(monitor, streams, verify_with=None, stats_every=0, probe=
                 confirmed = pair in verify_with.verified_matches({pair})
                 line += "  [CONFIRMED]" if confirmed else "  [filter only]"
             print(line)
+        target = rescales.get(timestamp + 1) if rescales else None
+        if target is not None:
+            report = monitor.rescale(target)
+            print(
+                f"t={timestamp + 1}: rescale workers "
+                f"{report['from']}->{report['to']} "
+                f"moved={report['moved_streams']} in {report['seconds']:.3f}s"
+            )
         if probe is not None:
             probe.sample()
         if stats_every and (timestamp + 1) % stats_every == 0:
@@ -490,10 +515,32 @@ def _write_stats_json(monitor, path: str) -> None:
     print(f"wrote {path}")
 
 
+def _parse_rescales(specs) -> dict[int, int]:
+    """``--rescale-at T:N`` occurrences -> ``{timestamp: target}``."""
+    rescales: dict[int, int] = {}
+    for spec in specs or []:
+        timestamp_text, separator, target_text = spec.partition(":")
+        if not separator:
+            raise SystemExit(f"--rescale-at expects T:N, got {spec!r}")
+        try:
+            timestamp, target = int(timestamp_text), int(target_text)
+        except ValueError:
+            raise SystemExit(f"--rescale-at expects T:N, got {spec!r}") from None
+        if timestamp < 1 or target < 1:
+            raise SystemExit(f"--rescale-at needs T >= 1 and N >= 1, got {spec!r}")
+        rescales[timestamp] = target
+    return rescales
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     queries = dict(read_graph_set(args.queries))
     streams = _read_streams(args.streams)
+    rescales = _parse_rescales(args.rescale_at)
     if args.workers <= 1:
+        if rescales:
+            raise SystemExit("--rescale-at requires --workers >= 2")
+        if args.shm:
+            raise SystemExit("--shm requires --workers >= 2")
         monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
         _replay_and_report(
             monitor,
@@ -515,22 +562,28 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         backpressure=args.policy,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        shm=args.shm,
     ) as monitor:
         _replay_and_report(
             monitor,
             streams,
             stats_every=args.stats_every,
             probe=_make_probe(monitor, args),
+            rescales=rescales,
         )
         stats = monitor.stats()
         pressure = stats["backpressure"]
-        print(
+        line = (
             f"workers: {stats['num_workers']}  "
             f"policy: {pressure['policy']}  "
             f"batches: {pressure['accepted_batches']}  "
             f"dropped: {pressure['dropped']}  "
             f"spilled: {pressure['spilled']}"
         )
+        rescale = stats.get("rescale") or {}
+        if rescale.get("count"):
+            line += f"  rescales: {rescale['count']}"
+        print(line)
         if args.stats_json:
             _write_stats_json(monitor, args.stats_json)
     return 0

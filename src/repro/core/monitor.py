@@ -98,6 +98,11 @@ class StreamMonitor:
         before delivering them to the engine (default).  ``False``
         restores one engine call per spliced tree edge — kept for
         differential testing and benchmarking only.
+    engine_options:
+        Engine-specific constructor keywords forwarded to
+        :func:`repro.join.make_engine` — e.g. the matrix engine's
+        ``store_factory`` for shared-memory row storage.  Survives
+        query-set rebuilds (the new engine gets the same options).
     """
 
     def __init__(
@@ -107,10 +112,12 @@ class StreamMonitor:
         depth_limit: int = 3,
         scheme: DimensionScheme = PAPER_SCHEME,
         coalesce: bool = True,
+        engine_options: Mapping[str, Any] | None = None,
     ) -> None:
         self.query_set = QuerySet(queries, depth_limit, scheme)
         self.method = method.lower()
-        self.engine = make_engine(self.method, self.query_set)
+        self.engine_options = dict(engine_options) if engine_options else None
+        self.engine = make_engine(self.method, self.query_set, self.engine_options)
         self.depth_limit = depth_limit
         self.scheme = scheme
         self.coalesce = coalesce
@@ -167,14 +174,19 @@ class StreamMonitor:
 
     def _rebuild_queries(self, queries: Mapping[QueryId, LabeledGraph]) -> None:
         self.query_set = QuerySet(queries, self.depth_limit, self.scheme)
-        engine = make_engine(self.method, self.query_set)
+        engine = make_engine(self.method, self.query_set, self.engine_options)
         for stream_id, index in self._indexes.items():
             engine.register_stream(stream_id, index.npvs)
         # Retarget the live listener adapters so future NPV deltas reach
         # the new engine; the indexes themselves are untouched.
         for adapter in self._adapters.values():
             adapter.engine = engine
-        self.engine = engine
+        previous, self.engine = self.engine, engine
+        # Engines holding external resources (shared-memory row stores)
+        # must free them — the garbage collector won't unlink segments.
+        closer = getattr(previous, "close", None)
+        if closer is not None:
+            closer()
 
     def stream_ids(self) -> list[StreamId]:
         """Ids of the currently monitored streams."""
@@ -316,3 +328,14 @@ class StreamMonitor:
                 help="exact subgraph-isomorphism checks performed",
             ).inc(checked)
         return confirmed
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Free engine-held external resources (shared-memory row
+        stores); a no-op for purely in-process engines.  The monitor
+        must not be used afterwards."""
+        closer = getattr(self.engine, "close", None)
+        if closer is not None:
+            closer()

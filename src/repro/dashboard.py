@@ -15,8 +15,11 @@ poll callable reads a local monitor, replays a workload, or parses
 
 Shown per frame: apply-latency percentiles (from the
 ``monitor.apply.seconds`` histogram), poll/event counters, worker inbox
-depths and backpressure drops/spills (sharded runs), per-dimension
-pruning power (the ``join.<engine>.pruned{dim=...}`` counters of
+depths and backpressure drops/spills (sharded runs), the shared-memory
+plane footprint and rescale status (``shm=True`` runs: segment count and
+bytes, remap/ring-overflow counters, queue bytes pickled, last-rescale
+duration and whether one is in flight), per-dimension pruning power
+(the ``join.<engine>.pruned{dim=...}`` counters of
 :mod:`repro.obs.quality`), and the live false-positive-ratio estimate
 gauge when the precision probe is running.
 """
@@ -150,6 +153,26 @@ def render_dashboard(stats: Mapping[str, Any], width: int = 78) -> str:
         lines.append(
             "backpressure    policy={policy}  accepted={accepted_batches}  "
             "dropped={dropped}  spilled={spilled}  parked={parked}".format(**backpressure)
+        )
+
+    # -- shared-memory plane & resharding -----------------------------------
+    shm = stats.get("shm")
+    if isinstance(shm, Mapping):
+        remaps = _value(summary, "shm.remaps")
+        overflows = _value(summary, "shm.ring_overflow")
+        queue_bytes = _value(summary, "runtime.bytes_pickled")
+        lines.append(
+            f"shm plane       segments={shm.get('segments', 0)}  "
+            f"bytes={shm.get('bytes', 0)}  remaps={remaps:.0f}  "
+            f"ring_overflows={overflows:.0f}  queue_bytes={queue_bytes:.0f}"
+        )
+    rescale = stats.get("rescale")
+    if isinstance(rescale, Mapping):
+        state = "in-flight" if rescale.get("active") else "idle"
+        last = rescale.get("last_seconds") or None
+        lines.append(
+            f"rescale         count={rescale.get('count', 0)}  "
+            f"last={_fmt_seconds(last)}  {state}"
         )
 
     # -- filter quality ----------------------------------------------------

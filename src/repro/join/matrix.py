@@ -23,7 +23,7 @@ numpy comparison, which wins when the query set is large.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
@@ -39,18 +39,64 @@ _CHUNK = 128
 _INITIAL_ROWS = 16
 
 
+class DenseRowStore:
+    """In-process numpy row storage — the default ``RowStore``.
+
+    The storage seam behind :class:`_StreamState`: anything exposing
+    ``array`` (a ``(capacity, dims)`` int64 ndarray), ``grow()``
+    (double capacity in place, preserving rows), ``set_row_count(n)``
+    (sync the live row count for external readers), ``descriptor()``
+    (an exportable handle, or ``None`` when rows only live in-process),
+    and ``release()`` can back a stream.  The shared-memory plane
+    (:class:`repro.runtime.shm.ShmRowStore`) implements the same
+    surface and is injected via ``store_factory`` — the engine never
+    imports it, keeping the concurrency layering one-directional.
+    """
+
+    __slots__ = ("array",)
+
+    def __init__(self, rows: int, dims: int) -> None:
+        self.array = np.zeros((rows, dims), dtype=np.int64)
+
+    def grow(self) -> None:
+        """Double capacity in place, preserving existing rows."""
+        grown = np.zeros(
+            (self.array.shape[0] * 2, self.array.shape[1]), dtype=np.int64
+        )
+        grown[: self.array.shape[0]] = self.array
+        self.array = grown
+
+    def set_row_count(self, count: int) -> None:
+        """No external readers — nothing to sync."""
+
+    def descriptor(self) -> Any | None:
+        """No exportable handle — rows live only in this process."""
+        return None
+
+    def release(self) -> None:
+        """Nothing to free beyond normal garbage collection."""
+
+
+#: ``store_factory(initial_rows, num_dims) -> RowStore``.
+StoreFactory = Callable[[int, int], Any]
+
+
 class _StreamState:
     """One stream's dense NPV matrix and its lazily cached coverage."""
 
-    __slots__ = ("matrix", "row_of", "vertex_at", "count", "covered", "verdicts")
+    __slots__ = ("store", "row_of", "vertex_at", "count", "covered", "verdicts")
 
-    def __init__(self, num_dims: int) -> None:
-        self.matrix = np.zeros((_INITIAL_ROWS, num_dims), dtype=np.int64)
+    def __init__(self, num_dims: int, store_factory: StoreFactory) -> None:
+        self.store = store_factory(_INITIAL_ROWS, num_dims)
         self.row_of: dict[VertexId, int] = {}
         self.vertex_at: list[VertexId] = []
         self.count = 0
         self.covered: np.ndarray | None = None  # None = stale
         self.verdicts: np.ndarray | None = None  # per query ordinal; None = stale
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self.store.array
 
     def invalidate(self) -> None:
         self.covered = None
@@ -62,8 +108,11 @@ class MatrixJoin(JoinEngine):
 
     name = "matrix"
 
-    def __init__(self, query_set: QuerySet) -> None:
+    def __init__(
+        self, query_set: QuerySet, store_factory: StoreFactory | None = None
+    ) -> None:
         super().__init__(query_set)
+        self._store_factory: StoreFactory = store_factory or DenseRowStore
         self._dims = sorted(query_set.dimension_universe, key=repr)
         self._dim_col: dict[Dimension, int] = {
             dim: col for col, dim in enumerate(self._dims)
@@ -92,7 +141,7 @@ class MatrixJoin(JoinEngine):
     def register_stream(self, stream_id: StreamId, npvs: Mapping[VertexId, NPV]) -> None:
         if stream_id in self._streams:
             raise ValueError(f"stream {stream_id!r} is already registered")
-        state = _StreamState(len(self._dims))
+        state = _StreamState(len(self._dims), self._store_factory)
         self._streams[stream_id] = state
         for vertex, vector in npvs.items():
             row = self._add_row(state, vertex)
@@ -102,23 +151,60 @@ class MatrixJoin(JoinEngine):
                     state.matrix[row, col] = value
 
     def remove_stream(self, stream_id: StreamId) -> None:
-        del self._streams[stream_id]
+        state = self._streams.pop(stream_id)
+        state.store.release()
 
     def stream_ids(self) -> list[StreamId]:
         return list(self._streams)
 
+    def close(self) -> None:
+        """Release every stream's row storage (a no-op for the default
+        in-process store; frees shared-memory segments otherwise)."""
+        for state in self._streams.values():
+            state.store.release()
+        self._streams.clear()
+
+    # -- row storage introspection ----------------------------------------
+    def npv_descriptor(self, stream_id: StreamId) -> Any | None:
+        """The stream's exportable row-store handle (``None`` when rows
+        live only in-process) — what ships over the wire instead of rows."""
+        return self._streams[stream_id].store.descriptor()
+
+    def npv_rows(self, stream_id: StreamId) -> np.ndarray:
+        """A copy of the stream's live NPV rows (tests pin the shared-
+        memory plane bit-for-bit against this)."""
+        state = self._streams[stream_id]
+        return np.array(state.matrix[: state.count], copy=True)
+
+    def segment_manifest(self) -> dict[str, dict[str, Any]]:
+        """Per-stream segment descriptors for the checkpoint manifest.
+
+        Only streams with exportable storage appear; with the default
+        store the manifest is empty and checkpoints are unchanged.
+        """
+        segments: dict[str, dict[str, Any]] = {}
+        for stream_id, state in self._streams.items():
+            descriptor = state.store.descriptor()
+            if descriptor is None:
+                continue
+            segments[str(stream_id)] = {
+                "name": descriptor.name,
+                "generation": descriptor.generation,
+                "rows": descriptor.rows,
+                "dims": descriptor.dims,
+                "capacity": descriptor.capacity,
+            }
+        return segments
+
     # -- row management ---------------------------------------------------
     def _add_row(self, state: _StreamState, vertex: VertexId) -> int:
         if state.count == state.matrix.shape[0]:
-            grown = np.zeros(
-                (state.matrix.shape[0] * 2, state.matrix.shape[1]), dtype=np.int64
-            )
-            grown[: state.count] = state.matrix
-            state.matrix = grown
+            state.store.grow()
         row = state.count
         state.row_of[vertex] = row
         state.vertex_at.append(vertex)
         state.count += 1
+        state.store.set_row_count(state.count)
         # The slot is all-zero: rows are zeroed when vacated.
         return row
 
@@ -133,6 +219,7 @@ class MatrixJoin(JoinEngine):
         state.matrix[last] = 0
         state.vertex_at.pop()
         state.count = last
+        state.store.set_row_count(state.count)
 
     # -- NPV evolution ----------------------------------------------------
     def on_vertex_added(self, stream_id: StreamId, vertex: VertexId) -> None:

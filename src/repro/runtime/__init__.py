@@ -16,9 +16,10 @@ protocol; :mod:`repro.runtime.recovery` for the snapshot/journal
 layout.
 
 This is the only package in the tree allowed to touch process/thread
-machinery (analysis rule RP008): the filtering core stays
-deterministic and single-threaded, and all parallelism lives behind
-this facade.
+machinery (analysis rule RP008), and :mod:`repro.runtime.shm` is the
+only module allowed to touch ``multiprocessing.shared_memory`` (rule
+RP016): the filtering core stays deterministic and single-threaded,
+and all parallelism lives behind this facade.
 """
 
 from .coordinator import (
@@ -29,18 +30,40 @@ from .coordinator import (
 )
 from .recovery import CheckpointStore, RecoveryLog, ShardJournal
 from .router import ShardRouter, stable_hash
+from .shm import (
+    NpvPlane,
+    PlaneDescriptor,
+    PlaneReader,
+    RingReader,
+    RingRef,
+    ShmError,
+    ShmRing,
+    ShmRowStore,
+    StaleSegment,
+    cleanup_segments,
+)
 from .worker import ShardState, WorkerSpec
 
 __all__ = [
     "CheckpointStore",
+    "NpvPlane",
     "POLICIES",
+    "PlaneDescriptor",
+    "PlaneReader",
     "RecoveryLog",
+    "RingReader",
+    "RingRef",
     "ShardJournal",
     "ShardRouter",
     "ShardState",
     "ShardedMonitor",
+    "ShmError",
+    "ShmRing",
+    "ShmRowStore",
+    "StaleSegment",
     "WorkerCrashed",
     "WorkerDied",
     "WorkerSpec",
+    "cleanup_segments",
     "stable_hash",
 ]

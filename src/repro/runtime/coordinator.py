@@ -36,18 +36,38 @@ journal tail is replayed, converging to exactly the state the lost
 worker would have reached: no false negatives.  With ``auto_recover``
 (default) this happens transparently inside the call that notices the
 death.
+
+**Shared-memory plane** (``shm=True``).  Each worker keeps its matrix
+engine's dense NPV rows in :mod:`repro.runtime.shm` segments, and each
+shard gets a coordinator->worker payload ring: ``apply`` pickles the
+update once into the ring and the inbox queue carries a fixed-size
+:class:`~repro.runtime.shm.RingRef` instead of the payload — the
+``runtime.bytes_pickled`` counter shows the difference.  Journals keep
+recording the *inline* payloads, so recovery and the loss guarantees
+are unchanged.
+
+**Elastic resharding.**  :meth:`rescale` grows or shrinks the worker
+pool live: behind a routing barrier, every stream whose consistent-hash
+owner changes is exported from its old shard (a FIFO-ordered graph
+export, so every accepted update is folded in) and re-registered —
+journaled — on its new one.  The union-of-shards answer is preserved at
+every poll, and a worker killed mid-rescale recovers from journal +
+checkpoint exactly like any other death.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
 import queue as queue_module
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Iterable, Literal, Mapping
 
 from .. import obs
-from ..core.metrics import merge_counter_summaries
+from ..core.metrics import Stopwatch, merge_counter_summaries
 from ..core.monitor import MatchEvent, diff_polls, warn_poll_events_deprecated
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.operations import EdgeChange, GraphChangeOperation
@@ -55,10 +75,20 @@ from ..join.base import Pair, QueryId, StreamId
 from ..nnt.projection import DimensionScheme, PAPER_SCHEME
 from .recovery import CheckpointStore, RecoveryLog, ShardJournal
 from .router import ShardRouter
+from .shm import (
+    DEFAULT_RING_CAPACITY,
+    PlaneDescriptor,
+    PlaneReader,
+    ShmRing,
+    StaleSegment,
+    cleanup_segments,
+)
 from .worker import (
     CMD_ADD_STREAM,
     CMD_APPLY,
     CMD_CHECKPOINT,
+    CMD_EXPORT_STREAM,
+    CMD_NPV,
     CMD_POLL,
     CMD_REMOVE_STREAM,
     CMD_STATS,
@@ -68,6 +98,10 @@ from .worker import (
     WorkerSpec,
     worker_main,
 )
+
+#: Distinguishes shared-memory namespaces when one process hosts several
+#: coordinators (pid alone is not enough); plain counter per RP010.
+_INSTANCE_COUNTER = 0
 
 BackpressurePolicy = Literal["block", "drop", "spill"]
 POLICIES: tuple[str, ...] = ("block", "drop", "spill")
@@ -137,6 +171,15 @@ class ShardedMonitor:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (fast, inherits the query set) and the platform
         default elsewhere.
+    shm:
+        Enable the shared-memory NPV plane and per-shard payload rings
+        (see the module docstring).  Most effective with
+        ``method="matrix"`` (the plane holds its dense rows); other
+        engines still benefit from ring-borne apply payloads.
+    ring_capacity:
+        Payload bytes per shard ring (``shm=True`` only).  A full ring
+        falls back to inline payloads — lossless, just counted on
+        ``shm.ring_overflow``.
     """
 
     def __init__(
@@ -153,7 +196,10 @@ class ShardedMonitor:
         checkpoint_every: int = 0,
         auto_recover: bool = True,
         start_method: str | None = None,
+        shm: bool = False,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ) -> None:
+        global _INSTANCE_COUNTER
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if queue_capacity < 1:
@@ -166,18 +212,23 @@ class ShardedMonitor:
             raise ValueError("checkpoint_every must be >= 0")
         if checkpoint_every and checkpoint_dir is None:
             raise ValueError("checkpoint_every requires checkpoint_dir")
+        if ring_capacity < 1:
+            raise ValueError(f"ring_capacity must be >= 1, got {ring_capacity}")
         self.spec = WorkerSpec(
             queries=dict(queries),
             method=method.lower(),
             depth_limit=depth_limit,
             scheme=scheme,
             coalesce=coalesce,
+            shm=shm,
         )
         self.num_workers = num_workers
         self.queue_capacity = queue_capacity
         self.backpressure = backpressure
         self.checkpoint_every = checkpoint_every
         self.auto_recover = auto_recover
+        self.shm = shm
+        self.ring_capacity = ring_capacity
         if start_method is None and "fork" in multiprocessing.get_all_start_methods():
             start_method = "fork"
         self._ctx = multiprocessing.get_context(start_method)
@@ -185,7 +236,9 @@ class ShardedMonitor:
         self.store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
         self.recovery_log = RecoveryLog()
         self._journals = {shard: ShardJournal() for shard in range(num_workers)}
-        self._spill: dict[int, list[tuple]] = {shard: [] for shard in range(num_workers)}
+        self._spill: dict[int, deque[tuple]] = {
+            shard: deque() for shard in range(num_workers)
+        }
         self._streams: dict[StreamId, int] = {}
         self._last_poll: set[Pair] = set()
         self._request_counter = 0
@@ -194,6 +247,16 @@ class ShardedMonitor:
         self._accepted_batches = 0
         self._batches_since_checkpoint = 0
         self._closed = False
+        _INSTANCE_COUNTER += 1
+        self._shm_base = f"repro-{os.getpid()}m{_INSTANCE_COUNTER}"
+        self._spawn_epoch = 0
+        self._rings: dict[int, ShmRing] = {}
+        self._segment_prefixes: dict[int, str] = {}
+        self._plane_reader = PlaneReader() if shm else None
+        self._npv_cache: dict[StreamId, PlaneDescriptor] = {}
+        self._rescales = 0
+        self._last_rescale_seconds = 0.0
+        self._rescaling = False
         # Name this process's track in exported traces before workers
         # fork (forked children overwrite the label with shard-<k>).
         obs.set_process_label("coordinator")
@@ -204,7 +267,31 @@ class ShardedMonitor:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def _shm_spec(self, shard_id: int, spec: WorkerSpec) -> WorkerSpec:
+        """Provision a fresh ring + segment namespace for one spawn.
+
+        Per-spawn epochs keep a respawned worker's names disjoint from
+        its SIGKILLed predecessor's; the predecessor's orphans are swept
+        here, before the successor starts allocating.
+        """
+        if not self.shm:
+            return spec
+        self._spawn_epoch += 1
+        epoch = self._spawn_epoch
+        old_ring = self._rings.pop(shard_id, None)
+        if old_ring is not None:
+            old_ring.close(unlink=True)
+        old_prefix = self._segment_prefixes.pop(shard_id, None)
+        if old_prefix is not None:
+            cleanup_segments(old_prefix)
+        prefix = f"{self._shm_base}-plane{shard_id}e{epoch}"
+        ring = ShmRing(f"{self._shm_base}-ring{shard_id}e{epoch}", self.ring_capacity)
+        self._rings[shard_id] = ring
+        self._segment_prefixes[shard_id] = prefix
+        return replace(spec, ring=ring.name, segment_prefix=prefix)
+
     def _spawn(self, shard_id: int, spec: WorkerSpec) -> _WorkerHandle:
+        spec = self._shm_spec(shard_id, spec)
         inbox = self._ctx.Queue(maxsize=self.queue_capacity)
         outbox = self._ctx.Queue()
         process = self._ctx.Process(
@@ -217,7 +304,13 @@ class ShardedMonitor:
         return _WorkerHandle(shard_id, process, inbox, outbox)
 
     def close(self) -> None:
-        """Stop every worker and release their queues (idempotent)."""
+        """Stop every worker and release their queues (idempotent).
+
+        With ``shm=True`` this is also the leak boundary: workers unlink
+        their own segments on a graceful stop, the coordinator unlinks
+        the rings it created, and a final prefix sweep collects whatever
+        a SIGKILLed worker left behind.
+        """
         if self._closed:
             return
         self._closed = True
@@ -230,6 +323,13 @@ class ShardedMonitor:
                     pass
             handle.process.join(timeout=5)
             handle.dispose()
+        for ring in self._rings.values():
+            ring.close(unlink=True)
+        self._rings.clear()
+        if self._plane_reader is not None:
+            self._plane_reader.close()
+        if self.shm:
+            cleanup_segments(self._shm_base)
 
     def __enter__(self) -> "ShardedMonitor":
         return self
@@ -355,15 +455,53 @@ class ShardedMonitor:
         if command[0] in STATE_COMMANDS:
             self._journals[shard].record(command)
 
+    def _wire_apply(self, shard: int, command: tuple) -> tuple:
+        """The wire form of one apply: ``(envelope, ring_ref)``.
+
+        With the shm plane on, the payload is pickled once into the
+        shard's ring and the queue carries a fixed-size
+        :class:`~repro.runtime.shm.RingRef`; a full ring falls back to
+        the inline payload (lossless, counted on ``shm.ring_overflow``).
+        ``runtime.bytes_pickled`` measures what actually crosses the
+        queue either way — the quantity the shm bench gates on.
+        """
+        wire = command
+        ref = None
+        ring = self._rings.get(shard) if self.shm else None
+        if ring is not None:
+            payload = pickle.dumps(command[2])
+            ref = ring.push(payload)
+            if ref is not None:
+                wire = (command[0], command[1], ref)
+                if obs.enabled():
+                    obs.counter(
+                        "shm.ring_bytes",
+                        help="payload bytes shipped via shared-memory rings",
+                    ).inc(len(payload))
+            elif obs.enabled():
+                obs.counter(
+                    "shm.ring_overflow",
+                    help="apply payloads sent inline because the ring was full",
+                ).inc()
+        envelope = obs.stamp_envelope(wire)
+        if obs.enabled():
+            obs.counter(
+                "runtime.bytes_pickled",
+                help="bytes pickled onto worker inboxes by apply traffic",
+            ).inc(len(pickle.dumps(envelope)))
+        return envelope, ref
+
     def _submit_update(self, shard: int, command: tuple) -> bool:
         """Data traffic: subject to the configured backpressure policy.
 
         Stamped envelopes travel the wire (and wait in the spill buffer,
         keeping the submit-time trace context); journals record base
-        commands — see :meth:`_submit_control`.
+        commands — see :meth:`_submit_control`.  Ring-borne payloads are
+        rolled back when dropped and re-wired after a recovery (the
+        respawned worker gets a fresh ring, so a pre-death ref is dead).
         """
-        envelope = obs.stamp_envelope(command)
         handle = self._handle_for(shard)
+        envelope, ref = self._wire_apply(shard, command)
         if self.backpressure == "block":
             try:
                 self._put_blocking(handle, envelope)
@@ -371,11 +509,14 @@ class ShardedMonitor:
                 if not self.auto_recover:
                     raise
                 self.recover(shard)
+                envelope, ref = self._wire_apply(shard, command)
                 self._put_blocking(self._workers[shard], envelope)
         elif self.backpressure == "drop":
             try:
                 handle.inbox.put_nowait(envelope)
             except queue_module.Full:
+                if ref is not None:
+                    self._rings[shard].rollback(ref)
                 self._dropped += 1
                 if obs.enabled():
                     obs.counter(
@@ -414,6 +555,9 @@ class ShardedMonitor:
     def _drain_spill(self, shard: int, block: bool) -> None:
         """Move parked commands into the worker inbox, preserving order.
 
+        Drains the whole buffer in one call whenever the inbox has room
+        (``deque`` keeps the per-envelope cost O(1) however deep the
+        backlog got); a full inbox ends the non-blocking drain early.
         Spilled commands are already journaled; recovery clears the park
         buffer and replays the journal instead, so death mid-drain loses
         nothing.
@@ -433,7 +577,7 @@ class ShardedMonitor:
                     raise
                 self.recover(shard)
                 return  # recover() already replayed the journal (incl. spill)
-            spill.pop(0)
+            spill.popleft()
 
     def _barrier(self) -> None:
         """Make every accepted update deliverable: drain all spill buffers."""
@@ -573,11 +717,37 @@ class ShardedMonitor:
                 "runtime.inbox_depth",
                 help="pending commands across all worker inboxes",
             ).set(sum(depth for depth in depths.values() if depth > 0))
+        shm_section = None
+        if self.shm:
+            segments = 0
+            segment_bytes = 0
+            for payload in workers.values():
+                plane = payload.get("shm")
+                if plane:
+                    segments += plane.get("segments", 0)
+                    segment_bytes += plane.get("bytes", 0)
+            shm_section = {
+                "segments": segments,
+                "bytes": segment_bytes,
+                "rings": len(self._rings),
+                "ring_capacity": self.ring_capacity,
+                "reader_attached": (
+                    self._plane_reader.attached_count()
+                    if self._plane_reader is not None
+                    else 0
+                ),
+            }
         return {
             "num_workers": self.num_workers,
             "num_streams": len(self._streams),
             "num_queries": len(self.spec.queries),
             "method": self.spec.method,
+            "shm": shm_section,
+            "rescale": {
+                "count": self._rescales,
+                "last_seconds": self._last_rescale_seconds,
+                "active": self._rescaling,
+            },
             "backpressure": {
                 "policy": self.backpressure,
                 "queue_capacity": self.queue_capacity,
@@ -598,6 +768,181 @@ class ShardedMonitor:
                 + [obs.get_registry().summary()]
             ),
         }
+
+    # ------------------------------------------------------------------
+    # elastic resharding
+    # ------------------------------------------------------------------
+    def rescale(self, num_workers: int) -> dict[str, Any]:
+        """Grow or shrink the worker pool to ``num_workers``, live.
+
+        Runs behind a routing barrier (all spill drained, so every
+        accepted update is deliverable before ownership moves).  Each
+        stream whose consistent-hash owner changes is exported from its
+        current shard — a FIFO-ordered request, so the exported graph
+        reflects every accepted update — and re-registered on its new
+        owner through the journaled control path; shrinking stops the
+        excess shards only after their streams have moved out.  Polls
+        issued after ``rescale`` returns therefore see exactly the
+        union they would have seen without it: no false negatives, and
+        a worker killed mid-rescale recovers from journal + checkpoint
+        like any other death.
+
+        Returns ``{"from", "to", "moved_streams", "seconds"}``.
+        """
+        self._ensure_open()
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        source = self.num_workers
+        if num_workers == source:
+            return {"from": source, "to": source, "moved_streams": 0, "seconds": 0.0}
+        timer = Stopwatch()
+        self._rescaling = True
+        if obs.enabled():
+            obs.gauge(
+                "runtime.rescale.active",
+                help="1 while a pool rescale is in flight",
+            ).set(1)
+        try:
+            with timer, obs.span(
+                "runtime.rescale", source=source, target=num_workers
+            ):
+                moved = self._rescale_locked(num_workers)
+        finally:
+            self._rescaling = False
+            if obs.enabled():
+                obs.gauge(
+                    "runtime.rescale.active",
+                    help="1 while a pool rescale is in flight",
+                ).set(0)
+        self._rescales += 1
+        self._last_rescale_seconds = timer.total
+        if obs.enabled():
+            obs.counter(
+                "runtime.rescales", help="completed worker-pool rescales"
+            ).inc()
+            obs.gauge(
+                "runtime.rescale.last_seconds",
+                help="wall-clock seconds of the most recent rescale",
+            ).set(timer.total)
+            obs.gauge(
+                "runtime.workers", help="current worker-pool size"
+            ).set(num_workers)
+        return {
+            "from": source,
+            "to": num_workers,
+            "moved_streams": moved,
+            "seconds": timer.total,
+        }
+
+    def _rescale_locked(self, target: int) -> int:
+        """The rescale body: spawn, move, install, retire.  Returns the
+        number of streams that changed owner."""
+        source = self.num_workers
+        self._barrier()
+        for shard in range(source, target):  # grow: new empty shards
+            self._journals[shard] = ShardJournal()
+            self._spill[shard] = deque()
+            if self.store is not None:
+                # A snapshot left by a *previous* tenant of this shard
+                # id describes a different stream slice — never restore
+                # from it.
+                self.store.invalidate(shard)
+            self._workers[shard] = self._spawn(shard, self.spec)
+        router = ShardRouter(target)
+        moved = 0
+        # Deterministic move order (sorted by stream id) so journals and
+        # tests see the same handoff sequence on every run.
+        for stream_id in sorted(self._streams, key=str):
+            destination = router.shard_for(stream_id)
+            origin = self._streams[stream_id]
+            if destination == origin:
+                continue
+            response = self._request(origin, CMD_EXPORT_STREAM, stream_id)
+            graph = response[3]
+            self._submit_control(destination, (CMD_ADD_STREAM, stream_id, graph))
+            self._submit_control(origin, (CMD_REMOVE_STREAM, stream_id))
+            self._streams[stream_id] = destination
+            self._npv_cache.pop(stream_id, None)
+            moved += 1
+            if obs.enabled():
+                obs.counter(
+                    "runtime.streams_moved",
+                    help="stream handoffs performed by rescales",
+                ).inc()
+        self.router = router
+        self.num_workers = target
+        for shard in range(target, source):  # shrink: retire empty shards
+            handle = self._workers.pop(shard)
+            if handle.is_alive():
+                try:
+                    self._put_blocking(handle, (CMD_STOP, self._next_request()))
+                    self._await_response(handle, CMD_STOP)
+                except (WorkerDied, WorkerCrashed, TimeoutError):
+                    pass
+            handle.dispose()
+            ring = self._rings.pop(shard, None)
+            if ring is not None:
+                ring.close(unlink=True)
+            prefix = self._segment_prefixes.pop(shard, None)
+            if prefix is not None:
+                cleanup_segments(prefix)
+            del self._journals[shard]
+            del self._spill[shard]
+            if self.store is not None:
+                # This shard id may be re-created by a later grow with a
+                # different slice; its old snapshot must not survive.
+                self.store.invalidate(shard)
+        return moved
+
+    # ------------------------------------------------------------------
+    # shared-memory plane reads
+    # ------------------------------------------------------------------
+    def npv_rows(self, stream_id: StreamId) -> Any:
+        """One stream's dense NPV rows, read straight out of shared
+        memory (requires ``shm=True`` and the matrix engine).
+
+        The descriptor request is a FIFO barrier behind every accepted
+        update for the stream, so the copy is consistent; a generation
+        mismatch (the segment grew or moved since the last read) is the
+        remap handshake — counted on ``shm.remaps`` and resolved by
+        re-requesting a fresh descriptor.
+        """
+        self._ensure_open()
+        if not self.shm or self._plane_reader is None:
+            raise RuntimeError("npv_rows() requires shm=True")
+        if stream_id not in self._streams:
+            raise KeyError(f"stream {stream_id!r} is not monitored")
+        last_error: Exception | None = None
+        for _ in range(3):
+            shard = self._streams[stream_id]
+            response = self._request(shard, CMD_NPV, stream_id)
+            descriptor = response[3]
+            if descriptor is None:
+                raise RuntimeError(
+                    "stream has no exportable NPV rows "
+                    "(the shared plane backs the matrix engine only)"
+                )
+            cached = self._npv_cache.get(stream_id)
+            if cached is not None and (
+                cached.name != descriptor.name
+                or cached.generation != descriptor.generation
+            ):
+                if obs.enabled():
+                    obs.counter(
+                        "shm.remaps",
+                        help="generation-tagged segment remaps observed by readers",
+                    ).inc()
+            self._npv_cache[stream_id] = descriptor
+            try:
+                return self._plane_reader.read(descriptor)
+            except (StaleSegment, FileNotFoundError) as error:
+                # The worker recovered (fresh segments) between the
+                # response and the read; evict and re-request.
+                last_error = error
+                self._npv_cache.pop(stream_id, None)
+        raise StaleSegment(
+            f"could not obtain a stable descriptor for stream {stream_id!r}"
+        ) from last_error
 
     # ------------------------------------------------------------------
     # checkpointing and recovery
@@ -639,7 +984,11 @@ class ShardedMonitor:
             if latest is not None:
                 restore_dir = str(latest)
         # Journaled-but-undelivered spill is replayed from the journal.
-        self._spill[shard] = []
+        self._spill[shard] = deque()
+        # Descriptors issued by the dead worker point at swept segments.
+        for stream_id, owner in self._streams.items():
+            if owner == shard:
+                self._npv_cache.pop(stream_id, None)
         handle = self._spawn(shard, self.spec.restored(restore_dir))
         self._workers[shard] = handle
         journal = self._journals[shard]

@@ -79,6 +79,22 @@ class CheckpointStore:
         pointer.write_text(f"{sequence}\n", encoding="utf-8")
         return target
 
+    def invalidate(self, shard_id: int) -> None:
+        """Retract the shard's ``LATEST`` pointer (idempotent).
+
+        Called when a rescale creates or destroys a shard: the shard id
+        may be reused later with a *different* stream slice, and a
+        respawn restoring the old snapshot would resurrect streams the
+        router no longer sends there.  Snapshot directories stay on
+        disk (they are cheap and useful forensics); only the pointer —
+        the thing recovery trusts — goes away.
+        """
+        pointer = self.shard_dir(shard_id) / LATEST
+        try:
+            pointer.unlink()
+        except FileNotFoundError:
+            pass
+
     def latest_dir(self, shard_id: int) -> Path | None:
         """The last committed snapshot for a shard, or None if it never
         completed a checkpoint (recovery then rebuilds from the journal

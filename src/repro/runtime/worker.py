@@ -9,16 +9,22 @@ outbox.  All answering state is the monitor's; the worker adds only the
 :class:`~repro.core.metrics.ShardCounters` throughput/latency accounting
 and the checkpoint/restore glue.
 
-Workers never share memory with the coordinator: commands and responses
-are picklable values (graphs, change operations, frozen candidate sets),
-so a worker can be SIGKILLed at any instant and respawned from its last
-shard checkpoint without corrupting anyone else.
+Workers never share *mutable* memory with the coordinator: commands and
+responses are picklable values (graphs, change operations, frozen
+candidate sets), so a worker can be SIGKILLed at any instant and
+respawned from its last shard checkpoint without corrupting anyone
+else.  The optional shared-memory plane (:mod:`repro.runtime.shm`)
+keeps that property — segments are single-writer (this worker), the
+payload ring is single-producer (the coordinator) / single-consumer
+(this worker), and everything is reconstructible from journal +
+checkpoint, so crash recovery works exactly as before.
 """
 
 from __future__ import annotations
 
+import pickle
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -29,6 +35,7 @@ from ..core.monitor import StreamMonitor
 from ..graph.labeled_graph import LabeledGraph
 from ..graph.operations import EdgeChange
 from ..nnt.projection import PAPER_SCHEME, DimensionScheme
+from .shm import NpvPlane, RingReader, RingRef
 
 #: Inbox commands a worker understands (first tuple element).
 CMD_ADD_STREAM = "add_stream"
@@ -38,6 +45,8 @@ CMD_POLL = "poll"
 CMD_STATS = "stats"
 CMD_TRACE = "trace"
 CMD_CHECKPOINT = "checkpoint"
+CMD_EXPORT_STREAM = "export_stream"
+CMD_NPV = "npv_plane"
 CMD_STOP = "stop"
 
 #: Commands that mutate stream state and therefore enter the journal.
@@ -54,29 +63,34 @@ class WorkerSpec:
     scheme: DimensionScheme = PAPER_SCHEME
     coalesce: bool = True
     restore_dir: str | None = None  # set when respawning from a checkpoint
+    shm: bool = False  # shared-memory NPV plane + payload ring
+    ring: str | None = None  # payload-ring segment name (coordinator-created)
+    segment_prefix: str | None = None  # namespace for this worker's segments
 
-    def build_monitor(self) -> StreamMonitor:
-        """A fresh monitor, restored from ``restore_dir`` when set."""
+    def build_monitor(self, plane: NpvPlane | None = None) -> StreamMonitor:
+        """A fresh monitor, restored from ``restore_dir`` when set.
+
+        With a plane and the matrix engine, NPV rows go straight into
+        shared-memory row stores (restores included — segments are
+        rebuilt from the checkpointed graphs, never reattached).
+        """
+        engine_options = None
+        if plane is not None and self.method == "matrix":
+            engine_options = {"store_factory": plane.row_store}
         if self.restore_dir is not None:
-            return load_monitor(self.restore_dir)
+            return load_monitor(self.restore_dir, engine_options=engine_options)
         return StreamMonitor(
             dict(self.queries),
             method=self.method,
             depth_limit=self.depth_limit,
             scheme=self.scheme,
             coalesce=self.coalesce,
+            engine_options=engine_options,
         )
 
     def restored(self, restore_dir: str | None) -> "WorkerSpec":
         """This spec with a different restore directory."""
-        return WorkerSpec(
-            queries=self.queries,
-            method=self.method,
-            depth_limit=self.depth_limit,
-            scheme=self.scheme,
-            coalesce=self.coalesce,
-            restore_dir=restore_dir,
-        )
+        return replace(self, restore_dir=restore_dir)
 
 
 @dataclass
@@ -88,6 +102,8 @@ class ShardState:
     shard_id: int
     monitor: StreamMonitor
     counters: ShardCounters = field(default_factory=ShardCounters)
+    plane: NpvPlane | None = None
+    ring: RingReader | None = None
 
     def execute(self, command: tuple) -> tuple | None:
         """Apply one inbox command; return the response to emit (None
@@ -95,6 +111,12 @@ class ShardState:
         kind = command[0]
         if kind == CMD_APPLY:
             _, stream_id, update = command
+            if isinstance(update, RingRef):
+                if self.ring is None:
+                    raise ValueError(
+                        "received a ring payload but no ring is attached"
+                    )
+                update = pickle.loads(self.ring.read(update))
             timer = Stopwatch()
             with timer:
                 self.monitor.apply(stream_id, update)
@@ -131,18 +153,50 @@ class ShardState:
                 help="wall-clock seconds to write one shard checkpoint",
             ).observe(timer.total)
             return (CMD_CHECKPOINT, request_id, self.shard_id, checkpoint_stats(directory))
+        if kind == CMD_EXPORT_STREAM:
+            # Rescale handoff: the stream's full graph, behind the FIFO
+            # barrier (every prior apply for it is already folded in).
+            _, request_id, stream_id = command
+            return (
+                CMD_EXPORT_STREAM,
+                request_id,
+                self.shard_id,
+                self.monitor.graph(stream_id),
+            )
+        if kind == CMD_NPV:
+            # The remap handshake: a fresh descriptor for the stream's
+            # shared row segment (None when rows live only in-process).
+            _, request_id, stream_id = command
+            exporter = getattr(self.monitor.engine, "npv_descriptor", None)
+            descriptor = exporter(stream_id) if exporter is not None else None
+            return (CMD_NPV, request_id, self.shard_id, descriptor)
         if kind == CMD_STOP:
+            self.shutdown()
             return (CMD_STOP, command[1], self.shard_id, None)
         raise ValueError(f"unknown worker command {kind!r}")
 
+    def shutdown(self) -> None:
+        """Free shared-memory resources on graceful stop: drop the
+        engine's row-store views, then unlink this worker's segments
+        (the creator owns the unlink), then detach from the ring."""
+        self.monitor.close()
+        if self.plane is not None:
+            self.plane.close(unlink=True)
+            self.plane = None
+        if self.ring is not None:
+            self.ring.close()
+            self.ring = None
+
     def stats(self) -> dict[str, Any]:
-        """Shard-local stats: counters, the monitor's own view, and the
+        """Shard-local stats: counters, the monitor's own view, the
+        shared-memory plane footprint (when enabled), and the
         process-local observability registry (merged by the coordinator
         with :func:`repro.obs.merge_summaries`)."""
         return {
             "shard_id": self.shard_id,
             "counters": self.counters.summary(),
             "monitor": self.monitor.stats(),
+            "shm": self.plane.stats() if self.plane is not None else None,
             "obs": obs.get_registry().summary(),
         }
 
@@ -170,7 +224,17 @@ def worker_main(shard_id: int, spec: WorkerSpec, inbox, outbox) -> None:
     obs.clear_spans()
     obs.set_registry(obs.Registry())
     try:
-        state = ShardState(shard_id, spec.build_monitor())
+        plane = None
+        ring = None
+        if spec.shm:
+            if spec.segment_prefix is None:
+                raise ValueError("shm workers need a segment prefix")
+            plane = NpvPlane(spec.segment_prefix)
+            if spec.ring is not None:
+                ring = RingReader(spec.ring)
+        state = ShardState(
+            shard_id, spec.build_monitor(plane), plane=plane, ring=ring
+        )
     except BaseException:  # noqa: BLE001 - startup failures must surface
         outbox.put(("error", None, shard_id, traceback.format_exc()))
         raise

@@ -1,0 +1,23 @@
+"""RP016 fixture — analyzed as if it were ``repro.runtime.badmod``.
+
+Never imported at runtime; the fitness tests feed it to the analyzer
+with a unit override (``repro.runtime``, which is exempt from RP008,
+so only RP016 fires) and expect each tagged line to fire.
+"""
+
+import multiprocessing.shared_memory  # expect-violation
+from multiprocessing import shared_memory  # expect-violation
+from multiprocessing.shared_memory import SharedMemory  # expect-violation
+from multiprocessing import resource_tracker  # repro: noqa[RP001]  # expect-violation
+from multiprocessing.resource_tracker import unregister  # repro: noqa[RP016]
+import multiprocessing  # allowed here: RP008 territory, not RP016
+from multiprocessing import connection  # allowed: not a shm module
+
+__all__ = [
+    "multiprocessing",
+    "shared_memory",
+    "SharedMemory",
+    "resource_tracker",
+    "unregister",
+    "connection",
+]

@@ -32,6 +32,7 @@ CASES = {
     "rp008_bad.py": ("RP008", "repro.core.badmod", "repro.core"),
     "rp009_bad.py": ("RP009", "repro.join.badmod", "repro.join"),
     "rp010_bad.py": ("RP010", "repro.runtime.badmod", "repro.runtime"),
+    "rp016_bad.py": ("RP016", "repro.runtime.badmod", "repro.runtime"),
 }
 
 

@@ -201,6 +201,62 @@ class TestReplay:
         assert "\n".join(event_lines) + "\n" == single
         assert "policy: block" in sharded
 
+    def test_replay_with_live_rescale_same_events(self, replay_inputs, capsys):
+        queries, streams = replay_inputs
+        assert main(["replay", "--queries", queries, "--streams", *streams]) == 0
+        single = capsys.readouterr().out
+        assert main(
+            [
+                "replay", "--queries", queries, "--streams", *streams,
+                "--workers", "2", "--rescale-at", "2:4", "--rescale-at", "4:2",
+            ]
+        ) == 0
+        sharded = capsys.readouterr().out
+        event_lines = [
+            line
+            for line in sharded.splitlines()
+            if not line.startswith("workers:") and "rescale" not in line
+        ]
+        assert "\n".join(event_lines) + "\n" == single
+        assert "t=2: rescale workers 2->4" in sharded
+        assert "t=4: rescale workers 4->2" in sharded
+        assert "rescales: 2" in sharded
+
+    def test_replay_with_shm_plane_same_events(self, replay_inputs, capsys):
+        queries, streams = replay_inputs
+        assert main(["replay", "--queries", queries, "--streams", *streams]) == 0
+        single = capsys.readouterr().out
+        assert main(
+            [
+                "replay", "--queries", queries, "--streams", *streams,
+                "--workers", "2", "--shm", "--method", "matrix",
+            ]
+        ) == 0
+        sharded = capsys.readouterr().out
+        event_lines = [
+            line for line in sharded.splitlines() if not line.startswith("workers:")
+        ]
+        assert "\n".join(event_lines) + "\n" == single
+
+    def test_rescale_and_shm_flags_need_workers(self, replay_inputs):
+        queries, streams = replay_inputs
+        with pytest.raises(SystemExit):
+            main(
+                ["replay", "--queries", queries, "--streams", *streams,
+                 "--rescale-at", "2:4"]
+            )
+        with pytest.raises(SystemExit):
+            main(["replay", "--queries", queries, "--streams", *streams, "--shm"])
+
+    @pytest.mark.parametrize("spec", ("nope", "2", "x:3", "2:y", "0:2", "2:0"))
+    def test_malformed_rescale_spec_rejected(self, replay_inputs, spec):
+        queries, streams = replay_inputs
+        with pytest.raises(SystemExit):
+            main(
+                ["replay", "--queries", queries, "--streams", *streams,
+                 "--workers", "2", "--rescale-at", spec]
+            )
+
     def test_sharded_replay_with_checkpoints(self, replay_inputs, tmp_path, capsys):
         queries, streams = replay_inputs
         assert main(

@@ -287,6 +287,37 @@ class TestBackpressure:
             assert stats["backpressure"]["parked"] == 0
             assert stats["backpressure"]["dropped"] == 0
 
+    def test_deep_spill_drains_fully_once_inbox_has_room(self):
+        """Regression: a deep spill backlog must drain completely on
+        the next submission when the inbox has capacity — not one
+        envelope per tick, which would starve a recovered shard for as
+        many ticks as the backlog is deep."""
+        rng = random.Random(24)
+        queries = small_queries(rng)
+        with ShardedMonitor(
+            queries, num_workers=1, queue_capacity=8, backpressure="spill"
+        ) as sharded:
+            sharded.add_stream("s0", random_labeled_graph(rng, 4))
+            pid = _pause_worker(sharded, 0)
+            try:
+                # Fill the inbox, then park a backlog behind it.
+                for i in range(14):
+                    assert sharded.apply(
+                        "s0", EdgeChange.insert(200 + i, 300 + i, "-", "A", "B")
+                    )
+                assert len(sharded._spill[0]) >= 4
+            finally:
+                os.kill(pid, signal.SIGCONT)
+            deadline = time.monotonic() + 10
+            while sharded.inbox_depths()[0] > 0:
+                assert time.monotonic() < deadline, "worker never drained inbox"
+                time.sleep(0.01)
+            assert len(sharded._spill[0]) >= 4  # still parked: no tick yet
+            # One submission; the whole backlog fits the empty inbox.
+            assert sharded.apply("s0", EdgeChange.insert(900, 901, "-", "A", "B"))
+            assert len(sharded._spill[0]) == 0
+            assert sharded.stats()["backpressure"]["parked"] == 0
+
     def test_block_is_lossless_under_tiny_queue(self):
         rng = random.Random(23)
         queries = small_queries(rng)

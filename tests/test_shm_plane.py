@@ -1,0 +1,437 @@
+"""The shared-memory NPV plane: plane-backed row stores must equal the
+in-process numpy rows bit-for-bit (grow/remove/remap included), rings
+must round-trip payloads exactly, and ``ShardedMonitor(shm=True)`` must
+stay a behavioural drop-in that leaks no segments past ``close()``."""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import signal
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.monitor import StreamMonitor
+from repro.datasets.stream_gen import synthesize_stream
+from repro.graph import EdgeChange
+from repro.join.matrix import DenseRowStore
+from repro.runtime import ShardedMonitor
+from repro.runtime.shm import (
+    TOMBSTONE_GENERATION,
+    NpvPlane,
+    PlaneReader,
+    RingReader,
+    ShmError,
+    ShmRing,
+    StaleSegment,
+    cleanup_segments,
+    live_segments,
+    make_prefix,
+)
+
+from .conftest import random_labeled_graph
+
+#: Leak assertions scan /dev/shm directly; skip them where it is absent.
+HAS_SHM_DIR = Path("/dev/shm").is_dir()
+needs_shm_dir = pytest.mark.skipif(not HAS_SHM_DIR, reason="no /dev/shm to scan")
+
+_uniq = itertools.count()
+
+
+def fresh_prefix() -> str:
+    """A namespace no other test (or test run) is using."""
+    return make_prefix("t", next(_uniq), os.getpid() % 997)
+
+
+@pytest.fixture
+def plane():
+    instance = NpvPlane(fresh_prefix())
+    yield instance
+    instance.close()
+
+
+# ----------------------------------------------------------------------
+# row stores: shared-memory vs in-process, bit for bit
+# ----------------------------------------------------------------------
+DIMS = 3
+
+store_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("write"),
+            st.integers(min_value=0, max_value=63),
+            st.integers(min_value=0, max_value=DIMS - 1),
+            st.integers(min_value=-(2**40), max_value=2**40),
+        ),
+        st.just(("grow",)),
+        st.tuples(st.just("rows"), st.integers(min_value=0, max_value=64)),
+    ),
+    max_size=30,
+)
+
+
+class TestRowStoreEquivalence:
+    @given(ops=store_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_round_trips_equal_dense_rows_bit_for_bit(self, ops):
+        prefix = fresh_prefix()
+        plane = NpvPlane(prefix)
+        reader = PlaneReader()
+        try:
+            dense = DenseRowStore(4, DIMS)
+            shared = plane.row_store(4, DIMS)
+            rows = 0
+            for op in ops:
+                if op[0] == "write":
+                    _, row, col, value = op
+                    if row >= dense.array.shape[0]:
+                        continue
+                    dense.array[row, col] = value
+                    shared.array[row, col] = value
+                elif op[0] == "grow":
+                    dense.grow()
+                    shared.grow()
+                else:
+                    rows = min(op[1], dense.array.shape[0])
+                    dense.set_row_count(rows)
+                    shared.set_row_count(rows)
+                assert shared.array.shape == dense.array.shape
+                assert np.array_equal(shared.array, dense.array)
+                # The remap handshake's read path sees the same bytes.
+                via_reader = reader.read(shared.descriptor())
+                assert np.array_equal(via_reader, dense.array[:rows])
+        finally:
+            reader.close()
+            plane.close()
+        if HAS_SHM_DIR:
+            assert live_segments(prefix) == []
+
+    def test_grow_preserves_rows_and_stales_old_descriptor(self, plane):
+        store = plane.row_store(4, 2)
+        store.array[:4] = np.arange(8).reshape(4, 2)
+        store.set_row_count(4)
+        reader = PlaneReader()
+        stale = store.descriptor()
+        assert np.array_equal(reader.read(stale), np.arange(8).reshape(4, 2))
+        store.grow()
+        assert store.array.shape == (8, 2)
+        assert np.array_equal(store.array[:4], np.arange(8).reshape(4, 2))
+        with pytest.raises(StaleSegment):
+            reader.read(stale)  # old segment was tombstoned by the grow
+        fresh = store.descriptor()
+        assert fresh.generation > stale.generation
+        assert np.array_equal(reader.read(fresh), np.arange(8).reshape(4, 2))
+        reader.close()
+
+    def test_release_tombstones_and_free_list_reuses(self, plane):
+        first = plane.row_store(4, 2)
+        issued = first.descriptor()
+        first.release()
+        assert plane.stats()["free_segments"] == 1
+        reader = PlaneReader()
+        with pytest.raises(StaleSegment):
+            reader.read(issued)  # freed: header holds the tombstone
+        second = plane.row_store(4, 2)
+        reused = second.descriptor()
+        assert reused.name == issued.name  # same segment, recycled
+        assert reused.generation > issued.generation
+        assert issued.generation > TOMBSTONE_GENERATION
+        assert plane.stats()["free_segments"] == 0
+        assert np.count_nonzero(second.array) == 0  # fresh slate
+        reader.close()
+
+    def test_reader_raises_on_vanished_segment(self, plane):
+        store = plane.row_store(4, 2)
+        descriptor = store.descriptor()
+        plane.close()  # unlinks everything
+        reader = PlaneReader()
+        with pytest.raises(StaleSegment):
+            reader.read(descriptor)
+        reader.close()
+
+
+# ----------------------------------------------------------------------
+# plane lifecycle: sweep and leak-freedom
+# ----------------------------------------------------------------------
+@needs_shm_dir
+class TestPlaneLifecycle:
+    def test_close_unlinks_every_segment(self):
+        prefix = fresh_prefix()
+        plane = NpvPlane(prefix)
+        plane.row_store(4, 2)
+        grown = plane.row_store(4, 2)
+        grown.grow()  # two live segments + one free-listed
+        assert live_segments(prefix)
+        plane.close()
+        assert live_segments(prefix) == []
+        assert plane.stats() == {
+            "segments": 0,
+            "bytes": 0,
+            "free_segments": 0,
+            "generation": plane.stats()["generation"],
+        }
+
+    def test_cleanup_segments_sweeps_orphans(self):
+        prefix = fresh_prefix()
+        plane = NpvPlane(prefix)
+        plane.row_store(4, 2)
+        plane.row_store(8, 2)
+        # A SIGKILLed owner never unlinks; simulate by only closing the
+        # local mappings.
+        plane.close(unlink=False)
+        assert len(live_segments(prefix)) == 2
+        removed = cleanup_segments(prefix)
+        assert len(removed) == 2
+        assert live_segments(prefix) == []
+        assert cleanup_segments(prefix) == []  # idempotent
+
+
+# ----------------------------------------------------------------------
+# payload rings
+# ----------------------------------------------------------------------
+class TestRing:
+    def make_ring(self, capacity: int) -> tuple[ShmRing, RingReader]:
+        ring = ShmRing(f"{fresh_prefix()}-ring", capacity)
+        return ring, RingReader(ring.name)
+
+    def test_fifo_round_trip(self):
+        ring, reader = self.make_ring(256)
+        try:
+            payloads = [bytes([i]) * (10 + i) for i in range(5)]
+            refs = [ring.push(p) for p in payloads]
+            assert all(refs)
+            for ref, payload in zip(refs, payloads):
+                assert reader.read(ref) == payload
+            assert ring.free_bytes() == 256  # watermark fully advanced
+        finally:
+            reader.close()
+            ring.close()
+
+    def test_wraparound_preserves_bytes(self):
+        ring, reader = self.make_ring(64)
+        try:
+            first = ring.push(b"a" * 40)
+            assert reader.read(first) == b"a" * 40
+            wrapped = ring.push(bytes(range(50)))  # crosses the seam
+            assert wrapped is not None
+            assert wrapped.offset == 40
+            assert reader.read(wrapped) == bytes(range(50))
+        finally:
+            reader.close()
+            ring.close()
+
+    def test_full_ring_rejects_then_recovers(self):
+        ring, reader = self.make_ring(32)
+        try:
+            parked = ring.push(b"x" * 30)
+            assert ring.push(b"y" * 8) is None  # would overrun the tail
+            assert reader.read(parked) == b"x" * 30
+            assert ring.push(b"y" * 8) is not None  # space reclaimed
+        finally:
+            reader.close()
+            ring.close()
+
+    def test_rollback_unpushes_only_the_latest(self):
+        ring, reader = self.make_ring(64)
+        try:
+            first = ring.push(b"keep")
+            second = ring.push(b"drop")
+            with pytest.raises(ShmError):
+                ring.rollback(first)
+            ring.rollback(second)
+            assert ring.free_bytes() == 64 - len(b"keep")
+            assert reader.read(first) == b"keep"
+        finally:
+            reader.close()
+            ring.close()
+
+    def test_corruption_fails_the_crc_loudly(self):
+        ring, reader = self.make_ring(64)
+        try:
+            ref = ring.push(b"payload")
+            ring._segment.buf[64] ^= 0xFF  # first payload byte, behind the header
+            with pytest.raises(ShmError, match="CRC"):
+                reader.read(ref)
+        finally:
+            reader.close()
+            ring.close()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ShmRing(f"{fresh_prefix()}-bad", 0)
+
+
+# ----------------------------------------------------------------------
+# the sharded runtime on the plane
+# ----------------------------------------------------------------------
+def small_queries(rng: random.Random, count: int = 3) -> dict:
+    return {
+        f"q{i}": random_labeled_graph(rng, rng.randint(2, 4), extra_edges=1)
+        for i in range(count)
+    }
+
+
+def small_streams(rng: random.Random, count: int = 3, timestamps: int = 5) -> dict:
+    streams = {}
+    for i in range(count):
+        base = random_labeled_graph(rng, rng.randint(4, 7), extra_edges=2)
+        streams[f"s{i}"] = synthesize_stream(
+            base, 0.3, 0.2, timestamps, rng, all_pairs=True, name=f"s{i}"
+        )
+    return streams
+
+
+class TestShardedShm:
+    def drive(self, sharded: ShardedMonitor, streams: dict, npv: bool) -> None:
+        """Replay against an oracle; optionally pin NPV rows bit-for-bit
+        out of shared memory at every timestamp."""
+        oracle = StreamMonitor(
+            sharded.spec.queries,
+            method=sharded.spec.method,
+            depth_limit=sharded.spec.depth_limit,
+        )
+        for stream_id, stream in streams.items():
+            sharded.add_stream(stream_id, stream.initial)
+            oracle.add_stream(stream_id, stream.initial)
+        horizon = min(len(stream.operations) for stream in streams.values())
+        for t in range(horizon):
+            for stream_id, stream in streams.items():
+                sharded.apply(stream_id, stream.operations[t])
+                oracle.apply(stream_id, stream.operations[t])
+            assert sharded.matches() == oracle.matches(), f"diverged at t={t + 1}"
+            if npv:
+                for stream_id in streams:
+                    assert np.array_equal(
+                        sharded.npv_rows(stream_id),
+                        oracle.engine.npv_rows(stream_id),
+                    ), f"NPV rows diverged for {stream_id} at t={t + 1}"
+
+    def test_matches_and_npv_rows_equal_oracle(self):
+        rng = random.Random(71)
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=3, timestamps=5)
+        with ShardedMonitor(
+            queries, method="matrix", num_workers=2, shm=True
+        ) as sharded:
+            self.drive(sharded, streams, npv=True)
+            stats = sharded.stats()
+        assert stats["shm"]["segments"] >= len(streams)
+        assert stats["shm"]["bytes"] > 0
+        assert stats["shm"]["rings"] == 2
+
+    def test_remap_handshake_on_growth(self):
+        """Growing a stream past the initial row capacity swaps its
+        segment; the coordinator's cached descriptor goes stale and the
+        re-request is counted as a remap."""
+        rng = random.Random(72)
+        queries = small_queries(rng, count=2)
+        previous = obs.set_registry(obs.Registry())
+        was_enabled = obs.enabled()
+        obs.enable()
+        try:
+            with ShardedMonitor(
+                queries, method="matrix", num_workers=1, shm=True
+            ) as sharded:
+                oracle = StreamMonitor(queries, method="matrix")
+                sharded.add_stream("s0")
+                oracle.add_stream("s0")
+                for i in range(40):  # well past _INITIAL_ROWS = 16
+                    change = EdgeChange.insert(i, i + 1000, "-", "A", "B")
+                    sharded.apply("s0", change)
+                    oracle.apply("s0", change)
+                    assert np.array_equal(
+                        sharded.npv_rows("s0"), oracle.engine.npv_rows("s0")
+                    )
+                summary = obs.get_registry().summary()
+                assert summary["shm.remaps"]["value"] >= 1
+                # The grow itself happens worker-side; it reaches the
+                # coordinator through the merged registries.
+                merged = sharded.stats()["merged_obs"]
+                assert merged["shm.grows"]["value"] >= 1
+        finally:
+            obs.set_registry(previous)
+            if not was_enabled:
+                obs.disable()
+
+    def test_tiny_ring_falls_back_inline_losslessly(self):
+        rng = random.Random(73)
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=2, timestamps=4)
+        with ShardedMonitor(
+            queries, method="matrix", num_workers=2, shm=True, ring_capacity=1
+        ) as sharded:
+            self.drive(sharded, streams, npv=True)
+
+    def test_non_matrix_engine_still_ships_ring_payloads(self):
+        rng = random.Random(74)
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=2, timestamps=4)
+        with ShardedMonitor(queries, method="dsc", num_workers=2, shm=True) as sharded:
+            self.drive(sharded, streams, npv=False)
+            with pytest.raises(RuntimeError, match="no exportable NPV rows"):
+                sharded.npv_rows(next(iter(streams)))
+
+    def test_npv_rows_requires_shm_and_known_stream(self):
+        rng = random.Random(75)
+        queries = small_queries(rng)
+        with ShardedMonitor(queries, method="matrix", num_workers=1) as sharded:
+            sharded.add_stream("s0")
+            with pytest.raises(RuntimeError, match="shm=True"):
+                sharded.npv_rows("s0")
+        with ShardedMonitor(
+            queries, method="matrix", num_workers=1, shm=True
+        ) as sharded:
+            with pytest.raises(KeyError):
+                sharded.npv_rows("ghost")
+
+    @needs_shm_dir
+    def test_close_leaves_no_segments(self):
+        rng = random.Random(76)
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=3, timestamps=3)
+        sharded = ShardedMonitor(queries, method="matrix", num_workers=2, shm=True)
+        prefix = sharded._shm_base
+        try:
+            self.drive(sharded, streams, npv=True)
+            assert live_segments(prefix)  # the plane is actually in use
+        finally:
+            sharded.close()
+        assert live_segments(prefix) == []
+
+    @needs_shm_dir
+    def test_sigkill_orphans_are_swept_on_recovery_and_close(self):
+        rng = random.Random(77)
+        queries = small_queries(rng)
+        streams = small_streams(rng, count=3, timestamps=5)
+        oracle = StreamMonitor(queries, method="matrix")
+        sharded = ShardedMonitor(queries, method="matrix", num_workers=2, shm=True)
+        prefix = sharded._shm_base
+        try:
+            for stream_id, stream in streams.items():
+                sharded.add_stream(stream_id, stream.initial)
+                oracle.add_stream(stream_id, stream.initial)
+            horizon = min(len(s.operations) for s in streams.values())
+            for t in range(horizon):
+                for stream_id, stream in streams.items():
+                    sharded.apply(stream_id, stream.operations[t])
+                    oracle.apply(stream_id, stream.operations[t])
+                if t == horizon // 2:
+                    os.kill(sharded.worker_pids()[0], signal.SIGKILL)
+                    time.sleep(0.05)
+                assert sharded.matches() == oracle.matches()
+                for stream_id in streams:
+                    assert np.array_equal(
+                        sharded.npv_rows(stream_id),
+                        oracle.engine.npv_rows(stream_id),
+                    )
+            assert sharded.recovery_log.recoveries >= 1
+        finally:
+            sharded.close()
+        assert live_segments(prefix) == []

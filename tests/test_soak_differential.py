@@ -11,7 +11,9 @@ batches simultaneously through
 and checks three properties after **every** rule: all monitors report
 identical ``matches()``, identical ``events()`` transitions, and the
 filter has zero false negatives against the oracle (Definition 2.8's
-no-false-negative guarantee, end to end through the runtime).
+no-false-negative guarantee, end to end through the runtime).  A
+``rescale_pool`` rule grows/shrinks the sharded worker pool live
+mid-soak, so elastic resharding is held to the same invariants.
 
 The sharded monitor's query set is fixed at construction, so query
 churn rebuilds it from the mirrors — which doubles as a restart/replay
@@ -200,6 +202,12 @@ class SoakMachine(RuleBasedStateMachine):
             monitor.apply(stream_id, batch)
         self.sharded.apply(stream_id, batch)
 
+    @rule(target_workers=st.sampled_from((1, 2, 3, 4)))
+    def rescale_pool(self, target_workers):
+        """Live 2->4->2-style elastic resharding mid-soak: every
+        invariant below must hold at the very next poll."""
+        self.sharded.rescale(target_workers)
+
     @precondition(lambda self: len(self.queries) < 3)
     @rule(seed=st.integers(0, 10**6))
     def add_query(self, seed):
@@ -284,10 +292,20 @@ def scripted_soak(method: str, workers: int, operations: int, seed: int) -> None
     reference = StreamMonitor(queries, method=method, depth_limit=DEPTH_LIMIT)
     mirrors: dict[str, LabeledGraph] = {}
     next_vertex = 0
+    # Mid-soak elastic resharding: grow the pool at 40%, shrink back at
+    # 70% (the 2 -> 4 -> 2 shape for the default worker count).
+    rescale_at = (
+        {int(operations * 0.4): workers * 2, int(operations * 0.7): workers}
+        if workers >= 2
+        else {}
+    )
     with ShardedMonitor(
         queries, method=method, depth_limit=DEPTH_LIMIT, num_workers=workers
     ) as sharded:
         for op_index in range(operations):
+            target = rescale_at.get(op_index)
+            if target is not None:
+                sharded.rescale(target)
             roll = rng.random()
             if (roll < 0.08 and len(mirrors) < 5) or not mirrors:
                 stream_id = f"s{op_index}"
