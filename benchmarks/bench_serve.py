@@ -1,0 +1,269 @@
+"""Serving-layer benchmarks: the TCP edge tax over the sharded runtime.
+
+The same dense ggen replay is driven two ways: directly against a
+:class:`repro.runtime.ShardedMonitor` (apply every stream's batch, poll
+each timestamp), and over the wire — the real ``repro serve --tcp``
+CLI spawned as a subprocess, driven by a plain blocking socket client
+speaking the JSON protocol (``batch`` per stream + one ``commit`` per
+timestamp).  The edge adds JSON encode/decode, loopback round-trips and
+admission bookkeeping per command; everything else (the monitor work)
+is identical, so the elapsed-time ratio isolates the serving overhead.
+
+``test_tcp_overhead_under_30_percent_at_4_workers`` pins the
+acceptance gate — conditioned on ``os.cpu_count()`` like the runtime
+scaling benchmark, since a time-sliced container distorts both sides.
+CI's ``BENCH_serve.json`` artifact records applies/second and p95
+per-timestamp reply latency for both paths in ``extra_info``.
+
+The benchmark deliberately lives outside ``repro.serve`` and therefore
+may not import ``asyncio`` (rule RP017): the server runs in its own
+process and the client is a synchronous socket.
+"""
+
+import json
+import os
+import random
+import signal
+import socket
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.ggen import generate_graph_set
+from repro.datasets.queries import make_query_set
+from repro.datasets.stream_gen import DENSE, synthesize_stream
+from repro.graph.io import write_graph_set
+from repro.runtime import ShardedMonitor
+from repro.serve.protocol import change_to_dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+NUM_STREAMS = 6
+NUM_QUERIES = 5
+TIMESTAMPS = 8
+
+_cache = {}
+
+
+def _workload():
+    """(queries, streams, queries_file) — built once per session."""
+    if "workload" not in _cache:
+        rng = random.Random(41)
+        bases = generate_graph_set(
+            NUM_STREAMS, graph_size=14.0, num_vertex_labels=4, seed=41
+        )
+        queries = {
+            f"q{i}": query
+            for i, query in enumerate(make_query_set(bases, 5, NUM_QUERIES, seed=42))
+        }
+        p_appear, p_disappear = DENSE
+        streams = {
+            f"s{i}": synthesize_stream(
+                base, p_appear, p_disappear, TIMESTAMPS, rng, all_pairs=True,
+                name=f"s{i}",
+            )
+            for i, base in enumerate(bases)
+        }
+        tmpdir = tempfile.mkdtemp(prefix="bench_serve_")
+        qpath = Path(tmpdir) / "queries.txt"
+        write_graph_set(list(queries.values()), qpath, names=list(queries))
+        _cache["workload"] = (queries, streams, qpath)
+    return _cache["workload"]
+
+
+def _horizon(streams) -> int:
+    return min(len(stream.operations) for stream in streams.values())
+
+
+def _total_changes(streams) -> int:
+    changes = sum(stream.initial.num_edges for stream in streams.values())
+    horizon = _horizon(streams)
+    for stream in streams.values():
+        changes += sum(len(op) for op in stream.operations[:horizon])
+    return changes
+
+
+def _workers() -> int:
+    return 4 if (os.cpu_count() or 1) >= 4 else 1
+
+
+# -- the direct path --------------------------------------------------------
+
+
+def _replay_direct(workers: int):
+    """(elapsed_seconds, per-timestamp latencies) against the monitor."""
+    queries, streams, _ = _workload()
+    monitor = ShardedMonitor(queries, method="dsc", num_workers=workers)
+    try:
+        for stream_id, stream in streams.items():
+            monitor.add_stream(stream_id, stream.initial)
+        horizon = _horizon(streams)
+        latencies = []
+        start = time.perf_counter()
+        for t in range(horizon):
+            tick = time.perf_counter()
+            for stream_id, stream in streams.items():
+                monitor.apply(stream_id, stream.operations[t])
+            monitor.matches()
+            latencies.append(time.perf_counter() - tick)
+        elapsed = time.perf_counter() - start
+    finally:
+        monitor.close()
+    return elapsed, latencies
+
+
+# -- the TCP path -----------------------------------------------------------
+
+
+class _ServeProcess:
+    """The real ``repro serve --tcp`` CLI as a child process."""
+
+    def __init__(self, queries_file: Path, workers: int) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--queries", str(queries_file),
+                "--method", "dsc",
+                "--workers", str(workers),
+                "--tcp", "127.0.0.1:0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        listening = json.loads(self.proc.stdout.readline())
+        assert listening["notice"] == "listening"
+        self.port = listening["port"]
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=30)
+
+
+def _replay_tcp(workers: int):
+    """(elapsed_seconds, per-timestamp latencies) over the wire."""
+    queries, streams, qpath = _workload()
+    server = _ServeProcess(qpath, workers)
+    try:
+        with socket.create_connection(("127.0.0.1", server.port), timeout=120) as sock:
+            sock.settimeout(120)
+            wire = sock.makefile("rw", encoding="utf-8", newline="\n")
+            assert json.loads(wire.readline())["notice"] == "hello"
+
+            def roundtrip(doc):
+                wire.write(json.dumps(doc) + "\n")
+                wire.flush()
+                while True:
+                    reply = json.loads(wire.readline())
+                    if "notice" not in reply:
+                        return reply
+
+            # Registration + initial graphs happen outside the measured
+            # span, mirroring the direct path's add_stream calls.
+            for stream_id, stream in streams.items():
+                assert roundtrip({"cmd": "stream", "stream": stream_id})["ok"]
+                initial = [
+                    {
+                        "op": "ins", "u": u, "v": v, "edge_label": label,
+                        "u_label": stream.initial.vertex_label(u),
+                        "v_label": stream.initial.vertex_label(v),
+                    }
+                    for u, v, label in stream.initial.edges()
+                ]
+                assert roundtrip(
+                    {"cmd": "batch", "stream": stream_id, "changes": initial}
+                )["ok"]
+            assert roundtrip({"cmd": "commit"})["ok"]
+
+            horizon = _horizon(streams)
+            latencies = []
+            start = time.perf_counter()
+            for t in range(horizon):
+                tick = time.perf_counter()
+                for stream_id, stream in streams.items():
+                    reply = roundtrip(
+                        {
+                            "cmd": "batch",
+                            "stream": stream_id,
+                            "changes": [
+                                change_to_dict(c) for c in stream.operations[t]
+                            ],
+                        }
+                    )
+                    assert reply["ok"], reply
+                committed = roundtrip({"cmd": "commit"})
+                assert committed["ok"], committed
+                latencies.append(time.perf_counter() - tick)
+            elapsed = time.perf_counter() - start
+            roundtrip({"cmd": "quit"})
+    finally:
+        server.stop()
+    return elapsed, latencies
+
+
+_REPLAYS = {"direct": _replay_direct, "tcp": _replay_tcp}
+
+
+def _p95_ms(latencies) -> float:
+    ranked = sorted(latencies)
+    index = min(len(ranked) - 1, int(round(0.95 * (len(ranked) - 1))))
+    return ranked[index] * 1e3
+
+
+def _best_elapsed(mode: str, workers: int, rounds: int = 3) -> float:
+    return min(_REPLAYS[mode](workers)[0] for _ in range(rounds))
+
+
+@pytest.mark.parametrize("mode", ("direct", "tcp"))
+def test_serve_roundtrip_throughput(benchmark, mode):
+    """Applies/second and p95 per-timestamp reply latency, both paths."""
+    _, streams, _ = _workload()
+    workers = _workers()
+    changes = _total_changes(streams)
+    elapsed, latencies = _REPLAYS[mode](workers)
+
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["num_streams"] = NUM_STREAMS
+    benchmark.extra_info["num_queries"] = NUM_QUERIES
+    benchmark.extra_info["timestamps"] = TIMESTAMPS
+    benchmark.extra_info["total_changes"] = changes
+    benchmark.extra_info["applies_per_sec"] = round(changes / elapsed, 1)
+    benchmark.extra_info["p95_timestamp_ms"] = round(_p95_ms(latencies), 3)
+    benchmark.extra_info["mean_timestamp_ms"] = round(
+        statistics.mean(latencies) * 1e3, 3
+    )
+    benchmark.pedantic(
+        lambda: _REPLAYS[mode](workers), rounds=2, warmup_rounds=0
+    )
+
+
+def test_tcp_overhead_under_30_percent_at_4_workers():
+    """The acceptance gate: fronting a 4-worker ShardedMonitor with the
+    TCP edge costs < 30% elapsed time on the dense replay."""
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("the overhead gate wants 4 real cores; container has fewer")
+    direct = _best_elapsed("direct", workers=4)
+    tcp = _best_elapsed("tcp", workers=4)
+    overhead = tcp / direct - 1.0
+    assert overhead < 0.30, (
+        f"TCP path {tcp:.3f}s vs direct {direct:.3f}s: "
+        f"overhead {overhead:.1%} >= 30%"
+    )

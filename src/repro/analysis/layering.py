@@ -64,6 +64,13 @@ ALLOWED_IMPORTS: dict[str, frozenset[str] | str] = {
     "repro.runtime": frozenset(
         {"repro.graph", "repro.nnt", "repro.join", "repro.core", "repro.obs"}
     ),
+    # The network serving layer fronts a monitor (library or sharded)
+    # behind sessions + admission control; it sits beside the CLI, above
+    # the runtime, and is the only unit allowed to use asyncio (rule
+    # RP017).
+    "repro.serve": frozenset(
+        {"repro.graph", "repro.core", "repro.runtime", "repro.obs"}
+    ),
     # Rendering helpers for trees/graphs.
     "repro.render": frozenset({"repro.graph", "repro.nnt"}),
     # The live terminal dashboard renders stats/summary dicts; it may

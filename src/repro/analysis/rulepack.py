@@ -1,4 +1,4 @@
-"""The per-module rule pack (RP001-RP010, RP016), grounded in the paper.
+"""The per-module rule pack (RP001-RP010, RP016-RP017), grounded in the paper.
 
 Each rule protects one invariant the reproduction depends on:
 
@@ -34,6 +34,11 @@ RP016     ``multiprocessing.shared_memory`` (and its
           and crash-orphan cleanup are one protocol with one owner;
           a second allocation site leaks segments past
           ``ShardedMonitor.close()``
+RP017     ``asyncio`` is confined to ``repro.serve`` — the serving
+          edge owns the one event loop; a second loop in library or
+          runtime code would wrap the synchronous coordinator
+          request/reply protocol in hidden reentrancy the
+          single-writer discipline exists to rule out
 ========  ==========================================================
 """
 
@@ -534,7 +539,6 @@ _CONCURRENCY_TOP_MODULES = {
     "_thread",
     "queue",
     "concurrent",
-    "asyncio",
 }
 
 
@@ -815,5 +819,65 @@ class SharedMemoryContainmentRule(Rule):
                         "one protocol with one owner; go through "
                         "repro.runtime.shm (NpvPlane/PlaneReader/"
                         "ShmRing/cleanup_segments)",
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# RP017 — asyncio is confined to the serving layer
+# ----------------------------------------------------------------------
+
+#: The one unit allowed to run an event loop.
+_ASYNC_HOME_UNIT = "repro.serve"
+
+
+@register
+class AsyncioContainmentRule(Rule):
+    """Event-loop machinery may only appear in ``repro.serve``."""
+
+    rule_id = "RP017"
+    title = "asyncio only inside repro.serve"
+    rationale = (
+        "The serving layer multiplexes sessions on one event loop and "
+        "funnels every monitor call through a single writer task; that "
+        "discipline is what makes the sharded coordinator's synchronous "
+        "request/reply protocol safe without locks.  An asyncio import "
+        "anywhere else (filter core, runtime, CLI) would either start a "
+        "second loop or re-enter the first, reintroducing exactly the "
+        "interleaving hazards RP008 removes — and coroutines in the "
+        "filtering path would break the paper's sequential-application "
+        "correctness argument (Figures 4-5, 8)."
+    )
+    # Like RP008/RP016: everywhere the analyzer looks except the owner
+    # itself; the test/example trees may drive the server with asyncio
+    # clients without tripping the invariant.
+    units = None
+
+    _EXEMPT_UNITS = frozenset({"tests", "examples"})
+
+    def applies_to(self, context: ModuleContext) -> bool:
+        if context.unit == _ASYNC_HOME_UNIT:
+            return False
+        return context.unit not in self._EXEMPT_UNITS
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue  # relative imports cannot reach the stdlib
+                names = [node.module or ""]
+            else:
+                continue
+            for name in names:
+                if name.split(".")[0] == "asyncio":
+                    yield context.finding(
+                        node,
+                        self.rule_id,
+                        f"import of {name!r} outside repro.serve: the "
+                        "serving layer owns the event loop; expose a "
+                        "synchronous entry point (like serve.run_server) "
+                        "instead of importing asyncio here",
                     )
                     break

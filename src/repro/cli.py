@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Ten subcommands::
+Eleven subcommands::
 
     python -m repro generate ...    # write synthetic datasets to files
     python -m repro search ...      # static filter-and-verify search
     python -m repro monitor ...     # replay streams, print match events
     python -m repro replay ...      # same, through the sharded runtime
-    python -m repro serve ...       # line-protocol server over stdin
+    python -m repro serve ...       # serving layer: stdin lines or --tcp JSON
+    python -m repro dlq ...         # inspect/replay the dead-letter journal
     python -m repro stats ...       # render an observability dump (Prometheus/JSON)
     python -m repro trace ...       # export a replay's span tree (Perfetto/text)
     python -m repro top ...         # live dashboard over stats()
@@ -172,7 +173,8 @@ def build_parser() -> argparse.ArgumentParser:
     # -- serve ------------------------------------------------------------
     serve = subparsers.add_parser(
         "serve",
-        help="line-protocol monitoring server: commands on stdin, JSON lines out",
+        help="monitoring server: line protocol on stdin, or an asyncio TCP "
+        "server with sessions + admission control via --tcp HOST:PORT",
     )
     serve.add_argument("--queries", required=True, help="graph-set file of patterns")
     serve.add_argument(
@@ -193,7 +195,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-every",
         type=int,
         default=0,
-        help="emit an observability summary JSON line every N ticks (0 = off)",
+        help="emit an observability summary JSON line every N ticks "
+        "(0 = off; stdin mode only)",
+    )
+    serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="serve newline-delimited JSON over TCP instead of stdin "
+        "(PORT 0 picks a free port, announced in the listening notice)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="per-session data commands per second (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=8.0, help="token-bucket burst size"
+    )
+    serve.add_argument(
+        "--admission-capacity",
+        type=int,
+        default=64,
+        help="max data commands queued ahead of the writer task",
+    )
+    serve.add_argument(
+        "--admission-policy",
+        choices=["reject", "shed"],
+        default="reject",
+        help="full-queue behavior: refuse the newcomer, or shed the oldest",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=float,
+        default=0.0,
+        help="circuit breaker trips when the deepest worker inbox stays "
+        "at/above this (0 = disabled)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=1.0,
+        help="seconds an open breaker waits before going half-open",
+    )
+    serve.add_argument(
+        "--dlq-dir",
+        help="directory for the poison-batch dead-letter journal "
+        "(dlq.jsonl; omit for in-memory only)",
+    )
+
+    # -- dlq --------------------------------------------------------------
+    dlq = subparsers.add_parser(
+        "dlq",
+        help="inspect or replay the serve dead-letter journal",
+    )
+    dlq.add_argument("action", choices=["list", "show", "replay"])
+    dlq.add_argument(
+        "--dir", required=True, help="journal directory (serve's --dlq-dir)"
+    )
+    dlq.add_argument("--id", type=int, help="dead-letter id (show / replay)")
+    dlq.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="live server to replay against (required for replay)",
+    )
+    dlq.add_argument(
+        "--include-replayed",
+        action="store_true",
+        help="also list entries already replayed",
     )
 
     # -- stats ------------------------------------------------------------
@@ -589,11 +658,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    import json
+def _parse_host_port(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"--tcp wants HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
 
-    from .graph.labeled_graph import GraphError, LabeledGraph
-    from .graph.operations import EdgeChange, GraphChangeOperation
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DeadLetterQueue, ServeConfig, run_server, serve_lines
+    from .serve.protocol import encode_reply
 
     queries = dict(read_graph_set(args.queries))
     if args.workers >= 1:
@@ -613,106 +687,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
 
     def emit(payload: dict) -> None:
-        print(json.dumps(payload, sort_keys=True, default=str), flush=True)
+        print(encode_reply(payload), flush=True)
 
-    def event_dicts(events) -> list[dict]:
-        return [
-            {"kind": e.kind, "stream": str(e.stream_id), "query": str(e.query_id)}
-            for e in events
-        ]
-
-    pending: dict[str, list[EdgeChange]] = {}
-    timestamp = 0
+    dlq = DeadLetterQueue(args.dlq_dir)
     try:
-        for raw in sys.stdin:
-            words = raw.split()
-            if not words or words[0].startswith("#"):
-                continue
-            command, rest = words[0], words[1:]
-            try:
-                if command == "stream":
-                    stream_id = rest[0]
-                    if len(rest) > 1:
-                        graph_set = dict(read_graph_set(rest[1]))
-                        key = rest[2] if len(rest) > 2 else next(iter(graph_set))
-                        initial = graph_set[key]
-                    else:
-                        initial = LabeledGraph()
-                    monitor.add_stream(stream_id, initial)
-                    pending.setdefault(stream_id, [])
-                    emit({"ok": True, "cmd": "stream", "stream": stream_id})
-                elif command in ("ins", "del"):
-                    stream_id, u, v = rest[0], rest[1], rest[2]
-                    if command == "ins":
-                        edge_label = rest[3] if len(rest) > 3 else "-"
-                        u_label = rest[4] if len(rest) > 4 else None
-                        v_label = rest[5] if len(rest) > 5 else None
-                        change = EdgeChange.insert(u, v, edge_label, u_label, v_label)
-                    else:
-                        change = EdgeChange.delete(u, v)
-                    pending.setdefault(stream_id, []).append(change)
-                    emit(
-                        {
-                            "ok": True,
-                            "cmd": command,
-                            "stream": stream_id,
-                            "pending": len(pending[stream_id]),
-                        }
-                    )
-                elif command == "tick":
-                    timestamp += 1
-                    for stream_id, changes in pending.items():
-                        monitor.apply(stream_id, GraphChangeOperation(changes))
-                        changes.clear()
-                    emit(
-                        {
-                            "ok": True,
-                            "cmd": "tick",
-                            "t": timestamp,
-                            "events": event_dicts(monitor.events()),
-                        }
-                    )
-                    if args.stats_every and timestamp % args.stats_every == 0:
-                        emit(
-                            {
-                                "ok": True,
-                                "cmd": "stats_auto",
-                                "t": timestamp,
-                                "obs": _collect_obs_summary(monitor),
-                            }
-                        )
-                elif command == "poll":
-                    emit(
-                        {
-                            "ok": True,
-                            "cmd": "poll",
-                            "t": timestamp,
-                            "events": event_dicts(monitor.events()),
-                        }
-                    )
-                elif command == "matches":
-                    pairs = sorted(
-                        (str(s), str(q)) for s, q in monitor.matches()
-                    )
-                    emit({"ok": True, "cmd": "matches", "matches": pairs})
-                elif command == "stats":
-                    emit({"ok": True, "cmd": "stats", "stats": monitor.stats()})
-                elif command == "checkpoint":
-                    if hasattr(monitor, "checkpoint"):
-                        notes = monitor.checkpoint()
-                        emit({"ok": True, "cmd": "checkpoint", "shards": notes})
-                    else:
-                        emit({"ok": False, "error": "checkpoint requires --workers >= 1"})
-                elif command == "quit":
-                    emit({"ok": True, "cmd": "quit"})
-                    break
-                else:
-                    emit({"ok": False, "error": f"unknown command {command!r}"})
-            except (IndexError, KeyError, ValueError, GraphError) as exc:
-                emit({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+        if args.tcp:
+            host, port = _parse_host_port(args.tcp)
+            run_server(
+                monitor,
+                ServeConfig(
+                    host=host,
+                    port=port,
+                    rate=args.rate,
+                    burst=args.burst,
+                    admission_capacity=args.admission_capacity,
+                    admission_policy=args.admission_policy,
+                    breaker_threshold=args.breaker_threshold,
+                    breaker_cooldown=args.breaker_cooldown,
+                ),
+                dlq=dlq,
+                emit=emit,
+            )
+        else:
+            serve_lines(
+                monitor, sys.stdin, emit, dlq=dlq, stats_every=args.stats_every
+            )
     finally:
         if hasattr(monitor, "close"):
             monitor.close()
+    return 0
+
+
+def _cmd_dlq(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import DeadLetterQueue, replay_dead_letters
+
+    dlq = DeadLetterQueue(args.dir)
+    if args.action == "list":
+        entries = dlq.entries(include_replayed=args.include_replayed)
+        for entry in entries:
+            flag = "replayed" if entry.replayed else "pending"
+            print(
+                f"{entry.dlq_id}\t{flag}\tstream={entry.stream}\t"
+                f"changes={len(entry.changes)}\t{entry.error}"
+            )
+        print(f"total: {len(entries)}")
+        return 0
+    if args.action == "show":
+        if args.id is None:
+            print("dlq show needs --id", file=sys.stderr)
+            return 2
+        entry = dlq.get(args.id)
+        if entry is None:
+            print(f"no dead letter with id {args.id}", file=sys.stderr)
+            return 2
+        print(json.dumps(entry.to_dict(), indent=2, sort_keys=True))
+        return 0
+    # replay
+    if not args.tcp:
+        print("dlq replay needs --tcp HOST:PORT of a live server", file=sys.stderr)
+        return 2
+    host, port = _parse_host_port(args.tcp)
+    if args.id is not None and dlq.get(args.id) is None:
+        print(f"no dead letter with id {args.id}", file=sys.stderr)
+        return 2
+    replayed = replay_dead_letters(dlq, host, port)
+    if args.id is not None and args.id not in replayed:
+        print(f"dead letter {args.id} was not replayed", file=sys.stderr)
+        return 1
+    print(f"replayed: {' '.join(map(str, replayed)) or '-'}")
     return 0
 
 
@@ -929,6 +973,7 @@ def main(argv: list[str] | None = None) -> int:
         "monitor": _cmd_monitor,
         "replay": _cmd_replay,
         "serve": _cmd_serve,
+        "dlq": _cmd_dlq,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "top": _cmd_top,

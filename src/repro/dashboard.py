@@ -18,7 +18,10 @@ Shown per frame: apply-latency percentiles (from the
 depths and backpressure drops/spills (sharded runs), the shared-memory
 plane footprint and rescale status (``shm=True`` runs: segment count and
 bytes, remap/ring-overflow counters, queue bytes pickled, last-rescale
-duration and whether one is in flight), per-dimension pruning power
+duration and whether one is in flight), the serving edge when the stats
+came from a ``repro serve`` server (active sessions, admission queue
+depth, breaker state, admit/reject/shed/dead-letter counts and commit
+latency percentiles), per-dimension pruning power
 (the ``join.<engine>.pruned{dim=...}`` counters of
 :mod:`repro.obs.quality`), and the live false-positive-ratio estimate
 gauge when the precision probe is running.
@@ -174,6 +177,37 @@ def render_dashboard(stats: Mapping[str, Any], width: int = 78) -> str:
             f"rescale         count={rescale.get('count', 0)}  "
             f"last={_fmt_seconds(last)}  {state}"
         )
+
+    # -- serving edge ------------------------------------------------------
+    serve = stats.get("serve")
+    if isinstance(serve, Mapping):
+        rejected = sum(
+            value
+            for key, value in serve.items()
+            if key.startswith("rejected_") and isinstance(value, (int, float))
+        )
+        lines.append(
+            f"serve           sessions={serve.get('sessions', 0)}  "
+            f"queue={serve.get('queue_depth', 0)}  "
+            f"breaker={serve.get('breaker', 'closed')}  "
+            f"t={serve.get('timestamp', 0)}"
+        )
+        lines.append(
+            f"admission       admitted={serve.get('admitted', 0)}  "
+            f"rejected={rejected:.0f}  shed={serve.get('shed', 0)}  "
+            f"dlq={serve.get('dead_letters', 0)}  "
+            f"batches={serve.get('accepted_batches', 0)}"
+        )
+        commit_hist = summary.get("serve.commit.seconds")
+        if commit_hist:
+            quantiles = "  ".join(
+                f"p{int(q * 100):02d}="
+                f"{_fmt_seconds(histogram_quantile(commit_hist, q))}"
+                for q in PERCENTILES
+            )
+            lines.append(
+                f"commit latency  {quantiles}  (n={commit_hist.get('count', 0)})"
+            )
 
     # -- filter quality ----------------------------------------------------
     lines.append(rule)

@@ -1,0 +1,138 @@
+"""Admission control primitives: token buckets and a circuit breaker.
+
+Both are plain synchronous objects with an injectable monotonic clock so
+tests drive them deterministically.  Policy decisions return a
+``retry_after`` hint in seconds (``0.0`` means "admitted") which the
+server copies verbatim into structured ``overloaded`` replies — the
+network edge never blocks a client silently.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, up to ``burst`` banked.
+
+    ``rate <= 0`` disables limiting (every acquire succeeds).
+    """
+
+    def __init__(
+        self, rate: float, burst: float = 1.0, clock: Clock = time.monotonic
+    ) -> None:
+        if rate > 0 and burst <= 0:
+            raise ValueError("burst must be positive when rate limiting is on")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available.
+
+        Returns ``0.0`` on success, otherwise the seconds until enough
+        tokens will have accrued (the ``retry_after`` hint).
+        """
+        if self.rate <= 0:
+            return 0.0
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Load-keyed breaker guarding the monitor behind the admission queue.
+
+    ``observe(load)`` feeds a load sample (for the sharded runtime: the
+    deepest worker inbox).  ``trip_after`` consecutive samples at or
+    above ``threshold`` open the circuit; while open, ``allow`` returns
+    the remaining cooldown as ``retry_after``.  After the cooldown the
+    breaker goes half-open: requests are admitted as trials, and the
+    next sample either closes it (load recovered) or re-opens it for a
+    fresh cooldown.  ``threshold <= 0`` disables the breaker.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        cooldown: float = 1.0,
+        trip_after: int = 3,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if trip_after < 1:
+            raise ValueError("trip_after must be >= 1")
+        self.threshold = float(threshold)
+        self.cooldown = float(cooldown)
+        self.trip_after = int(trip_after)
+        self._clock = clock
+        self._state = CLOSED
+        self._hot_samples = 0
+        self._opened_at = 0.0
+        self.trips = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def state_code(self) -> int:
+        """0 = closed, 1 = half-open, 2 = open (the gauge encoding)."""
+        return _STATE_CODES[self._state]
+
+    def _open(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._hot_samples = 0
+        self.trips += 1
+
+    def observe(self, load: float) -> None:
+        """Feed one load sample; may trip, re-open, or close the circuit."""
+        if not self.enabled:
+            return
+        if load >= self.threshold:
+            if self._state == HALF_OPEN:
+                self._open()
+                return
+            self._hot_samples += 1
+            if self._state == CLOSED and self._hot_samples >= self.trip_after:
+                self._open()
+        else:
+            self._hot_samples = 0
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+
+    def allow(self) -> float:
+        """Admit one request: ``0.0`` = yes, else ``retry_after`` seconds."""
+        if not self.enabled or self._state == CLOSED:
+            return 0.0
+        if self._state == OPEN:
+            remaining = self._opened_at + self.cooldown - self._clock()
+            if remaining > 0:
+                return max(remaining, 1e-4)
+            self._state = HALF_OPEN
+        return 0.0  # half-open: admit trial traffic

@@ -1,0 +1,143 @@
+"""Dead-letter journal for poison batches.
+
+A *poison batch* is a staged change set the monitor refused to apply —
+a :class:`~repro.graph.labeled_graph.GraphError` (e.g. duplicate edge),
+a value/key error from malformed content that parsed syntactically, or
+a repeated worker crash.  Instead of retrying it forever (the failure
+mode of the old stdin loop, which kept the batch staged) or silently
+dropping it, the session executor records it here and clears the stage,
+so one bad client batch can never wedge a stream.
+
+The journal is an append-only JSONL file (``dlq.jsonl`` under the
+configured directory): one ``{"dlq_id": ...}`` record per dead letter,
+plus ``{"replayed": id}`` marker lines appended when ``repro dlq
+replay`` successfully re-applies an entry.  Append-only keeps writes
+crash-safe; readers fold markers into the entries.  With no directory
+configured the queue is memory-only (still inspectable over the
+``stats`` command, lost on shutdown).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["DeadLetter", "DeadLetterQueue"]
+
+
+@dataclass
+class DeadLetter:
+    """One refused batch, with everything needed to replay it."""
+
+    dlq_id: int
+    created: float
+    session: int
+    stream: Any
+    changes: list[dict[str, Any]] = field(default_factory=list)
+    error: str = ""
+    kind: str = "apply"
+    trace_id: str | None = None
+    replayed: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """The journal-line shape of this entry."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "DeadLetter":
+        known = {name for name in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
+
+class DeadLetterQueue:
+    """Append-only journal of dead letters, optionally file-backed."""
+
+    FILENAME = "dlq.jsonl"
+
+    def __init__(
+        self, directory: str | Path | None = None, clock: Callable[[], float] = time.time
+    ) -> None:
+        self._clock = clock
+        self._entries: dict[int, DeadLetter] = {}
+        self._next_id = 1
+        self.path: Path | None = None
+        if directory is not None:
+            root = Path(directory)
+            root.mkdir(parents=True, exist_ok=True)
+            self.path = root / self.FILENAME
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            if "replayed_id" in doc:
+                entry = self._entries.get(doc["replayed_id"])
+                if entry is not None:
+                    entry.replayed = True
+                continue
+            entry = DeadLetter.from_dict(doc)
+            self._entries[entry.dlq_id] = entry
+            self._next_id = max(self._next_id, entry.dlq_id + 1)
+
+    def _append(self, doc: dict[str, Any]) -> None:
+        if self.path is None:
+            return
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(doc, sort_keys=True) + "\n")
+
+    def record(
+        self,
+        *,
+        session: int,
+        stream: Any,
+        changes: list[dict[str, Any]],
+        error: str,
+        kind: str = "apply",
+        trace_id: str | None = None,
+    ) -> int:
+        """Journal one dead letter; returns its id."""
+        entry = DeadLetter(
+            dlq_id=self._next_id,
+            created=self._clock(),
+            session=session,
+            stream=stream,
+            changes=list(changes),
+            error=error,
+            kind=kind,
+            trace_id=trace_id,
+        )
+        self._next_id += 1
+        self._entries[entry.dlq_id] = entry
+        self._append(entry.to_dict())
+        return entry.dlq_id
+
+    def mark_replayed(self, dlq_id: int) -> None:
+        """Append a replay marker for ``dlq_id`` (raises KeyError if unknown)."""
+        entry = self._entries.get(dlq_id)
+        if entry is None:
+            raise KeyError(f"no dead letter with id {dlq_id}")
+        entry.replayed = True
+        self._append({"replayed_id": dlq_id})
+
+    def get(self, dlq_id: int) -> DeadLetter | None:
+        """The entry with this id, or None."""
+        return self._entries.get(dlq_id)
+
+    def entries(self, include_replayed: bool = True) -> list[DeadLetter]:
+        """Entries in id order, optionally hiding already-replayed ones."""
+        entries = sorted(self._entries.values(), key=lambda e: e.dlq_id)
+        if include_replayed:
+            return entries
+        return [e for e in entries if not e.replayed]
+
+    def __len__(self) -> int:
+        return len(self._entries)

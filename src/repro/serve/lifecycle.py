@@ -1,0 +1,109 @@
+"""Server lifecycle: state machine + POSIX signal wiring.
+
+The states are strictly ordered (``starting -> serving -> draining ->
+stopped``); transitions are idempotent so a second SIGTERM during a
+drain is harmless.  :func:`install_signal_handlers` attaches a drain
+callback to SIGTERM/SIGINT on the running loop and degrades gracefully
+on platforms without ``loop.add_signal_handler`` support.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from typing import Callable, Iterable
+
+__all__ = [
+    "STARTING",
+    "SERVING",
+    "DRAINING",
+    "STOPPED",
+    "Lifecycle",
+    "install_signal_handlers",
+    "remove_signal_handlers",
+]
+
+STARTING = "starting"
+SERVING = "serving"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+_ORDER = {STARTING: 0, SERVING: 1, DRAINING: 2, STOPPED: 3}
+
+
+class Lifecycle:
+    """Monotone server state with an awaitable terminal event."""
+
+    def __init__(self) -> None:
+        self._state = STARTING
+        self._stopped = asyncio.Event()
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def draining(self) -> bool:
+        return _ORDER[self._state] >= _ORDER[DRAINING]
+
+    @property
+    def stopped(self) -> bool:
+        return self._state == STOPPED
+
+    def _advance(self, target: str) -> bool:
+        """Move forward to ``target``; returns False if already past it."""
+        if _ORDER[self._state] >= _ORDER[target]:
+            return False
+        self._state = target
+        return True
+
+    def mark_serving(self) -> bool:
+        """Enter ``serving``; False if the server is already past it."""
+        return self._advance(SERVING)
+
+    def begin_drain(self) -> bool:
+        """Enter ``draining``; False (idempotent) on a repeat signal."""
+        return self._advance(DRAINING)
+
+    def mark_stopped(self) -> bool:
+        """Enter the terminal ``stopped`` state and wake any waiters."""
+        advanced = self._advance(STOPPED)
+        if advanced:
+            self._stopped.set()
+        return advanced
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`mark_stopped` has run."""
+        await self._stopped.wait()
+
+
+def install_signal_handlers(
+    loop: asyncio.AbstractEventLoop,
+    drain: Callable[[], object],
+    signals: Iterable[signal.Signals] = (signal.SIGTERM, signal.SIGINT),
+) -> list[signal.Signals]:
+    """Route ``signals`` to the drain callback; returns those installed.
+
+    Platforms without loop-level signal support (e.g. Windows event
+    loops) simply get no handlers — callers still stop via ``quit`` or
+    :meth:`ReproServer.drain`.
+    """
+    installed: list[signal.Signals] = []
+    for sig in signals:
+        try:
+            loop.add_signal_handler(sig, drain)
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue
+        installed.append(sig)
+    return installed
+
+
+def remove_signal_handlers(
+    loop: asyncio.AbstractEventLoop, installed: Iterable[signal.Signals]
+) -> None:
+    """Detach the handlers :func:`install_signal_handlers` installed."""
+    for sig in installed:
+        try:
+            loop.remove_signal_handler(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue

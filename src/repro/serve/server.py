@@ -1,0 +1,512 @@
+"""The asyncio TCP server: sessions at the edge, one writer at the core.
+
+Concurrency model
+-----------------
+One ``asyncio`` event loop runs:
+
+* a **client handler** per connection — reads newline-delimited JSON
+  commands, runs admission control, enqueues admitted work, awaits the
+  reply future, writes the reply.  A handler has at most one command in
+  flight, so each session observes strict FIFO semantics while separate
+  sessions interleave freely;
+* a single **writer task** — drains the admission queue and executes
+  commands through :class:`~repro.serve.session.MonitorBridge`.  It is
+  the only task that touches the monitor, which makes the sharded
+  coordinator's synchronous request/reply protocol safe without locks.
+
+Admission control happens *before* a command is queued: per-session
+token bucket, then circuit breaker (keyed on worker inbox depth), then
+the bounded admission queue.  Every rejection is a structured reply
+with a ``retry_after`` hint — the edge never silently blocks and never
+drops an *acked* batch (only never-admitted or explicitly ``shed``
+commands are refused, and the client is told).  Control commands
+(``matches``/``stats``/...) bypass admission so a congested server
+stays observable.
+
+Draining (SIGTERM or :meth:`ReproServer.drain`) stops the listener,
+tells every session ``{"notice": "draining"}``, lets the writer flush
+everything already admitted, checkpoints when configured, and only
+then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .. import obs
+from .admission import CircuitBreaker, TokenBucket
+from .dlq import DeadLetterQueue
+from .lifecycle import Lifecycle, install_signal_handlers
+from .protocol import (
+    Command,
+    ProtocolError,
+    Quit,
+    encode_reply,
+    parse_json_line,
+)
+from .session import MonitorBridge, Session
+
+__all__ = [
+    "ServeConfig",
+    "ReproServer",
+    "run_server",
+    "replay_dead_letters",
+    "replay_dead_letters_async",
+]
+
+#: Floor for computed retry hints so clients never busy-spin.
+_MIN_RETRY = 0.05
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of the serving edge (all CLI-exposed)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Per-session token bucket: data commands/second (0 = unlimited).
+    rate: float = 0.0
+    burst: float = 8.0
+    #: Bounded admission queue: max data commands queued but unexecuted.
+    admission_capacity: int = 64
+    #: ``reject`` refuses the newcomer; ``shed`` refuses the oldest
+    #: queued data command to make room for it.
+    admission_policy: str = "reject"
+    #: Circuit breaker: trip when the load probe (deepest worker inbox)
+    #: stays at/above this for ``breaker_trip_after`` samples (0 = off).
+    breaker_threshold: float = 0.0
+    breaker_cooldown: float = 1.0
+    breaker_trip_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.admission_policy not in ("reject", "shed"):
+            raise ValueError(
+                f"admission_policy must be 'reject' or 'shed', "
+                f"got {self.admission_policy!r}"
+            )
+        if self.admission_capacity < 1:
+            raise ValueError("admission_capacity must be >= 1")
+
+
+@dataclass
+class _WorkItem:
+    session: Session
+    command: Command
+    future: asyncio.Future
+    is_data: bool
+    shed: bool = field(default=False)
+
+
+class ReproServer:
+    """Async TCP front-end over one monitor (library or sharded)."""
+
+    def __init__(
+        self,
+        monitor: Any,
+        config: ServeConfig | None = None,
+        dlq: DeadLetterQueue | None = None,
+        load_probe: Callable[[], float] | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.monitor = monitor
+        self.dlq = dlq if dlq is not None else DeadLetterQueue()
+        self.bridge = MonitorBridge(
+            monitor, dlq=self.dlq, extra_stats=self._edge_stats
+        )
+        self.lifecycle = Lifecycle()
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+            trip_after=self.config.breaker_trip_after,
+        )
+        self._load_probe = load_probe
+        self._queue: asyncio.Queue[_WorkItem | None] = asyncio.Queue()
+        self._sheddable: deque[_WorkItem] = deque()
+        self._data_depth = 0
+        self._sessions: dict[int, tuple[Session, asyncio.StreamWriter]] = {}
+        self._next_session = 1
+        self._server: asyncio.base_events.Server | None = None
+        self._writer_task: asyncio.Task | None = None
+        self._drain_task: asyncio.Task | None = None
+        #: EMA of per-command service time, feeding retry_after hints.
+        self._service_ema = _MIN_RETRY
+        self.counters = {
+            "admitted": 0,
+            "rejected_rate": 0,
+            "rejected_breaker": 0,
+            "rejected_queue": 0,
+            "rejected_draining": 0,
+            "shed": 0,
+        }
+        self._admitted = obs.counter("serve.admitted", "commands admitted")
+        self._shed = obs.counter("serve.shed", "queued commands shed under overload")
+        self._sessions_gauge = obs.gauge("serve.sessions", "connected sessions")
+        self._depth_gauge = obs.gauge(
+            "serve.queue_depth", "data commands waiting in the admission queue"
+        )
+        self._breaker_gauge = obs.gauge(
+            "serve.breaker_state", "0=closed 1=half-open 2=open"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and launch the single writer task."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self._writer_task = asyncio.get_running_loop().create_task(
+            self._writer_loop()
+        )
+        self.lifecycle.mark_serving()
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return int(self._server.sockets[0].getsockname()[1])
+
+    def request_drain(self) -> None:
+        """Signal-handler entry: schedule a drain on the running loop."""
+        if self._drain_task is None or self._drain_task.done():
+            self._drain_task = asyncio.get_running_loop().create_task(self.drain())
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, notify, flush, checkpoint."""
+        if not self.lifecycle.begin_drain():
+            return
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        notice = encode_reply(
+            {
+                "ok": True,
+                "notice": "draining",
+                "t": self.bridge.timestamp,
+                "accepted_batches": self.bridge.accepted_batches,
+            }
+        )
+        for _, writer in list(self._sessions.values()):
+            try:
+                writer.write(notice.encode() + b"\n")
+                await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                continue
+        # The queue is FIFO: everything admitted before the sentinel is
+        # executed (and its reply future resolved) before the writer
+        # task exits — no acked batch is lost.
+        self._queue.put_nowait(None)
+        if self._writer_task is not None:
+            await self._writer_task
+        if hasattr(self.monitor, "checkpoint") and getattr(
+            self.monitor, "store", None
+        ) is not None:
+            try:
+                self.monitor.checkpoint()
+            except RuntimeError:
+                pass  # already closed or mid-recovery: nothing to snapshot
+        for _, writer in list(self._sessions.values()):
+            try:
+                writer.close()
+            except RuntimeError:
+                continue
+        self.lifecycle.mark_stopped()
+
+    async def wait_stopped(self) -> None:
+        """Block until a drain has fully stopped the server."""
+        await self.lifecycle.wait_stopped()
+
+    # -- admission ---------------------------------------------------------
+
+    def _load(self) -> float:
+        if self._load_probe is not None:
+            return float(self._load_probe())
+        if hasattr(self.monitor, "inbox_depths"):
+            depths = self.monitor.inbox_depths()
+            return float(max(depths.values(), default=0))
+        return float(self._data_depth)
+
+    def _retry_hint(self) -> float:
+        return round(max(self._service_ema * (self._data_depth + 1), _MIN_RETRY), 4)
+
+    def _reject(self, code: str, reason: str, error: str, retry: float) -> dict:
+        self.counters[f"rejected_{reason}"] += 1
+        obs.counter(
+            "serve.rejected",
+            "commands rejected at the edge",
+            labels={"reason": reason},
+        ).inc()
+        return {
+            "ok": False,
+            "code": code,
+            "error": error,
+            "retry_after": round(max(retry, _MIN_RETRY), 4),
+        }
+
+    def _admit(self, session: Session, bucket: TokenBucket, command: Command) -> dict | None:
+        """Admission decision: ``None`` admits, else the rejection reply."""
+        if not command.is_data:
+            return None  # control plane bypasses admission
+        if self.lifecycle.draining:
+            return self._reject(
+                "draining", "draining", "server is draining", _MIN_RETRY
+            )
+        retry = bucket.try_acquire()
+        if retry > 0:
+            return self._reject(
+                "rate_limited", "rate", "per-session rate limit exceeded", retry
+            )
+        self.breaker.observe(self._load())
+        self._breaker_gauge.set(self.breaker.state_code())
+        retry = self.breaker.allow()
+        if retry > 0:
+            return self._reject(
+                "overloaded", "breaker", "circuit breaker open", retry
+            )
+        if self._data_depth >= self.config.admission_capacity:
+            if self.config.admission_policy == "reject" or not self._sheddable:
+                return self._reject(
+                    "overloaded", "queue", "admission queue full", self._retry_hint()
+                )
+            victim = self._sheddable.popleft()
+            victim.shed = True
+            self._data_depth -= 1
+            self.counters["shed"] += 1
+            self._shed.inc()
+            if not victim.future.done():
+                victim.future.set_result(
+                    {
+                        "ok": False,
+                        "code": "shed",
+                        "error": "shed by a newer command under overload",
+                        "retry_after": self._retry_hint(),
+                    }
+                )
+        self.counters["admitted"] += 1
+        self._admitted.inc()
+        return None
+
+    # -- the writer task ---------------------------------------------------
+
+    async def _writer_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                break
+            if item.shed:
+                continue
+            if item.is_data:
+                self._data_depth -= 1
+                if self._sheddable and self._sheddable[0] is item:
+                    self._sheddable.popleft()
+                self._depth_gauge.set(self._data_depth)
+            started = loop.time()
+            try:
+                reply = self.bridge.execute(item.session, item.command)
+            except ProtocolError as exc:
+                reply = {"ok": False, "code": "bad_request", "error": str(exc)}
+            except Exception as exc:
+                # The writer must survive any single command: the client
+                # gets a structured error and the failure is visible in
+                # serve.rejected{reason=internal}.
+                reply = {
+                    "ok": False,
+                    "code": "internal",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+                obs.counter(
+                    "serve.rejected",
+                    "commands rejected at the edge",
+                    labels={"reason": "internal"},
+                ).inc()
+            if item.is_data:
+                elapsed = max(loop.time() - started, 1e-6)
+                self._service_ema = 0.8 * self._service_ema + 0.2 * elapsed
+            if not item.future.done():
+                item.future.set_result(reply)
+
+    # -- per-connection handler --------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = Session(self._next_session)
+        self._next_session += 1
+        bucket = TokenBucket(self.config.rate, self.config.burst)
+        self._sessions[session.session_id] = (session, writer)
+        self._sessions_gauge.set(len(self._sessions))
+        loop = asyncio.get_running_loop()
+
+        async def send(reply: dict) -> None:
+            writer.write(encode_reply(reply).encode() + b"\n")
+            await writer.drain()
+
+        try:
+            await send(
+                {
+                    "ok": True,
+                    "notice": "hello",
+                    "session": session.session_id,
+                    "protocol": 1,
+                }
+            )
+            while not self.lifecycle.stopped:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    command = parse_json_line(line.decode())
+                except (ProtocolError, UnicodeDecodeError) as exc:
+                    await send(
+                        {"ok": False, "code": "bad_request", "error": str(exc)}
+                    )
+                    continue
+                if command is None:
+                    continue
+                if isinstance(command, Quit):
+                    await send({"ok": True, "cmd": command.verb})
+                    break
+                rejection = self._admit(session, bucket, command)
+                if rejection is not None:
+                    await send(rejection)
+                    continue
+                item = _WorkItem(
+                    session, command, loop.create_future(), command.is_data
+                )
+                if item.is_data:
+                    self._data_depth += 1
+                    self._sheddable.append(item)
+                    self._depth_gauge.set(self._data_depth)
+                self._queue.put_nowait(item)
+                reply = await item.future
+                await send(reply)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client vanished mid-reply: the session just ends
+        finally:
+            session.closed = True
+            self._sessions.pop(session.session_id, None)
+            self._sessions_gauge.set(len(self._sessions))
+            try:
+                writer.close()
+            except RuntimeError:
+                pass  # loop already closing underneath us
+    # -- stats -------------------------------------------------------------
+
+    def _edge_stats(self) -> dict[str, Any]:
+        return {
+            "sessions": len(self._sessions),
+            "queue_depth": self._data_depth,
+            "breaker": self.breaker.state,
+            "policy": self.config.admission_policy,
+            **self.counters,
+        }
+
+    def serve_stats(self) -> dict[str, Any]:
+        """The ``serve`` section of the ``stats`` reply."""
+        return self.bridge.serve_stats()
+
+
+def run_server(
+    monitor: Any,
+    config: ServeConfig,
+    dlq: DeadLetterQueue | None = None,
+    emit: Callable[[dict[str, Any]], None] | None = None,
+    install_signals: bool = True,
+    ready: Callable[[ReproServer], object] | None = None,
+) -> dict[str, Any]:
+    """Run a server until drained; returns its final edge stats.
+
+    This is the synchronous entry the CLI calls — ``asyncio`` stays
+    confined to :mod:`repro.serve` (rule RP017).  ``emit`` receives the
+    ``listening`` notice (default: nothing); ``ready`` is a test hook
+    called with the live server once the port is bound.
+    """
+
+    async def _amain() -> dict[str, Any]:
+        server = ReproServer(monitor, config, dlq=dlq)
+        await server.start()
+        if install_signals:
+            install_signal_handlers(
+                asyncio.get_running_loop(), server.request_drain
+            )
+        if emit is not None:
+            emit(
+                {
+                    "ok": True,
+                    "notice": "listening",
+                    "host": config.host,
+                    "port": server.port,
+                }
+            )
+        if ready is not None:
+            ready(server)
+        await server.wait_stopped()
+        return server._edge_stats()
+
+    return asyncio.run(_amain())
+
+
+async def _roundtrip(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    command: dict[str, Any],
+) -> dict[str, Any]:
+    import json
+
+    writer.write(encode_reply(command).encode() + b"\n")
+    await writer.drain()
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection mid-replay")
+    reply = json.loads(line)
+    assert isinstance(reply, dict)
+    return reply
+
+
+async def replay_dead_letters_async(
+    dlq: DeadLetterQueue, host: str, port: int
+) -> list[int]:
+    """Async flavor of :func:`replay_dead_letters` for callers already
+    inside the serve event loop (tests, embedded tooling)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    replayed: list[int] = []
+    try:
+        await reader.readline()  # hello notice
+        for entry in dlq.entries(include_replayed=False):
+            # The stream may already exist server-side; an error reply
+            # here is fine (the batch commands carry the real payload).
+            await _roundtrip(
+                reader, writer, {"cmd": "stream", "stream": entry.stream}
+            )
+            batch = await _roundtrip(
+                reader,
+                writer,
+                {
+                    "cmd": "batch",
+                    "stream": entry.stream,
+                    "changes": entry.changes,
+                },
+            )
+            if not batch.get("ok"):
+                continue
+            commit = await _roundtrip(reader, writer, {"cmd": "commit"})
+            if commit.get("ok"):
+                dlq.mark_replayed(entry.dlq_id)
+                replayed.append(entry.dlq_id)
+        await _roundtrip(reader, writer, {"cmd": "quit"})
+    finally:
+        writer.close()
+    return replayed
+
+
+def replay_dead_letters(dlq: DeadLetterQueue, host: str, port: int) -> list[int]:
+    """Re-apply un-replayed dead letters against a live server.
+
+    Each entry becomes ``stream`` + ``batch`` + ``commit``; entries whose
+    commit succeeds are marked replayed in the journal.  Returns the ids
+    replayed.  Synchronous wrapper so the CLI never imports asyncio.
+    """
+    return asyncio.run(replay_dead_letters_async(dlq, host, port))

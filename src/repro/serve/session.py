@@ -1,0 +1,456 @@
+"""Per-client sessions and the single-writer monitor bridge.
+
+A :class:`Session` holds everything client-scoped: staged (uncommitted)
+batches per stream, the last match set the client has seen (so each
+session gets its *own* appeared/vanished deltas via
+:func:`repro.core.monitor.diff_polls`), and request counters.
+
+A :class:`MonitorBridge` owns the monitor.  Every command — from every
+session, and from the stdin adapter — funnels through
+:meth:`MonitorBridge.execute`, which is the **only** code that touches
+the monitor.  The asyncio server enforces the single-writer discipline
+by calling it from one writer task; the stdin loop is trivially single
+writer.  Commits open an ``serve.commit`` span, which is what mints the
+trace id (rule RP010: only :mod:`repro.obs.trace` mints) and lets the
+coordinator stamp it onto runtime command envelopes — the reply carries
+the id back to the client so one request is followable end-to-end in
+``repro trace``.
+
+Poison batches (:class:`~repro.graph.labeled_graph.GraphError`,
+value/key errors, worker crashes) are journaled to the dead-letter
+queue and *cleared from the stage*: the historical stdin loop kept the
+failing batch staged, so every subsequent tick re-failed it forever.
+Healthy streams in the same commit still apply.
+
+Poison detection must be *synchronous*, but the sharded runtime's
+``apply`` is not: it enqueues the batch and the graph error only
+surfaces at the next poll — as a :class:`WorkerCrashed` whose journal
+replay re-runs the same poison command, crash-looping the worker.  The
+bridge therefore keeps a **shadow** :class:`LabeledGraph` per stream
+and replays each batch against it (exact same mutation sequence the
+worker runs, all-or-nothing via undo records) *before* submitting, so
+graph-level poison is refused up front in both the in-process and the
+sharded configurations and the monitor never sees it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from .. import obs
+from ..core.monitor import diff_polls
+from ..graph.io import read_graph_set
+from ..graph.labeled_graph import GraphError, LabeledGraph
+from ..graph.operations import (
+    INSERT,
+    EdgeChange,
+    GraphChangeOperation,
+    apply_change,
+)
+from . import protocol
+from .dlq import DeadLetterQueue
+from .protocol import (
+    AddStream,
+    BatchEdit,
+    Checkpoint,
+    Command,
+    Commit,
+    Edit,
+    Matches,
+    Poll,
+    ProtocolError,
+    Quit,
+    Stats,
+)
+
+__all__ = [
+    "Session",
+    "MonitorBridge",
+    "apply_batch_validated",
+    "collect_obs_summary",
+    "serve_lines",
+]
+
+#: Exceptions that make a batch *poison* (journaled, never retried).
+#: WorkerCrashed is appended lazily to keep this import-light for the
+#: in-process monitor path.
+POISON_ERRORS: tuple[type[BaseException], ...] = (GraphError, ValueError, KeyError)
+
+
+def _runtime_crash_errors() -> tuple[type[BaseException], ...]:
+    from ..runtime.coordinator import WorkerCrashed
+
+    return (WorkerCrashed,)
+
+
+def apply_batch_validated(shadow: LabeledGraph, batch: GraphChangeOperation) -> None:
+    """Apply ``batch`` to the shadow graph, all or nothing.
+
+    Replays the exact mutation sequence the monitor runs (deletions
+    first, then insertions — the paper's order) so graph-level poison
+    (duplicate insert, missing delete, unlabeled new vertex) raises
+    *here*, synchronously, before the batch is ever submitted.  On
+    failure every already-applied change is undone in reverse, leaving
+    the shadow identical to the monitor's state.
+    """
+    undo: list[tuple[EdgeChange, bool, Any, dict[Any, Any]]] = []
+    try:
+        for change in batch.sequentialized():
+            had_edge = shadow.has_edge(change.u, change.v)
+            prior_label = (
+                shadow.edge_label(change.u, change.v) if had_edge else None
+            )
+            labels = {
+                w: shadow.vertex_label(w)
+                for w in (change.u, change.v)
+                if shadow.has_vertex(w)
+            }
+            undo.append((change, had_edge, prior_label, labels))
+            apply_change(shadow, change)
+    except POISON_ERRORS:
+        for change, had_edge, prior_label, labels in reversed(undo):
+            _undo_change(shadow, change, had_edge, prior_label, labels)
+        raise
+
+
+def _undo_change(
+    shadow: LabeledGraph,
+    change: EdgeChange,
+    had_edge: bool,
+    prior_label: Any,
+    labels: dict[Any, Any],
+) -> None:
+    """Revert one (possibly partially applied) change on the shadow.
+
+    Guarded by pre-change facts rather than assumptions about how far
+    the change got: an insert that failed after creating one endpoint
+    still rolls back cleanly.
+    """
+    if change.op == INSERT:
+        if not had_edge and shadow.has_edge(change.u, change.v):
+            shadow.remove_edge(change.u, change.v)
+        for vertex in (change.u, change.v):
+            if (
+                vertex not in labels  # created by this change, if at all
+                and shadow.has_vertex(vertex)
+                and shadow.degree(vertex) == 0
+            ):
+                shadow.remove_vertex(vertex)
+    else:
+        for vertex in (change.u, change.v):
+            if vertex in labels and not shadow.has_vertex(vertex):
+                shadow.add_vertex(vertex, labels[vertex])
+        if had_edge and not shadow.has_edge(change.u, change.v):
+            shadow.add_edge(change.u, change.v, prior_label)
+
+
+class Session:
+    """Client-scoped state; owns no monitor access of its own."""
+
+    def __init__(self, session_id: int, label: str = "") -> None:
+        self.session_id = session_id
+        self.label = label or f"session-{session_id}"
+        self.pending: dict[Any, list[EdgeChange]] = {}
+        self.last_poll: set = set()
+        self.commands = 0
+        self.commits = 0
+        self.closed = False
+
+    def stage(self, stream_id: Any, changes: Iterable[EdgeChange]) -> int:
+        """Stage changes for the next commit; returns the pending count."""
+        staged = self.pending.setdefault(stream_id, [])
+        staged.extend(changes)
+        return len(staged)
+
+    @property
+    def staged_changes(self) -> int:
+        return sum(len(changes) for changes in self.pending.values())
+
+
+class MonitorBridge:
+    """Single-writer executor translating commands into monitor calls."""
+
+    def __init__(
+        self,
+        monitor: Any,
+        dlq: DeadLetterQueue | None = None,
+        extra_stats: Callable[[], Mapping[str, Any]] | None = None,
+    ) -> None:
+        self.monitor = monitor
+        self.dlq = dlq if dlq is not None else DeadLetterQueue()
+        self._extra_stats = extra_stats
+        self.timestamp = 0
+        self.accepted_batches = 0
+        self.dead_letters = 0
+        self._commits = obs.counter("serve.commits", "commits executed")
+        self._batches = obs.counter(
+            "serve.batches_applied", "stream batches applied by commits"
+        )
+        self._dlq_counter = obs.counter(
+            "serve.dlq", "poison batches journaled to the dead-letter queue"
+        )
+        self._commands = obs.counter("serve.commands", "protocol commands executed")
+        self._poison: tuple[type[BaseException], ...] = POISON_ERRORS
+        if hasattr(monitor, "inbox_depths"):  # sharded runtime
+            self._poison = POISON_ERRORS + _runtime_crash_errors()
+        #: Per-stream replica of the monitor's graph, used to refuse
+        #: poison batches before they are submitted (module docstring).
+        self._shadow: dict[Any, LabeledGraph] = {}
+
+    # -- command execution -------------------------------------------------
+
+    def execute(self, session: Session, command: Command) -> dict[str, Any]:
+        """Run one parsed command; always returns a JSON-typed reply."""
+        session.commands += 1
+        self._commands.inc()
+        if isinstance(command, AddStream):
+            return self._add_stream(session, command)
+        if isinstance(command, Edit):
+            pending = session.stage(command.stream_id, [command.change])
+            return {
+                "ok": True,
+                "cmd": command.verb,
+                "stream": command.stream_id,
+                "pending": pending,
+            }
+        if isinstance(command, BatchEdit):
+            pending = session.stage(command.stream_id, command.changes)
+            return {
+                "ok": True,
+                "cmd": command.verb,
+                "stream": command.stream_id,
+                "staged": len(command.changes),
+                "pending": pending,
+            }
+        if isinstance(command, Commit):
+            return self._commit(session, command)
+        if isinstance(command, Poll):
+            return {
+                "ok": True,
+                "cmd": command.verb,
+                "t": self.timestamp,
+                "events": self._session_events(session),
+            }
+        if isinstance(command, Matches):
+            pairs = sorted(self.monitor.matches(), key=lambda p: (str(p[0]), str(p[1])))
+            return {
+                "ok": True,
+                "cmd": command.verb,
+                "matches": [[s, q] for s, q in pairs],
+            }
+        if isinstance(command, Stats):
+            stats = dict(self.monitor.stats())
+            stats["serve"] = self.serve_stats()
+            return {"ok": True, "cmd": command.verb, "stats": stats}
+        if isinstance(command, Checkpoint):
+            return self._checkpoint(command)
+        if isinstance(command, Quit):
+            return {"ok": True, "cmd": command.verb}
+        raise ProtocolError(f"unhandled command {type(command).__name__}")
+
+    def _add_stream(self, session: Session, command: AddStream) -> dict[str, Any]:
+        if command.graph_file is not None:
+            graph_set = dict(read_graph_set(command.graph_file))
+            key = (
+                command.graph_key
+                if command.graph_key is not None
+                else next(iter(graph_set))
+            )
+            if key not in graph_set:
+                raise ProtocolError(
+                    f"graph {key!r} not in {command.graph_file}"
+                )
+            initial = graph_set[key]
+        else:
+            initial = LabeledGraph()
+        try:
+            self.monitor.add_stream(command.stream_id, initial)
+        except (ValueError, KeyError) as exc:
+            return {
+                "ok": False,
+                "cmd": command.verb,
+                "stream": command.stream_id,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        self._shadow[command.stream_id] = initial.copy()
+        session.pending.setdefault(command.stream_id, [])
+        return {"ok": True, "cmd": command.verb, "stream": command.stream_id}
+
+    def _commit(self, session: Session, command: Commit) -> dict[str, Any]:
+        self.timestamp += 1
+        session.commits += 1
+        applied = 0
+        errors: list[dict[str, Any]] = []
+        with obs.span(
+            "serve.commit", session=session.label, t=self.timestamp
+        ):
+            ctx = obs.current_context()
+            trace_id = ctx.trace_id if ctx is not None else None
+            for stream_id in list(session.pending):
+                changes = session.pending[stream_id]
+                if not changes:
+                    continue
+                batch = GraphChangeOperation(changes)
+                try:
+                    # The validator raises (rolling itself back) on
+                    # graph-level poison; the monitor never sees it.
+                    shadow = self._shadow.get(stream_id)
+                    if shadow is not None:
+                        apply_batch_validated(shadow, batch)
+                    try:
+                        self.monitor.apply(stream_id, batch)
+                    except self._poison:
+                        # The shadow accepted what the monitor refused:
+                        # it can no longer be trusted for this stream.
+                        self._resync_shadow(stream_id)
+                        raise
+                    applied += 1
+                    self.accepted_batches += 1
+                    self._batches.inc()
+                except self._poison as exc:
+                    dlq_id = self.dlq.record(
+                        session=session.session_id,
+                        stream=stream_id,
+                        changes=[protocol.change_to_dict(c) for c in changes],
+                        error=f"{type(exc).__name__}: {exc}",
+                        trace_id=trace_id,
+                    )
+                    self.dead_letters += 1
+                    self._dlq_counter.inc()
+                    errors.append(
+                        {
+                            "stream": stream_id,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "dlq_id": dlq_id,
+                        }
+                    )
+                changes.clear()
+            events = self._session_events(session)
+        self._commits.inc()
+        reply: dict[str, Any] = {
+            "ok": not errors,
+            "cmd": command.verb,
+            "t": self.timestamp,
+            "applied": applied,
+            "events": events,
+        }
+        if trace_id is not None:
+            reply["trace"] = trace_id
+        if errors:
+            reply["errors"] = errors
+            reply["error"] = errors[0]["error"]
+        return reply
+
+    def _resync_shadow(self, stream_id: Any) -> None:
+        """Re-align a shadow the monitor has disagreed with.
+
+        Re-copies the authoritative graph when the monitor exposes one
+        (the in-process :class:`~repro.core.monitor.StreamMonitor`);
+        otherwise the shadow is dropped, so later batches on the stream
+        go unvalidated rather than being judged against drifted state.
+        """
+        if stream_id not in self._shadow:
+            return
+        if hasattr(self.monitor, "graph"):
+            try:
+                self._shadow[stream_id] = self.monitor.graph(stream_id).copy()
+                return
+            except (ValueError, KeyError):
+                pass
+        del self._shadow[stream_id]
+
+    def _checkpoint(self, command: Command) -> dict[str, Any]:
+        if not hasattr(self.monitor, "checkpoint"):
+            return {"ok": False, "error": "checkpoint requires --workers >= 1"}
+        try:
+            notes = self.monitor.checkpoint()
+        except RuntimeError as exc:
+            return {"ok": False, "cmd": command.verb, "error": str(exc)}
+        return {"ok": True, "cmd": command.verb, "shards": notes}
+
+    def _session_events(self, session: Session) -> list[dict[str, Any]]:
+        current = set(self.monitor.matches())
+        events = diff_polls(session.last_poll, current)
+        session.last_poll = current
+        return [protocol.event_to_dict(e, self.timestamp) for e in events]
+
+    # -- stats -------------------------------------------------------------
+
+    def serve_stats(self) -> dict[str, Any]:
+        """The ``serve`` section of the ``stats`` reply."""
+        stats: dict[str, Any] = {
+            "timestamp": self.timestamp,
+            "accepted_batches": self.accepted_batches,
+            "dead_letters": self.dead_letters,
+        }
+        if self._extra_stats is not None:
+            stats.update(self._extra_stats())
+        return stats
+
+
+def collect_obs_summary(monitor: Any) -> dict[str, Any]:
+    """The monitor's observability summary: for a ShardedMonitor the
+    fleet-merged per-worker registries (plus the coordinator's own), for
+    an in-process monitor the process-local registry."""
+    if hasattr(monitor, "inbox_depths"):  # ShardedMonitor
+        summary = monitor.stats()["merged_obs"]
+        assert isinstance(summary, dict)
+        return summary
+    summary = obs.get_registry().summary()
+    assert isinstance(summary, dict)
+    return summary
+
+
+def serve_lines(
+    monitor: Any,
+    lines: Iterable[str],
+    emit: Callable[[dict[str, Any]], None],
+    dlq: DeadLetterQueue | None = None,
+    stats_every: int = 0,
+) -> int:
+    """The stdin front-end: a thin synchronous adapter over the same
+    protocol/session machinery the TCP server uses.
+
+    Reads text-protocol lines, emits one reply dict per command, and
+    stops at ``quit`` or end of input.  Returns the number of commands
+    executed.
+    """
+    bridge = MonitorBridge(monitor, dlq=dlq)
+    session = Session(0, label="stdin")
+    executed = 0
+    for raw in lines:
+        try:
+            command = protocol.parse_text_line(raw)
+        except ProtocolError as exc:
+            emit({"ok": False, "error": str(exc), "code": "bad_request"})
+            continue
+        if command is None:
+            continue
+        try:
+            reply = bridge.execute(session, command)
+        except POISON_ERRORS as exc:
+            # Non-batch failures (e.g. unreadable graph-set file) are
+            # reported in the historical `Type: message` shape.
+            emit({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+            continue
+        except OSError as exc:
+            emit({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+            continue
+        executed += 1
+        emit(reply)
+        if (
+            isinstance(command, Commit)
+            and stats_every
+            and bridge.timestamp % stats_every == 0
+        ):
+            emit(
+                {
+                    "ok": True,
+                    "cmd": "stats_auto",
+                    "t": bridge.timestamp,
+                    "obs": collect_obs_summary(monitor),
+                }
+            )
+        if isinstance(command, Quit):
+            break
+    return executed

@@ -10,7 +10,7 @@ import queue  # repro: noqa[RP008]
 from concurrent.futures import ThreadPoolExecutor  # expect-violation
 from multiprocessing import Queue as MPQueue  # repro: noqa[RP001]  # expect-violation
 import _thread  # expect-violation
-import asyncio  # expect-violation
+import asyncio  # repro: noqa[RP017]  # allowed here: RP017 territory, not RP008
 import heapq  # allowed: not a concurrency module
 
 __all__ = [

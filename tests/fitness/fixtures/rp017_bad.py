@@ -1,0 +1,24 @@
+"""RP017 fixture — analyzed as if it were ``repro.runtime.badmod``.
+
+Never imported at runtime; the fitness tests feed it to the analyzer
+with a unit override (``repro.runtime``, which is exempt from RP008 —
+and RP008 no longer covers asyncio anyway — so only RP017 fires) and
+expect each tagged line to fire.
+"""
+
+import asyncio  # expect-violation
+import asyncio.queues  # expect-violation
+from asyncio import StreamReader  # expect-violation
+from asyncio.events import AbstractEventLoop  # repro: noqa[RP001]  # expect-violation
+from asyncio import run  # repro: noqa[RP017]
+import selectors  # allowed: not an event-loop module
+import socket  # allowed: sockets without a loop are fine
+
+__all__ = [
+    "asyncio",
+    "StreamReader",
+    "AbstractEventLoop",
+    "run",
+    "selectors",
+    "socket",
+]

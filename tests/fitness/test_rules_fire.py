@@ -33,6 +33,7 @@ CASES = {
     "rp009_bad.py": ("RP009", "repro.join.badmod", "repro.join"),
     "rp010_bad.py": ("RP010", "repro.runtime.badmod", "repro.runtime"),
     "rp016_bad.py": ("RP016", "repro.runtime.badmod", "repro.runtime"),
+    "rp017_bad.py": ("RP017", "repro.runtime.badmod", "repro.runtime"),
 }
 
 

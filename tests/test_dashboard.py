@@ -150,6 +150,34 @@ class TestRenderDashboard:
         assert "shm plane" not in frame
         assert "rescale " not in frame
 
+    def test_serve_panels(self):
+        stats = synthetic_stats()
+        stats["serve"] = {
+            "timestamp": 7,
+            "accepted_batches": 40,
+            "dead_letters": 2,
+            "sessions": 3,
+            "queue_depth": 5,
+            "breaker": "half_open",
+            "policy": "shed",
+            "admitted": 50,
+            "rejected_rate": 4,
+            "rejected_breaker": 1,
+            "rejected_queue": 2,
+            "rejected_draining": 0,
+            "shed": 6,
+        }
+        stats["obs"]["serve.commit.seconds"] = dict(HIST)
+        frame = render_dashboard(stats)
+        assert "serve           sessions=3  queue=5  breaker=half_open  t=7" in frame
+        assert "admitted=50  rejected=7  shed=6  dlq=2  batches=40" in frame
+        assert "commit latency  p50=" in frame
+
+    def test_serve_panel_absent_without_server(self):
+        frame = render_dashboard(synthetic_stats())
+        assert "serve " not in frame
+        assert "admission" not in frame
+
     def test_frame_degrades_without_observability(self):
         frame = render_dashboard({"num_streams": 1, "num_queries": 1})
         assert "streams=1" in frame

@@ -1,0 +1,216 @@
+"""Admission-control primitives under a fake clock (token bucket and
+the full circuit-breaker open → half-open → close/re-open cycle) and
+the dead-letter journal (record, replay markers, file round-trip)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.admission import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, TokenBucket
+from repro.serve.dlq import DeadLetterQueue
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_is_granted_immediately(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+
+    def test_empty_bucket_reports_retry_seconds(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(0.5)
+
+    def test_tokens_accrue_with_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        bucket.try_acquire()
+        assert bucket.try_acquire() > 0
+        clock.advance(0.5)
+        assert bucket.try_acquire() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)  # a long idle period banks at most `burst`
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0
+
+    def test_zero_rate_is_unlimited(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=FakeClock())
+        for _ in range(100):
+            assert bucket.try_acquire() == 0.0
+
+    def test_positive_rate_requires_positive_burst(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+    def test_clock_going_backwards_is_tolerated(self):
+        clock = FakeClock(start=10.0)
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        clock.now = 5.0  # monotonic clocks should not do this, but survive it
+        assert bucket.try_acquire() == 0.0
+
+
+class TestCircuitBreaker:
+    def make(self, clock, threshold=10.0, cooldown=1.0, trip_after=2):
+        return CircuitBreaker(
+            threshold, cooldown=cooldown, trip_after=trip_after, clock=clock
+        )
+
+    def test_disabled_breaker_always_allows(self):
+        breaker = CircuitBreaker(0.0, clock=FakeClock())
+        breaker.observe(1e9)
+        assert breaker.allow() == 0.0
+        assert breaker.state == CLOSED
+
+    def test_trips_only_after_consecutive_hot_samples(self):
+        breaker = self.make(FakeClock(), trip_after=3)
+        breaker.observe(50)
+        breaker.observe(50)
+        assert breaker.state == CLOSED
+        breaker.observe(2)  # a cool sample resets the count
+        breaker.observe(50)
+        breaker.observe(50)
+        assert breaker.state == CLOSED
+        breaker.observe(50)
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_open_breaker_reports_remaining_cooldown(self):
+        clock = FakeClock()
+        breaker = self.make(clock, cooldown=2.0)
+        breaker.observe(50)
+        breaker.observe(50)
+        assert breaker.state == OPEN
+        clock.advance(0.5)
+        assert breaker.allow() == pytest.approx(1.5)
+        assert breaker.state == OPEN
+
+    def test_full_cycle_open_half_open_close(self):
+        clock = FakeClock()
+        breaker = self.make(clock, cooldown=1.0)
+        breaker.observe(50)
+        breaker.observe(50)
+        assert breaker.state == OPEN
+        clock.advance(1.1)
+        assert breaker.allow() == 0.0  # cooldown elapsed: trial admitted
+        assert breaker.state == HALF_OPEN
+        breaker.observe(1)  # load recovered
+        assert breaker.state == CLOSED
+        assert breaker.allow() == 0.0
+
+    def test_half_open_reopens_on_hot_sample(self):
+        clock = FakeClock()
+        breaker = self.make(clock, cooldown=1.0)
+        breaker.observe(50)
+        breaker.observe(50)
+        clock.advance(1.1)
+        assert breaker.allow() == 0.0
+        assert breaker.state == HALF_OPEN
+        breaker.observe(50)  # still hot: one sample re-opens
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert breaker.allow() > 0
+
+    def test_state_codes_match_gauge_encoding(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        assert breaker.state_code() == 0
+        breaker.observe(50)
+        breaker.observe(50)
+        assert breaker.state_code() == 2
+        clock.advance(1.1)
+        breaker.allow()
+        assert breaker.state_code() == 1
+
+    def test_trip_after_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(1.0, trip_after=0)
+
+
+CHANGES = [
+    {"op": "ins", "u": 1, "v": 2, "edge_label": "x", "u_label": "A", "v_label": "B"}
+]
+
+
+class TestDeadLetterQueue:
+    def test_memory_mode_records_and_lists(self):
+        dlq = DeadLetterQueue(clock=FakeClock(5.0))
+        dlq_id = dlq.record(
+            session=1, stream="s0", changes=CHANGES, error="GraphError: dup"
+        )
+        assert dlq_id == 1
+        assert len(dlq) == 1
+        entry = dlq.get(dlq_id)
+        assert entry.stream == "s0"
+        assert entry.created == 5.0
+        assert entry.changes == CHANGES
+        assert not entry.replayed
+
+    def test_ids_are_monotonic(self):
+        dlq = DeadLetterQueue()
+        first = dlq.record(session=1, stream="a", changes=[], error="e")
+        second = dlq.record(session=1, stream="b", changes=[], error="e")
+        assert second == first + 1
+
+    def test_file_backed_journal_round_trips(self, tmp_path):
+        dlq = DeadLetterQueue(tmp_path)
+        dlq.record(
+            session=3,
+            stream=7,
+            changes=CHANGES,
+            error="ValueError: boom",
+            trace_id="t-123",
+        )
+        assert (tmp_path / DeadLetterQueue.FILENAME).exists()
+
+        reloaded = DeadLetterQueue(tmp_path)
+        assert len(reloaded) == 1
+        entry = reloaded.get(1)
+        assert entry.stream == 7  # int stream id survives the journal
+        assert entry.trace_id == "t-123"
+        assert entry.changes == CHANGES
+
+    def test_replay_marker_is_append_only_and_folds_on_load(self, tmp_path):
+        dlq = DeadLetterQueue(tmp_path)
+        dlq.record(session=1, stream="s", changes=CHANGES, error="e")
+        dlq.record(session=1, stream="s", changes=CHANGES, error="e")
+        dlq.mark_replayed(1)
+
+        lines = (tmp_path / DeadLetterQueue.FILENAME).read_text().splitlines()
+        assert len(lines) == 3  # two entries + one marker, nothing rewritten
+        assert json.loads(lines[-1]) == {"replayed_id": 1}
+
+        reloaded = DeadLetterQueue(tmp_path)
+        assert reloaded.get(1).replayed
+        assert not reloaded.get(2).replayed
+        assert [e.dlq_id for e in reloaded.entries(include_replayed=False)] == [2]
+        assert [e.dlq_id for e in reloaded.entries()] == [1, 2]
+
+    def test_ids_keep_incrementing_across_reload(self, tmp_path):
+        dlq = DeadLetterQueue(tmp_path)
+        dlq.record(session=1, stream="s", changes=[], error="e")
+        reloaded = DeadLetterQueue(tmp_path)
+        assert reloaded.record(session=1, stream="s", changes=[], error="e") == 2
+
+    def test_mark_replayed_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            DeadLetterQueue().mark_replayed(99)

@@ -1,0 +1,228 @@
+"""The serving wire protocol: text/JSON parsing, malformed input as
+:class:`ProtocolError` (never a raw ``IndexError``), the DLQ change
+format round-trip, and the typed event/reply serializers that replaced
+the old ``json.dumps(..., default=str)`` catch-all."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.monitor import MatchEvent
+from repro.graph.operations import DELETE, INSERT, EdgeChange
+from repro.serve.protocol import (
+    AddStream,
+    BatchEdit,
+    Checkpoint,
+    Commit,
+    Edit,
+    Matches,
+    Poll,
+    ProtocolError,
+    Quit,
+    Stats,
+    change_from_dict,
+    change_to_dict,
+    encode_reply,
+    event_to_dict,
+    parse_json_line,
+    parse_text_line,
+    to_jsonable,
+)
+
+
+class TestParseTextLine:
+    def test_blank_and_comment_lines_are_skipped(self):
+        assert parse_text_line("") is None
+        assert parse_text_line("   \t ") is None
+        assert parse_text_line("# a comment") is None
+
+    def test_stream_with_and_without_graph_file(self):
+        cmd = parse_text_line("stream s1")
+        assert cmd == AddStream("s1", None, None, verb="stream")
+        cmd = parse_text_line("stream s1 graphs.txt g0")
+        assert cmd == AddStream("s1", "graphs.txt", "g0", verb="stream")
+
+    def test_ins_with_full_and_partial_labels(self):
+        cmd = parse_text_line("ins s1 1 2 x A B")
+        assert isinstance(cmd, Edit)
+        assert cmd.stream_id == "s1"
+        assert cmd.change == EdgeChange.insert("1", "2", "x", "A", "B")
+        bare = parse_text_line("ins s1 1 2")
+        assert bare.change.edge_label == "-"
+        assert bare.change.u_label is None
+
+    def test_del_parses(self):
+        cmd = parse_text_line("del s1 1 2")
+        assert isinstance(cmd, Edit)
+        assert cmd.change.op == DELETE
+
+    def test_verbs_and_aliases(self):
+        assert isinstance(parse_text_line("tick"), Commit)
+        assert isinstance(parse_text_line("commit"), Commit)
+        assert isinstance(parse_text_line("poll"), Poll)
+        assert isinstance(parse_text_line("events"), Poll)
+        assert isinstance(parse_text_line("matches"), Matches)
+        assert isinstance(parse_text_line("stats"), Stats)
+        assert isinstance(parse_text_line("checkpoint"), Checkpoint)
+        assert isinstance(parse_text_line("quit"), Quit)
+
+    def test_verb_is_echoed_as_spelled(self):
+        assert parse_text_line("tick").verb == "tick"
+        assert parse_text_line("commit").verb == "commit"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "frobnicate",
+            "stream",
+            "stream a b c d",
+            "ins s1",
+            "ins s1 u",  # the historical IndexError case
+            "ins s1 1 2 x A B extra",
+            "del s1 1",
+            "del s1 1 2 extra",
+            "tick now",
+            "matches please",
+        ],
+    )
+    def test_malformed_lines_raise_protocol_error(self, line):
+        with pytest.raises(ProtocolError):
+            parse_text_line(line)
+
+    def test_malformed_never_escapes_as_index_error(self):
+        try:
+            parse_text_line("ins s1 u")
+        except ProtocolError as exc:
+            assert "ins" in str(exc)
+        else:  # pragma: no cover - the parse must raise
+            pytest.fail("expected ProtocolError")
+
+    def test_self_loop_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            parse_text_line("ins s1 3 3")
+
+
+class TestParseJsonLine:
+    def test_blank_line_is_skipped(self):
+        assert parse_json_line("") is None
+        assert parse_json_line("  \n") is None
+
+    def test_ins_preserves_integer_ids(self):
+        cmd = parse_json_line(
+            json.dumps(
+                {
+                    "cmd": "ins",
+                    "stream": 7,
+                    "u": 1,
+                    "v": 2,
+                    "edge_label": "x",
+                    "u_label": "A",
+                    "v_label": "B",
+                }
+            )
+        )
+        assert isinstance(cmd, Edit)
+        assert cmd.stream_id == 7
+        assert cmd.change.u == 1 and cmd.change.v == 2
+
+    def test_batch_parses_many_changes(self):
+        cmd = parse_json_line(
+            json.dumps(
+                {
+                    "cmd": "batch",
+                    "stream": "s",
+                    "changes": [
+                        {"op": "ins", "u": 1, "v": 2, "edge_label": "x"},
+                        {"op": "del", "u": 3, "v": 4},
+                    ],
+                }
+            )
+        )
+        assert isinstance(cmd, BatchEdit)
+        assert len(cmd.changes) == 2
+        assert cmd.changes[0].op == INSERT
+        assert cmd.changes[1].op == DELETE
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"no_cmd": true}',
+            '{"cmd": 7}',
+            '{"cmd": "warp"}',
+            '{"cmd": "ins"}',  # missing stream
+            '{"cmd": "ins", "stream": "s"}',  # missing u/v
+            '{"cmd": "batch", "stream": "s"}',  # missing changes
+            '{"cmd": "batch", "stream": "s", "changes": "nope"}',
+            '{"cmd": "ins", "stream": "s", "u": 1, "v": 1}',  # self loop
+        ],
+    )
+    def test_malformed_json_commands_raise(self, line):
+        with pytest.raises(ProtocolError):
+            parse_json_line(line)
+
+
+class TestChangeDictRoundTrip:
+    def test_insert_round_trips(self):
+        change = EdgeChange.insert(1, 2, "x", "A", "B")
+        assert change_from_dict(change_to_dict(change)) == change
+
+    def test_delete_round_trips(self):
+        change = EdgeChange.delete("a", "b")
+        assert change_from_dict(change_to_dict(change)) == change
+
+    def test_delete_dict_omits_labels(self):
+        doc = change_to_dict(EdgeChange.delete(1, 2))
+        assert set(doc) == {"op", "u", "v"}
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "not a mapping",
+            {"op": "upsert", "u": 1, "v": 2},
+            {"op": "ins", "u": 1},
+            {"op": "ins", "u": 1, "v": 1},
+        ],
+    )
+    def test_bad_change_dicts_raise(self, doc):
+        with pytest.raises(ProtocolError):
+            change_from_dict(doc)
+
+
+class TestTypedSerialization:
+    """Regression for the ``emit(..., default=str)`` catch-all: events
+    and replies must keep int ids and timestamps typed."""
+
+    def test_event_keeps_integer_ids_typed(self):
+        event = MatchEvent(kind="appeared", stream_id=7, query_id="q0")
+        doc = event_to_dict(event, 42)
+        assert doc == {"kind": "appeared", "stream": 7, "query": "q0", "t": 42}
+        decoded = json.loads(json.dumps(doc))
+        assert decoded["stream"] == 7 and not isinstance(decoded["stream"], str)
+        assert decoded["t"] == 42 and not isinstance(decoded["t"], str)
+
+    def test_exotic_ids_fall_back_to_str_explicitly(self):
+        event = MatchEvent(kind="vanished", stream_id=("s", 1), query_id="q")
+        doc = event_to_dict(event, 1)
+        assert doc["stream"] == str(("s", 1))
+
+    def test_to_jsonable_passes_native_scalars_through(self):
+        value = {"t": 3, "ratio": 0.5, "ok": True, "name": "x", "none": None}
+        assert to_jsonable(value) == value
+
+    def test_to_jsonable_stringifies_only_exotic_leaves(self):
+        doc = to_jsonable({"path": Path("/tmp/x"), "ids": [1, 2], "keys": {3: "v"}})
+        assert doc == {"path": "/tmp/x", "ids": [1, 2], "keys": {"3": "v"}}
+
+    def test_to_jsonable_sorts_sets_deterministically(self):
+        assert to_jsonable({"s": {3, 1, 2}}) == {"s": [1, 2, 3]}
+
+    def test_encode_reply_round_trips_typed(self):
+        reply = {"ok": True, "t": 9, "events": [{"stream": 4, "t": 9}]}
+        decoded = json.loads(encode_reply(reply))
+        assert decoded["t"] == 9
+        assert decoded["events"][0]["stream"] == 4

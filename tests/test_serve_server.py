@@ -1,0 +1,684 @@
+"""End-to-end tests of the asyncio TCP serving layer.
+
+The async tests drive a real :class:`ReproServer` on a loopback socket
+via ``asyncio.run`` inside synchronous test functions.  Correctness is
+checked two ways: exact equivalence against a reference
+:class:`StreamMonitor` fed the identical per-stream batch sequence, and
+zero false negatives against the independent networkx monomorphism
+oracle on each stream's final graph.  The SIGTERM drain test spawns the
+real ``repro serve --tcp`` CLI as a subprocess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.monitor import StreamMonitor
+from repro.datasets.stream_gen import synthesize_stream
+from repro.graph import LabeledGraph
+from repro.graph.operations import EdgeChange, GraphChangeOperation
+from repro.obs import Registry
+from repro.serve import (
+    DeadLetterQueue,
+    ReproServer,
+    ServeConfig,
+    Session,
+    TokenBucket,
+    replay_dead_letters_async,
+)
+from repro.serve.protocol import Commit, change_to_dict
+from repro.serve.server import _WorkItem
+from repro.serve.session import apply_batch_validated
+
+from .conftest import random_labeled_graph
+from .test_vf2 import nx_subgraph_iso
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    previous = obs.set_registry(Registry())
+    obs.clear_spans()
+    was_enabled = obs.enabled()
+    obs.enable()
+    yield
+    obs.set_registry(previous)
+    obs.clear_spans()
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
+# -- async client helpers --------------------------------------------------
+
+
+async def connect(port: int):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    hello = json.loads(await reader.readline())
+    assert hello["notice"] == "hello"
+    return reader, writer, hello
+
+
+async def send_cmd(reader, writer, doc: dict, notices: list | None = None) -> dict:
+    writer.write((json.dumps(doc) + "\n").encode())
+    await writer.drain()
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        reply = json.loads(line)
+        if "notice" in reply:
+            if notices is not None:
+                notices.append(reply)
+            continue
+        return reply
+
+
+def small_queries(rng: random.Random, count: int = 2) -> dict:
+    return {f"q{i}": random_labeled_graph(rng, 3, extra_edges=1) for i in range(count)}
+
+
+def edge_query() -> LabeledGraph:
+    query = LabeledGraph()
+    query.add_vertex(0, "A")
+    query.add_vertex(1, "B")
+    query.add_edge(0, 1, "x")
+    return query
+
+
+def ins(stream, u, v) -> dict:
+    return {
+        "cmd": "ins",
+        "stream": stream,
+        "u": u,
+        "v": v,
+        "edge_label": "x",
+        "u_label": "A",
+        "v_label": "B",
+    }
+
+
+# -- concurrent clients vs reference monitor + oracle ----------------------
+
+
+def _build_workload(rng: random.Random, stream_id: int):
+    """One client's batch sequence: the initial graph as an insert batch
+    (streams are created empty over the wire) plus the synthetic stream's
+    change operations.  Returns (batches, final_graph)."""
+    base = random_labeled_graph(rng, 6, extra_edges=2)
+    stream = synthesize_stream(
+        base, 0.3, 0.25, 4, rng, all_pairs=True, name=str(stream_id)
+    )
+    initial_batch = GraphChangeOperation(
+        [
+            EdgeChange.insert(
+                u,
+                v,
+                label,
+                stream.initial.vertex_label(u),
+                stream.initial.vertex_label(v),
+            )
+            for u, v, label in stream.initial.edges()
+        ]
+    )
+    batches = [initial_batch] + list(stream.operations)
+    return batches, stream.graph_at(len(stream) - 1)
+
+
+class TestConcurrentClients:
+    def test_concurrent_clients_match_reference_and_oracle(self):
+        rng = random.Random(20090415)
+        queries = small_queries(rng, count=3)
+        workloads = {i: _build_workload(rng, i) for i in range(3)}
+
+        async def drive(port: int, stream_id: int, batches, commits: list):
+            reader, writer, _ = await connect(port)
+            reply = await send_cmd(
+                reader, writer, {"cmd": "stream", "stream": stream_id}
+            )
+            assert reply["ok"] and reply["stream"] == stream_id
+            for batch in batches:
+                reply = await send_cmd(
+                    reader,
+                    writer,
+                    {
+                        "cmd": "batch",
+                        "stream": stream_id,
+                        "changes": [change_to_dict(c) for c in batch],
+                    },
+                )
+                assert reply["ok"], reply
+                reply = await send_cmd(reader, writer, {"cmd": "commit"})
+                assert reply["ok"], reply
+                commits.append(reply)
+                await asyncio.sleep(0)  # let the other clients interleave
+            await send_cmd(reader, writer, {"cmd": "quit"})
+            writer.close()
+
+        async def scenario():
+            monitor = StreamMonitor(queries, method="dsc")
+            server = ReproServer(monitor)
+            await server.start()
+            commits: dict[int, list] = {i: [] for i in workloads}
+            await asyncio.gather(
+                *(
+                    drive(server.port, i, batches, commits[i])
+                    for i, (batches, _) in workloads.items()
+                )
+            )
+            reader, writer, _ = await connect(server.port)
+            matches_reply = await send_cmd(reader, writer, {"cmd": "matches"})
+            poll_reply = await send_cmd(reader, writer, {"cmd": "poll"})
+            await send_cmd(reader, writer, {"cmd": "quit"})
+            await server.drain()
+            return commits, matches_reply, poll_reply
+
+        commits, matches_reply, poll_reply = asyncio.run(scenario())
+
+        # Reference: the identical batch sequence through a library monitor.
+        reference = StreamMonitor(queries, method="dsc")
+        for stream_id, (batches, _) in workloads.items():
+            reference.add_stream(stream_id, LabeledGraph())
+            for batch in batches:
+                reference.apply(stream_id, batch)
+        expected = reference.matches()
+
+        served = {tuple(pair) for pair in matches_reply["matches"]}
+        assert served == expected
+
+        # Zero false negatives against the independent networkx oracle.
+        for stream_id, (_, final_graph) in workloads.items():
+            for query_id, query in queries.items():
+                if nx_subgraph_iso(query, final_graph):
+                    assert (stream_id, query_id) in served
+
+        # A fresh session's first poll reports the whole current match
+        # set as appeared events, with integer stream ids kept typed.
+        polled = {(e["stream"], e["query"]) for e in poll_reply["events"]}
+        assert polled == expected
+        assert all(e["kind"] == "appeared" for e in poll_reply["events"])
+        assert all(isinstance(e["stream"], int) for e in poll_reply["events"])
+
+        # Every commit minted a trace id and carried it in the reply.
+        for replies in commits.values():
+            assert all(reply.get("trace") for reply in replies)
+
+
+# -- admission: rate limiting, breaker, queue policies ---------------------
+
+
+class TestAdmission:
+    def test_rate_limited_session_gets_retry_after(self):
+        rng = random.Random(7)
+        queries = small_queries(rng)
+
+        async def scenario():
+            monitor = StreamMonitor(queries, method="dsc")
+            server = ReproServer(monitor, ServeConfig(rate=5.0, burst=1.0))
+            await server.start()
+            reader, writer, _ = await connect(server.port)
+            first = await send_cmd(reader, writer, {"cmd": "stream", "stream": "s"})
+            second = await send_cmd(reader, writer, ins("s", 1, 2))
+            control = await send_cmd(reader, writer, {"cmd": "matches"})
+            await asyncio.sleep(0.5)  # tokens accrue at 5/s
+            third = await send_cmd(reader, writer, ins("s", 1, 2))
+            await server.drain()
+            return first, second, control, third
+
+        first, second, control, third = asyncio.run(scenario())
+        assert first["ok"]
+        assert second["ok"] is False
+        assert second["code"] == "rate_limited"
+        assert second["retry_after"] > 0
+        assert control["ok"]  # control plane bypasses admission
+        assert third["ok"]
+
+    def test_breaker_cycles_open_half_open_closed(self):
+        rng = random.Random(8)
+        queries = small_queries(rng)
+        load = {"value": 0.0}
+
+        async def scenario():
+            monitor = StreamMonitor(queries, method="dsc")
+            server = ReproServer(
+                monitor,
+                ServeConfig(
+                    breaker_threshold=5.0,
+                    breaker_cooldown=0.05,
+                    breaker_trip_after=2,
+                ),
+                load_probe=lambda: load["value"],
+            )
+            await server.start()
+            reader, writer, _ = await connect(server.port)
+            assert (await send_cmd(reader, writer, {"cmd": "stream", "stream": "s"}))[
+                "ok"
+            ]
+            states = []
+
+            load["value"] = 10.0
+            hot1 = await send_cmd(reader, writer, ins("s", 1, 2))
+            hot2 = await send_cmd(reader, writer, ins("s", 2, 3))
+            states.append(server.breaker.state)
+            rejected = await send_cmd(reader, writer, ins("s", 3, 4))
+
+            # Cooldown with load still hot: the half-open trial is
+            # admitted, and its own load sample re-opens the breaker.
+            await asyncio.sleep(0.08)
+            trial = await send_cmd(reader, writer, ins("s", 4, 5))
+            reopened = await send_cmd(reader, writer, ins("s", 5, 6))
+            states.append(server.breaker.state)
+
+            # Load recovers: cooldown, trial admitted, next sample closes.
+            load["value"] = 0.0
+            await asyncio.sleep(0.08)
+            recovery = await send_cmd(reader, writer, ins("s", 6, 7))
+            states.append(server.breaker.state)
+            closing = await send_cmd(reader, writer, ins("s", 7, 8))
+            states.append(server.breaker.state)
+            trips = server.breaker.trips
+            await server.drain()
+            return hot1, hot2, rejected, trial, reopened, recovery, closing, states, trips
+
+        hot1, hot2, rejected, trial, reopened, recovery, closing, states, trips = (
+            asyncio.run(scenario())
+        )
+        assert hot1["ok"]  # first hot sample is still under trip_after
+        # The sample that trips the breaker is itself refused: admission
+        # observes load *before* asking the breaker for permission.
+        assert hot2["ok"] is False and hot2["code"] == "overloaded"
+        assert states[0] == "open"
+        assert rejected["ok"] is False
+        assert rejected["code"] == "overloaded"
+        assert rejected["error"] == "circuit breaker open"
+        assert rejected["retry_after"] > 0
+        assert trial["ok"]  # half-open admits trial traffic
+        assert reopened["ok"] is False and states[1] == "open"
+        assert recovery["ok"] and states[2] == "half_open"
+        assert closing["ok"] and states[3] == "closed"
+        assert trips == 2
+
+    def test_full_queue_reject_policy_refuses_newcomer(self):
+        rng = random.Random(9)
+        server = ReproServer(
+            StreamMonitor(small_queries(rng)),
+            ServeConfig(admission_capacity=1, admission_policy="reject"),
+        )
+        server._data_depth = 1  # one data command already queued
+        rejection = server._admit(
+            Session(1), TokenBucket(0.0), Commit(verb="commit")
+        )
+        assert rejection["code"] == "overloaded"
+        assert rejection["error"] == "admission queue full"
+        assert rejection["retry_after"] >= 0.05
+        assert server.counters["rejected_queue"] == 1
+
+    def test_full_queue_shed_policy_evicts_oldest(self):
+        rng = random.Random(10)
+
+        async def scenario():
+            server = ReproServer(
+                StreamMonitor(small_queries(rng)),
+                ServeConfig(admission_capacity=1, admission_policy="shed"),
+            )
+            loop = asyncio.get_running_loop()
+            victim = _WorkItem(
+                Session(1), Commit(verb="commit"), loop.create_future(), True
+            )
+            server._data_depth = 1
+            server._sheddable.append(victim)
+            rejection = server._admit(
+                Session(2), TokenBucket(0.0), Commit(verb="commit")
+            )
+            return server, victim, rejection
+
+        async def run():
+            server, victim, rejection = await scenario()
+            assert rejection is None  # the newcomer is admitted
+            assert victim.shed
+            shed_reply = victim.future.result()
+            assert shed_reply["code"] == "shed"
+            assert shed_reply["retry_after"] >= 0.05
+            assert server.counters["shed"] == 1
+            assert server.counters["admitted"] == 1
+
+        asyncio.run(run())
+
+
+# -- dead-lettering and replay ---------------------------------------------
+
+
+class TestDeadLettering:
+    def test_poison_batch_is_journaled_and_replayable(self, tmp_path):
+        queries = {"q": edge_query()}
+        dlq = DeadLetterQueue(tmp_path)
+
+        async def poison_phase():
+            monitor = StreamMonitor(queries, method="dsc")
+            server = ReproServer(monitor, dlq=dlq)
+            await server.start()
+            reader, writer, _ = await connect(server.port)
+            assert (await send_cmd(reader, writer, {"cmd": "stream", "stream": "s"}))[
+                "ok"
+            ]
+            assert (await send_cmd(reader, writer, ins("s", 1, 2)))["ok"]
+            good = await send_cmd(reader, writer, {"cmd": "commit"})
+            # The same insert again is a duplicate edge: poison at commit.
+            assert (await send_cmd(reader, writer, ins("s", 1, 2)))["ok"]
+            bad = await send_cmd(reader, writer, {"cmd": "commit"})
+            # Poison is cleared from the stage, so the session recovers.
+            after = await send_cmd(reader, writer, {"cmd": "commit"})
+            await server.drain()
+            return good, bad, after
+
+        good, bad, after = asyncio.run(poison_phase())
+        assert good["ok"] and good["applied"] == 1
+        assert bad["ok"] is False
+        assert bad["errors"][0]["dlq_id"] == 1
+        assert "GraphError" in bad["errors"][0]["error"]
+        assert after["ok"] and after["applied"] == 0
+
+        entry = dlq.get(1)
+        assert entry is not None and not entry.replayed
+        assert entry.stream == "s"
+        assert entry.trace_id  # journaled with the commit's trace id
+        assert entry.changes == [change_to_dict(EdgeChange.insert(1, 2, "x", "A", "B"))]
+
+        async def replay_phase():
+            monitor = StreamMonitor(queries, method="dsc")  # fresh server
+            server = ReproServer(monitor, dlq=dlq)
+            await server.start()
+            replayed = await replay_dead_letters_async(dlq, "127.0.0.1", server.port)
+            matches = monitor.matches()
+            await server.drain()
+            return replayed, matches
+
+        replayed, matches = asyncio.run(replay_phase())
+        assert replayed == [1]
+        assert matches == {("s", "q")}  # the dead batch applied cleanly
+
+        # The replay marker survives the journal round-trip.
+        assert DeadLetterQueue(tmp_path).get(1).replayed
+
+    def test_sharded_poison_is_dead_lettered_and_worker_stays_healthy(
+        self, tmp_path
+    ):
+        """Against the sharded runtime ``apply`` is asynchronous, so a
+        poison batch that reached a worker would crash it *after* the
+        commit reply (and journal replay would re-crash it forever).
+        The bridge's shadow validation must refuse the batch up front:
+        a structured dead-letter reply, never ``code: internal``, and
+        the stream keeps serving afterwards."""
+        from repro.runtime import ShardedMonitor
+
+        queries = {"q": edge_query()}
+        dlq = DeadLetterQueue(tmp_path)
+
+        async def scenario(monitor):
+            server = ReproServer(monitor, dlq=dlq)
+            await server.start()
+            reader, writer, _ = await connect(server.port)
+            assert (await send_cmd(reader, writer, {"cmd": "stream", "stream": "s"}))[
+                "ok"
+            ]
+            assert (await send_cmd(reader, writer, ins("s", 1, 2)))["ok"]
+            good = await send_cmd(reader, writer, {"cmd": "commit"})
+            # Duplicate edge: poison, but the worker must never see it.
+            assert (await send_cmd(reader, writer, ins("s", 1, 2)))["ok"]
+            bad = await send_cmd(reader, writer, {"cmd": "commit"})
+            # The stream still accepts good batches — the worker is alive.
+            assert (await send_cmd(reader, writer, ins("s", 3, 4)))["ok"]
+            after = await send_cmd(reader, writer, {"cmd": "commit"})
+            matched = await send_cmd(reader, writer, {"cmd": "matches"})
+            await server.drain()
+            return good, bad, after, matched
+
+        monitor = ShardedMonitor(queries, method="dsc", num_workers=2)
+        try:
+            good, bad, after, matched = asyncio.run(scenario(monitor))
+        finally:
+            monitor.close()
+
+        assert good["ok"] and good["applied"] == 1
+        assert bad["ok"] is False and "code" not in bad
+        assert bad["errors"][0]["dlq_id"] == 1
+        assert "GraphError" in bad["errors"][0]["error"]
+        assert after["ok"] and after["applied"] == 1
+        assert matched["matches"] == [["s", "q"]]
+
+        entry = dlq.get(1)
+        assert entry is not None and entry.stream == "s"
+        assert entry.changes == [change_to_dict(EdgeChange.insert(1, 2, "x", "A", "B"))]
+
+    def test_cli_dlq_list_and_show(self, tmp_path, capsys):
+        from repro.cli import main
+
+        dlq = DeadLetterQueue(tmp_path)
+        dlq.record(
+            session=1,
+            stream="s0",
+            changes=[{"op": "ins", "u": 1, "v": 2, "edge_label": "x"}],
+            error="GraphError: duplicate edge",
+        )
+
+        assert main(["dlq", "list", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pending" in out and "stream=s0" in out and "total: 1" in out
+
+        assert main(["dlq", "show", "--dir", str(tmp_path), "--id", "1"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["dlq_id"] == 1 and doc["error"] == "GraphError: duplicate edge"
+
+        assert main(["dlq", "show", "--dir", str(tmp_path)]) == 2
+        assert main(["dlq", "show", "--dir", str(tmp_path), "--id", "9"]) == 2
+
+
+# -- shadow validation ------------------------------------------------------
+
+
+class TestShadowValidation:
+    """The bridge's all-or-nothing batch validator (session module)."""
+
+    def _graph(self) -> LabeledGraph:
+        graph = LabeledGraph()
+        graph.add_vertex(1, "A")
+        graph.add_vertex(2, "B")
+        graph.add_edge(1, 2, "x")
+        return graph
+
+    def test_clean_batch_applies(self):
+        graph = self._graph()
+        apply_batch_validated(
+            graph,
+            GraphChangeOperation(
+                [EdgeChange.delete(1, 2), EdgeChange.insert(1, 3, "y", "A", "C")]
+            ),
+        )
+        assert graph.has_edge(1, 3) and not graph.has_edge(1, 2)
+        assert not graph.has_vertex(2)  # isolated by the delete, dropped
+
+    @pytest.mark.parametrize(
+        "poison",
+        [
+            EdgeChange.insert(2, 5, "z", "B", "E"),  # duplicates the prefix's
+            EdgeChange.delete(1, 9),  # missing edge
+            EdgeChange.insert(1, 9, "x"),  # new vertex, no label
+        ],
+        ids=["duplicate-insert", "missing-delete", "unlabeled-vertex"],
+    )
+    def test_poison_rolls_back_to_identical_graph(self, poison):
+        graph = self._graph()
+        pristine = graph.copy()
+        # A prefix of valid changes applies before the poison hits; the
+        # rollback must undo those too, not just the failing change.
+        batch = GraphChangeOperation(
+            [
+                EdgeChange.delete(1, 2),
+                EdgeChange.insert(2, 5, "z", "B", "E"),
+                EdgeChange.insert(1, 4, "y", "A", "D"),
+                poison,
+            ]
+        )
+        with pytest.raises((Exception,)) as excinfo:
+            apply_batch_validated(graph, batch)
+        assert excinfo.type.__name__ in ("GraphError", "ValueError", "KeyError")
+        assert graph == pristine
+
+    def test_partially_applied_insert_rolls_back(self):
+        # 7 gets created, then the unlabeled endpoint 8 aborts the
+        # change mid-way: the created vertex must not survive.
+        graph = self._graph()
+        pristine = graph.copy()
+        with pytest.raises(Exception):
+            apply_batch_validated(
+                graph,
+                GraphChangeOperation([EdgeChange.insert(7, 8, "x", "G", None)]),
+            )
+        assert graph == pristine
+
+
+# -- draining ---------------------------------------------------------------
+
+
+class TestDraining:
+    def test_drain_flushes_every_acked_batch(self):
+        rng = random.Random(11)
+        queries = small_queries(rng)
+
+        async def scenario():
+            monitor = StreamMonitor(queries, method="dsc")
+            server = ReproServer(monitor)
+            await server.start()
+            reader, writer, _ = await connect(server.port)
+            assert (await send_cmd(reader, writer, {"cmd": "stream", "stream": "s"}))[
+                "ok"
+            ]
+            notices: list = []
+            acked: list[int] = []
+            saw_draining_reject = False
+            for k in range(100):
+                if k == 10:
+                    server.request_drain()
+                try:
+                    staged = await send_cmd(
+                        reader, writer, ins("s", 1000 + k, 2000 + k), notices
+                    )
+                    if staged.get("code") == "draining":
+                        saw_draining_reject = True
+                        break
+                    committed = await send_cmd(
+                        reader, writer, {"cmd": "commit"}, notices
+                    )
+                    if committed.get("code") == "draining":
+                        saw_draining_reject = True
+                        break
+                except (ConnectionError, OSError):
+                    break
+                if staged["ok"] and committed["ok"]:
+                    acked.append(k)
+            await server.lifecycle.wait_stopped()
+            return monitor, server, acked, notices, saw_draining_reject
+
+        monitor, server, acked, notices, rejected = asyncio.run(scenario())
+        assert acked  # some commits were acked before the drain
+        assert rejected or notices  # the client was told about the drain
+        assert any(n.get("notice") == "draining" for n in notices)
+        # Every acked batch survived the drain: its edge is in the graph.
+        graph = monitor.graph("s")
+        for k in acked:
+            assert graph.has_edge(1000 + k, 2000 + k)
+        assert server.bridge.accepted_batches >= len(acked)
+        assert server.lifecycle.stopped
+
+    def test_sigterm_drains_checkpoint_and_exits_cleanly(self, tmp_path):
+        from repro.graph.io import write_graph_set
+
+        rng = random.Random(12)
+        queries = small_queries(rng)
+        qpath = tmp_path / "queries.txt"
+        write_graph_set(list(queries.values()), qpath, names=list(queries))
+        ckpt = tmp_path / "ckpt"
+
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--queries",
+                str(qpath),
+                "--tcp",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--checkpoint-dir",
+                str(ckpt),
+                "--dlq-dir",
+                str(tmp_path / "dlq"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        try:
+            listening = json.loads(proc.stdout.readline())
+            assert listening["notice"] == "listening"
+            port = listening["port"]
+
+            with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+                sock.settimeout(30)
+                stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+                assert json.loads(stream.readline())["notice"] == "hello"
+
+                def roundtrip(doc: dict) -> dict:
+                    stream.write(json.dumps(doc) + "\n")
+                    stream.flush()
+                    while True:
+                        reply = json.loads(stream.readline())
+                        if "notice" not in reply:
+                            return reply
+
+                assert roundtrip({"cmd": "stream", "stream": "s"})["ok"]
+                assert roundtrip(ins("s", 1, 2))["ok"]
+                committed = roundtrip({"cmd": "commit"})
+                assert committed["ok"] and committed["applied"] == 1
+
+                os.kill(proc.pid, signal.SIGTERM)
+
+                # The drain broadcast reaches connected clients before
+                # the server closes the socket.
+                drained = None
+                while True:
+                    line = stream.readline()
+                    if not line:
+                        break
+                    doc = json.loads(line)
+                    if doc.get("notice") == "draining":
+                        drained = doc
+                        break
+                assert drained is not None
+                assert drained["accepted_batches"] >= 1
+
+            assert proc.wait(timeout=60) == 0
+            # The drain checkpointed every shard before exiting.
+            assert (ckpt / "shard_0" / "LATEST").exists()
+            assert (ckpt / "shard_1" / "LATEST").exists()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=30)
