@@ -1,0 +1,161 @@
+"""Live query churn benchmarks: registration vs rebuild, dedup ratio.
+
+The point of ``register_query`` is that adding one standing query to a
+warm monitor costs a single NPV snapshot + engine row insertion — not a
+whole-monitor rebuild (re-decomposing every query, re-ingesting every
+stream).  ``test_live_registration_vs_rebuild_gate`` pins that claim:
+on a fig16-style workload, registering a query live is at least **10x**
+cheaper than the rebuild it replaces (target ~100x; the measured ratio
+lands in ``BENCH_churn.json``'s ``extra_info`` for trending).
+
+``test_fingerprint_dedup_gate`` pins the memory side: a query library
+with repeated shapes (real pattern libraries are full of near-duplicate
+typologies) shares dominance rows per NPV fingerprint, holding at least
+**2x** fewer live vectors than the one-group-per-query naive layout.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.monitor import StreamMonitor
+from repro.datasets.ggen import generate_graph_set
+from repro.datasets.queries import make_query_set
+
+NUM_STREAMS = 6
+NUM_QUERIES = 24
+COPIES = 3  # dedup workload: each distinct shape appears this often
+
+_cache = {}
+
+
+def _workload():
+    """(all_queries, streams) — built once per session."""
+    if "workload" not in _cache:
+        bases = generate_graph_set(
+            NUM_STREAMS, graph_size=24.0, num_vertex_labels=4, seed=401
+        )
+        queries = {
+            f"q{i}": query
+            for i, query in enumerate(
+                make_query_set(bases, 5, NUM_QUERIES, seed=402)
+            )
+        }
+        streams = {f"s{i}": base for i, base in enumerate(bases)}
+        _cache["workload"] = (queries, streams)
+    return _cache["workload"]
+
+
+def _warm_monitor(queries: dict) -> StreamMonitor:
+    monitor = StreamMonitor(queries, method="dsc")
+    _, streams = _workload()
+    for stream_id, graph in streams.items():
+        monitor.add_stream(stream_id, graph)
+    return monitor
+
+
+def _split():
+    """(initial, late) — the last quarter of the library arrives live."""
+    queries, _ = _workload()
+    names = sorted(queries)
+    cut = len(names) - len(names) // 4
+    initial = {name: queries[name] for name in names[:cut]}
+    late = {name: queries[name] for name in names[cut:]}
+    return initial, late
+
+
+def _register_live() -> float:
+    """Seconds per query to register the late batch into a warm monitor."""
+    initial, late = _split()
+    monitor = _warm_monitor(initial)
+    start = time.perf_counter()
+    for query_id, pattern in late.items():
+        monitor.register_query(query_id, pattern)
+    elapsed = time.perf_counter() - start
+    assert sorted(monitor.query_ids()) == sorted(initial | late)
+    return elapsed / len(late)
+
+
+def _rebuild() -> float:
+    """Seconds for the rebuild a live registration replaces: tear the
+    monitor down and reconstruct it with the grown library."""
+    queries, _ = _workload()
+    start = time.perf_counter()
+    monitor = _warm_monitor(queries)
+    elapsed = time.perf_counter() - start
+    assert sorted(monitor.query_ids()) == sorted(queries)
+    return elapsed
+
+
+def _measured(key: str, fn) -> float:
+    if key not in _cache:
+        _cache[key] = fn()
+    return _cache[key]
+
+
+def test_register_live(benchmark):
+    benchmark.extra_info["num_streams"] = NUM_STREAMS
+    benchmark.extra_info["num_queries"] = NUM_QUERIES
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["seconds_per_query"] = _measured("live", _register_live)
+    benchmark.pedantic(_register_live, rounds=3, warmup_rounds=1)
+
+
+def test_rebuild(benchmark):
+    benchmark.extra_info["num_streams"] = NUM_STREAMS
+    benchmark.extra_info["num_queries"] = NUM_QUERIES
+    benchmark.extra_info["rebuild_seconds"] = _measured("rebuild", _rebuild)
+    benchmark.pedantic(_rebuild, rounds=3, warmup_rounds=1)
+
+
+def test_live_registration_vs_rebuild_gate():
+    """The headline claim: one live registration is >= 10x cheaper than
+    the whole-monitor rebuild it replaces."""
+    live = _measured("live", _register_live)
+    rebuild = _measured("rebuild", _rebuild)
+    assert live > 0, "registration took no measurable time — clock broken"
+    ratio = rebuild / live
+    assert ratio >= 10.0, (
+        f"live registration is only {ratio:.1f}x cheaper than a rebuild "
+        f"({rebuild * 1e3:.1f}ms rebuild vs {live * 1e3:.2f}ms/query); gate is 10x"
+    )
+
+
+def test_live_answers_match_rebuild():
+    """The benchmark must compare equal work: the churned monitor and
+    the rebuilt monitor answer identically."""
+    initial, late = _split()
+    churned = _warm_monitor(initial)
+    for query_id, pattern in late.items():
+        churned.register_query(query_id, pattern)
+    rebuilt = _warm_monitor(initial | late)
+    assert churned.matches() == rebuilt.matches()
+
+
+def test_fingerprint_dedup_gate():
+    """Repeated shapes share dominance rows: >= 2x fewer live vectors
+    than one-group-per-query."""
+    queries, _ = _workload()
+    rng = random.Random(403)
+    names = sorted(queries)[: NUM_QUERIES // COPIES]
+    library = {}
+    for name in names:
+        for copy in range(COPIES):
+            library[f"{name}c{copy}"] = queries[name].copy()
+    shuffled = sorted(library)
+    rng.shuffle(shuffled)
+    monitor = StreamMonitor({shuffled[0]: library[shuffled[0]]}, method="dsc")
+    for query_id in shuffled[1:]:
+        monitor.register_query(query_id, library[query_id])
+    shared = monitor.query_set.live_vector_count()
+    naive = sum(
+        len(monitor.query_set.by_query[query_id]) for query_id in library
+    )
+    assert shared > 0
+    ratio = naive / shared
+    assert ratio >= 2.0, (
+        f"dedup holds only {ratio:.1f}x fewer rows ({naive} naive -> "
+        f"{shared} shared); gate is 2x"
+    )

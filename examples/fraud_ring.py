@@ -1,0 +1,132 @@
+"""Fraud-ring monitoring with live query churn.
+
+Models payment streams (accounts as labeled vertices, payments as
+edges) watched for money-laundering typologies.  Unlike the static
+examples, the query library itself changes mid-stream: an analyst
+registers a new typology with ``register_query`` while payments keep
+flowing — the monitor answers for it immediately, against the current
+stream state, with no rebuild and no false negatives — and retires a
+stale one with ``deregister_query``.
+
+Run with:  python examples/fraud_ring.py
+"""
+
+import random
+
+from repro import EdgeChange, GraphChangeOperation, LabeledGraph, StreamMonitor
+
+ACCOUNT_LABELS = ["acct", "mule", "merchant", "bank"]  # account id % 4
+
+
+def fraud_patterns() -> dict:
+    """Three laundering typologies a fraud team might watch for."""
+    # Money cycle: three accounts paying each other in a ring.
+    ring = LabeledGraph.from_vertices_and_edges(
+        [(0, "acct"), (1, "acct"), (2, "acct")],
+        [(0, 1, "pay"), (1, 2, "pay"), (2, 0, "pay")],
+    )
+    # Fan-in through a mule account toward a bank.
+    fan = LabeledGraph.from_vertices_and_edges(
+        [(0, "acct"), (1, "acct"), (2, "mule"), (3, "bank")],
+        [(0, 2, "pay"), (1, 2, "pay"), (2, 3, "pay")],
+    )
+    # Layering chain: account -> mule -> mule -> merchant.
+    chain = LabeledGraph.from_vertices_and_edges(
+        [(0, "acct"), (1, "mule"), (2, "mule"), (3, "merchant")],
+        [(0, 1, "pay"), (1, 2, "pay"), (2, 3, "pay")],
+    )
+    return {"money-cycle": ring, "mule-fan-in": fan, "layering-chain": chain}
+
+
+def account_label(account: int) -> str:
+    return ACCOUNT_LABELS[account % len(ACCOUNT_LABELS)]
+
+
+def random_payments(
+    rng: random.Random, current: LabeledGraph, accounts: int
+) -> GraphChangeOperation:
+    """One timestamp of background churn: payments made and settled."""
+    changes = []
+    existing = list(current.edges())
+    if existing and rng.random() < 0.3:
+        u, v, _ = rng.choice(existing)
+        changes.append(EdgeChange.delete(u, v))
+    proposed = set()
+    for _ in range(rng.randint(1, 3)):
+        u, v = rng.sample(range(accounts), 2)
+        key = frozenset((u, v))
+        if current.has_edge(u, v) or key in proposed:
+            continue
+        proposed.add(key)
+        changes.append(
+            EdgeChange.insert(
+                u, v, "pay", u_label=account_label(u), v_label=account_label(v)
+            )
+        )
+    return GraphChangeOperation(changes)
+
+
+def inject(current: LabeledGraph, edges: list) -> GraphChangeOperation:
+    """An actual laundering structure appearing in the payment graph."""
+    return GraphChangeOperation(
+        [
+            EdgeChange.insert(
+                u, v, "pay", u_label=account_label(u), v_label=account_label(v)
+            )
+            for u, v in edges
+            if not current.has_edge(u, v)
+        ]
+    )
+
+
+def main() -> None:
+    rng = random.Random(1896)
+    patterns = fraud_patterns()
+    # Start with two typologies; "layering-chain" arrives mid-run.
+    monitor = StreamMonitor(
+        {name: patterns[name] for name in ("money-cycle", "mule-fan-in")},
+        method="dsc",
+    )
+    streams = ["cards", "wires"]
+    for stream in streams:
+        monitor.add_stream(stream)
+
+    previous: set = set()
+    for timestamp in range(1, 15):
+        for stream in streams:
+            monitor.apply(
+                stream, random_payments(rng, monitor.graph(stream), accounts=12)
+            )
+        if timestamp == 6:
+            # a laundering ring among three accounts
+            monitor.apply("wires", inject(monitor.graph("wires"), [(0, 4), (4, 8), (8, 0)]))
+            print(f"t={timestamp}: [injected money cycle into wires]")
+        if timestamp == 10:
+            # a layering chain: acct -> mule -> mule -> merchant
+            monitor.apply("wires", inject(monitor.graph("wires"), [(8, 5), (5, 9), (9, 2)]))
+            print(f"t={timestamp}: [injected layering chain into wires]")
+
+        flagged = monitor.matches()
+        for pair in sorted(flagged - previous):
+            stream_id, typology = pair
+            confirmed = pair in monitor.verified_matches({pair})
+            status = "CONFIRMED" if confirmed else "possible (filter only)"
+            print(f"t={timestamp}: ALERT {typology!r} on {stream_id}: {status}")
+        previous = flagged
+
+        if timestamp == 8:
+            # analyst adds a new typology live — no rebuild, answered
+            # against the current payment graphs from the next poll on
+            monitor.register_query("layering-chain", patterns["layering-chain"])
+            print(f"t={timestamp}: [registered typology 'layering-chain' live]")
+        if timestamp == 12:
+            monitor.deregister_query("mule-fan-in")
+            previous = {p for p in previous if p[1] != "mule-fan-in"}
+            print(f"t={timestamp}: [retired typology 'mule-fan-in']")
+
+    print("final standing alerts:", sorted(monitor.verified_matches()))
+    print("queries now live:", sorted(monitor.query_ids()))
+
+
+if __name__ == "__main__":
+    main()

@@ -158,6 +158,21 @@ def build_parser() -> argparse.ArgumentParser:
         "timestamp T (repeatable; workers >= 2)",
     )
     replay.add_argument(
+        "--register-at",
+        action="append",
+        metavar="T:ID:FILE[:KEY]",
+        help="register query ID (pattern KEY from graph-set FILE, first "
+        "graph when omitted) live after the events of timestamp T "
+        "(repeatable)",
+    )
+    replay.add_argument(
+        "--deregister-at",
+        action="append",
+        metavar="T:ID",
+        help="deregister query ID live after the events of timestamp T "
+        "(repeatable)",
+    )
+    replay.add_argument(
         "--stats-every",
         type=int,
         default=0,
@@ -508,7 +523,13 @@ def _report_probe(probe) -> None:
 
 
 def _replay_and_report(
-    monitor, streams, verify_with=None, stats_every=0, probe=None, rescales=None
+    monitor,
+    streams,
+    verify_with=None,
+    stats_every=0,
+    probe=None,
+    rescales=None,
+    churn=None,
 ) -> None:
     """Drive ``monitor`` (StreamMonitor or ShardedMonitor — same API)
     through recorded streams, printing one line per match event.
@@ -522,6 +543,9 @@ def _replay_and_report(
     reported — strictly off the filtering path.  ``rescales`` maps a
     printed timestamp to a target worker-pool size; the pool is rescaled
     live right after that timestamp's events (runtime path only).
+    ``churn`` maps a timestamp to live query churn operations (from
+    :func:`_parse_churn`), executed right after that timestamp's events
+    and any rescale — both monitor flavours support them live.
     """
     from .obs import render_prometheus
 
@@ -549,6 +573,14 @@ def _replay_and_report(
                 f"{report['from']}->{report['to']} "
                 f"moved={report['moved_streams']} in {report['seconds']:.3f}s"
             )
+        for operation in (churn or {}).get(timestamp + 1, ()):
+            if operation[0] == "register":
+                _, query_id, pattern = operation
+                monitor.register_query(query_id, pattern)
+                print(f"t={timestamp + 1}: register query {query_id}")
+            else:
+                monitor.deregister_query(operation[1])
+                print(f"t={timestamp + 1}: deregister query {operation[1]}")
         if probe is not None:
             probe.sample()
         if stats_every and (timestamp + 1) % stats_every == 0:
@@ -601,10 +633,59 @@ def _parse_rescales(specs) -> dict[int, int]:
     return rescales
 
 
+def _parse_churn(register_specs, deregister_specs) -> dict[int, list[tuple]]:
+    """``--register-at T:ID:FILE[:KEY]`` / ``--deregister-at T:ID``
+    occurrences -> ``{timestamp: [churn operations]}``.
+
+    Patterns are loaded eagerly so a missing file or key fails before
+    the replay starts, not halfway through it.
+    """
+    churn: dict[int, list[tuple]] = {}
+    for spec in register_specs or []:
+        parts = spec.split(":")
+        if len(parts) not in (3, 4):
+            raise SystemExit(
+                f"--register-at expects T:ID:FILE[:KEY], got {spec!r}"
+            )
+        timestamp_text, query_id, graph_file = parts[0], parts[1], parts[2]
+        key = parts[3] if len(parts) == 4 else None
+        try:
+            timestamp = int(timestamp_text)
+        except ValueError:
+            raise SystemExit(
+                f"--register-at expects T:ID:FILE[:KEY], got {spec!r}"
+            ) from None
+        if timestamp < 1:
+            raise SystemExit(f"--register-at needs T >= 1, got {spec!r}")
+        graph_set = dict(read_graph_set(graph_file))
+        if key is None:
+            if not graph_set:
+                raise SystemExit(f"--register-at: empty graph set {graph_file!r}")
+            key = next(iter(graph_set))
+        if key not in graph_set:
+            raise SystemExit(f"--register-at: graph {key!r} not in {graph_file}")
+        churn.setdefault(timestamp, []).append(
+            ("register", query_id, graph_set[key])
+        )
+    for spec in deregister_specs or []:
+        timestamp_text, separator, query_id = spec.partition(":")
+        if not separator or not query_id:
+            raise SystemExit(f"--deregister-at expects T:ID, got {spec!r}")
+        try:
+            timestamp = int(timestamp_text)
+        except ValueError:
+            raise SystemExit(f"--deregister-at expects T:ID, got {spec!r}") from None
+        if timestamp < 1:
+            raise SystemExit(f"--deregister-at needs T >= 1, got {spec!r}")
+        churn.setdefault(timestamp, []).append(("deregister", query_id))
+    return churn
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     queries = dict(read_graph_set(args.queries))
     streams = _read_streams(args.streams)
     rescales = _parse_rescales(args.rescale_at)
+    churn = _parse_churn(args.register_at, args.deregister_at)
     if args.workers <= 1:
         if rescales:
             raise SystemExit("--rescale-at requires --workers >= 2")
@@ -616,6 +697,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             streams,
             stats_every=args.stats_every,
             probe=_make_probe(monitor, args),
+            churn=churn,
         )
         if args.stats_json:
             _write_stats_json(monitor, args.stats_json)
@@ -639,6 +721,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             stats_every=args.stats_every,
             probe=_make_probe(monitor, args),
             rescales=rescales,
+            churn=churn,
         )
         stats = monitor.stats()
         pressure = stats["backpressure"]

@@ -36,6 +36,7 @@ from ..join import QuerySet, StreamListenerAdapter, make_engine
 from ..join.base import Pair, QueryId, StreamId
 from ..nnt.incremental import NNTIndex
 from ..nnt.projection import DimensionScheme, PAPER_SCHEME
+from .metrics import Stopwatch
 
 
 @dataclass(frozen=True)
@@ -101,8 +102,7 @@ class StreamMonitor:
     engine_options:
         Engine-specific constructor keywords forwarded to
         :func:`repro.join.make_engine` — e.g. the matrix engine's
-        ``store_factory`` for shared-memory row storage.  Survives
-        query-set rebuilds (the new engine gets the same options).
+        ``store_factory`` for shared-memory row storage.
     """
 
     def __init__(
@@ -148,45 +148,65 @@ class StreamMonitor:
 
     # ------------------------------------------------------------------
     # query lifecycle (the paper leaves dynamic query sets as future
-    # work; we support them by rebuilding the query-side structures —
-    # an O(index) hiccup per change, streams stay untouched)
+    # work; queries register and deregister *live* — the engine snapshots
+    # the streams' current NPVs into the newcomer's dominance state, so
+    # there is no rebuild hiccup and no false-negative window)
     # ------------------------------------------------------------------
-    def add_query(self, query_id: QueryId, query: LabeledGraph) -> None:
-        """Add a pattern to the monitored set."""
+    def register_query(self, query_id: QueryId, query: LabeledGraph) -> None:
+        """Register a pattern against the live streams.
+
+        The engine's :meth:`~repro.join.base.JoinEngine.add_query` seam
+        folds the current per-stream NPVs straight into the new query's
+        rows/counters; from this call on the query is indistinguishable
+        from one registered at construction time.
+        """
         if query_id in self.query_set.queries:
             raise ValueError(f"query {query_id!r} is already monitored")
-        queries = dict(self.query_set.queries)
-        queries[query_id] = query
-        self._rebuild_queries(queries)
+        with Stopwatch() as timer:
+            with obs.span("monitor.register_query", query=str(query_id)):
+                stream_npvs = {
+                    stream_id: index.npvs for stream_id, index in self._indexes.items()
+                }
+                self.engine.add_query(query_id, query, stream_npvs)
+        if obs.enabled():
+            obs.histogram(
+                "query.register.seconds",
+                help="live query registration latency",
+            ).observe(timer.total)
+            obs.counter(
+                "monitor.query_registrations", help="queries registered live"
+            ).inc()
+            obs.gauge(
+                "queries_registered", help="currently monitored queries"
+            ).set(len(self.query_set))
+
+    def deregister_query(self, query_id: QueryId) -> None:
+        """Drop a pattern, retiring its rows/counters (the engine keeps
+        shared dedup-group state alive while other members remain)."""
+        if query_id not in self.query_set.queries:
+            raise KeyError(f"query {query_id!r} is not monitored")
+        with obs.span("monitor.deregister_query", query=str(query_id)):
+            self.engine.remove_query(query_id)
+        self._last_poll = {pair for pair in self._last_poll if pair[1] != query_id}
+        if obs.enabled():
+            obs.counter(
+                "monitor.query_deregistrations", help="queries deregistered live"
+            ).inc()
+            obs.gauge(
+                "queries_registered", help="currently monitored queries"
+            ).set(len(self.query_set))
+
+    def add_query(self, query_id: QueryId, query: LabeledGraph) -> None:
+        """Alias of :meth:`register_query` (historical name)."""
+        self.register_query(query_id, query)
 
     def remove_query(self, query_id: QueryId) -> None:
-        """Drop a pattern from the monitored set."""
-        queries = dict(self.query_set.queries)
-        if query_id not in queries:
-            raise KeyError(f"query {query_id!r} is not monitored")
-        del queries[query_id]
-        self._rebuild_queries(queries)
-        self._last_poll = {pair for pair in self._last_poll if pair[1] != query_id}
+        """Alias of :meth:`deregister_query` (historical name)."""
+        self.deregister_query(query_id)
 
     def query_ids(self) -> list[QueryId]:
         """Ids of the currently monitored patterns."""
         return self.query_set.query_ids()
-
-    def _rebuild_queries(self, queries: Mapping[QueryId, LabeledGraph]) -> None:
-        self.query_set = QuerySet(queries, self.depth_limit, self.scheme)
-        engine = make_engine(self.method, self.query_set, self.engine_options)
-        for stream_id, index in self._indexes.items():
-            engine.register_stream(stream_id, index.npvs)
-        # Retarget the live listener adapters so future NPV deltas reach
-        # the new engine; the indexes themselves are untouched.
-        for adapter in self._adapters.values():
-            adapter.engine = engine
-        previous, self.engine = self.engine, engine
-        # Engines holding external resources (shared-memory row stores)
-        # must free them — the garbage collector won't unlink segments.
-        closer = getattr(previous, "close", None)
-        if closer is not None:
-            closer()
 
     def stream_ids(self) -> list[StreamId]:
         """Ids of the currently monitored streams."""
@@ -273,6 +293,7 @@ class StreamMonitor:
         return {
             "num_streams": len(self._indexes),
             "num_queries": len(self.query_set),
+            "num_query_groups": self.query_set.num_groups,
             "num_query_dimensions": len(self.query_set.dimension_universe),
             "streams": per_stream,
         }

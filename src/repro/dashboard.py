@@ -18,7 +18,9 @@ Shown per frame: apply-latency percentiles (from the
 depths and backpressure drops/spills (sharded runs), the shared-memory
 plane footprint and rescale status (``shm=True`` runs: segment count and
 bytes, remap/ring-overflow counters, queue bytes pickled, last-rescale
-duration and whether one is in flight), the serving edge when the stats
+duration and whether one is in flight), live query churn (registered
+count, registration/retirement totals, dedup group count, and the
+``query.register.seconds`` latency percentiles), the serving edge when the stats
 came from a ``repro serve`` server (active sessions, admission queue
 depth, breaker state, admit/reject/shed/dead-letter counts and commit
 latency percentiles), per-dimension pruning power
@@ -177,6 +179,26 @@ def render_dashboard(stats: Mapping[str, Any], width: int = 78) -> str:
             f"rescale         count={rescale.get('count', 0)}  "
             f"last={_fmt_seconds(last)}  {state}"
         )
+
+    # -- live query churn --------------------------------------------------
+    churn = stats.get("queries")
+    if isinstance(churn, Mapping):
+        lines.append(
+            f"query churn     registered={churn.get('registered', 0)}  "
+            f"adds={churn.get('registrations', 0)}  "
+            f"drops={churn.get('deregistrations', 0)}  "
+            f"dedup_groups={churn.get('groups', 0)}"
+        )
+        register_hist = summary.get("query.register.seconds")
+        if register_hist:
+            quantiles = "  ".join(
+                f"p{int(q * 100):02d}="
+                f"{_fmt_seconds(histogram_quantile(register_hist, q))}"
+                for q in PERCENTILES
+            )
+            lines.append(
+                f"register latency {quantiles} (n={register_hist.get('count', 0)})"
+            )
 
     # -- serving edge ------------------------------------------------------
     serve = stats.get("serve")

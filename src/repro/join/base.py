@@ -3,14 +3,27 @@
 A *join engine* answers, continuously, which (stream, query) pairs
 currently satisfy the Lemma 4.2 dominance condition: every node-projected
 vector of the query is dominated by some vector of the stream graph.  The
-query set is fixed up front (Definition 2.7 assumes this); engines react
-to stream-side NPV deltas pushed by :class:`repro.nnt.NNTIndex` and can
-report the candidate pair set at any timestamp.
+paper fixes the query set up front (Definition 2.7); here queries are
+first-class dynamic objects — :meth:`JoinEngine.add_query` snapshots the
+live stream NPVs into the newcomer's dominance state and
+:meth:`JoinEngine.remove_query` retires it, both without rebuilding the
+engine.  Engines react to stream-side NPV deltas pushed by
+:class:`repro.nnt.NNTIndex` and can report the candidate pair set at any
+timestamp.
+
+Dominance only depends on a query's projected NPV multiset, so queries
+with identical projections are deduplicated into one *query group*: the
+group owns a single set of dominance rows/counters and every member
+query fans the group verdict out at :meth:`JoinEngine.candidates` time.
+Engines are therefore keyed by ``group_id`` internally while the public
+`is_candidate(stream_id, query_id)` surface is unchanged.
 
 Engines only ever consult dimensions that occur in some query vector
 ("subspace search within the non-zero dimensions of the query vectors",
 Section IV-B.2) — stream activity on other dimensions cannot change any
-dominance verdict and is dropped at the boundary.
+dominance verdict and is dropped at the boundary.  The dimension
+universe is reference-counted across groups, so it grows and shrinks
+exactly with query churn.
 """
 
 from __future__ import annotations
@@ -33,23 +46,71 @@ Pair = tuple[StreamId, QueryId]
 #: :meth:`repro.nnt.incremental.NNTIndex.batch`.
 BatchDeltas = Mapping[tuple[VertexId, Dimension], int]
 
+#: Live stream NPVs handed to :meth:`JoinEngine.add_query` so the engine
+#: can backfill mirrors for dimensions the newcomer introduced (deltas on
+#: dimensions outside the universe were dropped at the boundary).
+StreamNpvs = Mapping[StreamId, Mapping[VertexId, NPV]]
+
+#: Canonical form of a query's projected NPV multiset — the dedup key.
+Fingerprint = tuple
+
 
 @dataclass(frozen=True)
 class QueryVector:
-    """One query vertex's NPV, flattened into the engine-wide vector list."""
+    """One query vertex's NPV, flattened into the engine-wide vector list.
+
+    ``query_id`` is the query that founded the record's group (kept for
+    diagnostics); dominance state is shared by every group member.
+    """
 
     index: int
     query_id: QueryId
     vertex: VertexId
     vector: NPV
+    group: int = 0
     num_dims: int = field(init=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "num_dims", len(self.vector))
 
 
+class QueryGroup:
+    """One fingerprint-dedup group: the unit of engine-side dominance state."""
+
+    __slots__ = ("group_id", "fingerprint", "indices", "members")
+
+    def __init__(self, group_id: int, fingerprint: Fingerprint, indices: list[int]) -> None:
+        self.group_id = group_id
+        self.fingerprint = fingerprint
+        #: Indices into :attr:`QuerySet.vectors` (shared by reference with
+        #: every member's ``by_query`` entry).
+        self.indices = indices
+        #: Queries currently fanning this group's verdict out.
+        self.members: list[QueryId] = []
+
+
+@dataclass(frozen=True)
+class QueryChange:
+    """What one :meth:`QuerySet.add_query` / :meth:`~QuerySet.remove_query`
+    did — engines key their incremental reaction off these fields."""
+
+    query_id: QueryId
+    group_id: int
+    #: Add only: the query founded a brand-new group (no fingerprint hit).
+    group_added: bool = False
+    #: Remove only: the last member left and the group was retired.
+    group_retired: bool = False
+    #: The group's vector indices (new on add, retired on remove).
+    indices: tuple[int, ...] = ()
+    #: Dimensions that entered the universe with this change.
+    added_dims: frozenset = frozenset()
+    #: Dimensions that left the universe with this change.
+    removed_dims: frozenset = frozenset()
+
+
 class QuerySet:
-    """Fixed set of query graphs, pre-projected to NPVs once."""
+    """Dynamic set of query graphs, projected to NPVs and deduplicated
+    into fingerprint groups as they register."""
 
     def __init__(
         self,
@@ -59,27 +120,117 @@ class QuerySet:
     ) -> None:
         self.depth_limit = depth_limit
         self.scheme = scheme
-        self.queries: dict[QueryId, LabeledGraph] = dict(queries)
+        self.queries: dict[QueryId, LabeledGraph] = {}
+        #: Append-only; records of retired groups stay tombstoned (no live
+        #: group references them), so indices are stable for engine state.
         self.vectors: list[QueryVector] = []
+        #: Per query, the *shared* index list of its group.
         self.by_query: dict[QueryId, list[int]] = {}
+        self.groups: dict[int, QueryGroup] = {}
+        self.group_of: dict[QueryId, int] = {}
         self.dimension_universe: set[Dimension] = set()
-        for query_id, graph in self.queries.items():
+        self._dim_refs: dict[Dimension, int] = {}
+        self._fingerprints: dict[Fingerprint, int] = {}
+        self._next_group = 0
+        for query_id, graph in queries.items():
+            self.add_query(query_id, graph)
+
+    # -- dynamic membership ------------------------------------------------
+    def add_query(self, query_id: QueryId, graph: LabeledGraph) -> QueryChange:
+        """Project and register one query, deduplicating by fingerprint."""
+        if query_id in self.queries:
+            raise ValueError(f"query {query_id!r} is already monitored")
+        projected = sorted(
+            project_graph(graph, self.depth_limit, self.scheme).items(),
+            key=lambda kv: str(kv[0]),
+        )
+        fingerprint: Fingerprint = tuple(
+            sorted(
+                tuple(sorted((repr(dim), value) for dim, value in vector.items()))
+                for _, vector in projected
+            )
+        )
+        self.queries[query_id] = graph
+        group_id = self._fingerprints.get(fingerprint)
+        added_dims: set[Dimension] = set()
+        group_added = group_id is None
+        if group_id is None:
+            group_id = self._next_group
+            self._next_group += 1
             indices: list[int] = []
-            for vertex, vector in sorted(
-                project_graph(graph, depth_limit, scheme).items(), key=lambda kv: str(kv[0])
-            ):
-                record = QueryVector(len(self.vectors), query_id, vertex, vector)
+            for vertex, vector in projected:
+                record = QueryVector(len(self.vectors), query_id, vertex, vector, group_id)
                 self.vectors.append(record)
                 indices.append(record.index)
-                self.dimension_universe.update(vector)
-            self.by_query[query_id] = indices
+                for dim in vector:
+                    if not self._dim_refs.get(dim):
+                        added_dims.add(dim)
+                    self._dim_refs[dim] = self._dim_refs.get(dim, 0) + 1
+            self.dimension_universe |= added_dims
+            group = QueryGroup(group_id, fingerprint, indices)
+            self.groups[group_id] = group
+            self._fingerprints[fingerprint] = group_id
+        else:
+            group = self.groups[group_id]
+        group.members.append(query_id)
+        self.group_of[query_id] = group_id
+        self.by_query[query_id] = group.indices
+        return QueryChange(
+            query_id=query_id,
+            group_id=group_id,
+            group_added=group_added,
+            indices=tuple(group.indices),
+            added_dims=frozenset(added_dims),
+        )
 
+    def remove_query(self, query_id: QueryId) -> QueryChange:
+        """Deregister one query, retiring its group when it was the last
+        member and shrinking the dimension universe by refcount."""
+        if query_id not in self.queries:
+            raise KeyError(f"query {query_id!r} is not monitored")
+        del self.queries[query_id]
+        del self.by_query[query_id]
+        group_id = self.group_of.pop(query_id)
+        group = self.groups[group_id]
+        group.members.remove(query_id)
+        removed_dims: set[Dimension] = set()
+        retired = not group.members
+        indices = tuple(group.indices)
+        if retired:
+            del self.groups[group_id]
+            del self._fingerprints[group.fingerprint]
+            for index in group.indices:
+                for dim in self.vectors[index].vector:
+                    self._dim_refs[dim] -= 1
+                    if not self._dim_refs[dim]:
+                        del self._dim_refs[dim]
+                        removed_dims.add(dim)
+            self.dimension_universe -= removed_dims
+        return QueryChange(
+            query_id=query_id,
+            group_id=group_id,
+            group_retired=retired,
+            indices=indices,
+            removed_dims=frozenset(removed_dims),
+        )
+
+    # -- introspection -----------------------------------------------------
     def __len__(self) -> int:
         return len(self.queries)
 
     def query_ids(self) -> list[QueryId]:
         """Ids of the registered query graphs."""
         return list(self.queries)
+
+    @property
+    def num_groups(self) -> int:
+        """Distinct dominance-row groups currently live (the dedup win:
+        ``len(query_set) - num_groups`` queries share another's rows)."""
+        return len(self.groups)
+
+    def live_vector_count(self) -> int:
+        """Query-vector rows engines currently maintain (post-dedup)."""
+        return sum(len(group.indices) for group in self.groups.values())
 
 
 class JoinEngine(ABC):
@@ -97,6 +248,54 @@ class JoinEngine(ABC):
             f"join.{self.name}.dominance_checks",
             help=f"dominance-filter probes answered by the {self.name} engine",
         )
+
+    # -- query lifecycle ---------------------------------------------------
+    def add_query(
+        self,
+        query_id: QueryId,
+        graph: LabeledGraph,
+        stream_npvs: StreamNpvs | None = None,
+    ) -> QueryChange:
+        """Register a standing query against the live streams.
+
+        ``stream_npvs`` is a snapshot view of every registered stream's
+        current NPVs, used to backfill mirrors for dimensions the
+        newcomer introduced (their deltas were dropped at the boundary
+        while no query referenced them).  The hook order is fixed:
+        dimensions first (so mirrors are complete), then the new group's
+        dominance state, both before the change is visible to
+        :meth:`candidates`.
+        """
+        change = self.query_set.add_query(query_id, graph)
+        npvs = stream_npvs or {}
+        if change.added_dims:
+            self._on_dims_added(change.added_dims, npvs)
+        if change.group_added:
+            self._on_group_added(change, npvs)
+        return change
+
+    def remove_query(self, query_id: QueryId) -> QueryChange:
+        """Deregister a query, retiring group state when it was the last
+        member and purging mirrors of dimensions that left the universe."""
+        change = self.query_set.remove_query(query_id)
+        if change.group_retired:
+            self._on_group_retired(change)
+        if change.removed_dims:
+            self._on_dims_removed(change.removed_dims)
+        return change
+
+    # -- churn hooks (engines override what they need) ---------------------
+    def _on_dims_added(self, dims: frozenset, stream_npvs: StreamNpvs) -> None:
+        """New universe dimensions: backfill stream mirrors from ``stream_npvs``."""
+
+    def _on_group_added(self, change: QueryChange, stream_npvs: StreamNpvs) -> None:
+        """A new dominance group: build its state against current streams."""
+
+    def _on_group_retired(self, change: QueryChange) -> None:
+        """The group's last member left: retire its rows and counters."""
+
+    def _on_dims_removed(self, dims: frozenset) -> None:
+        """Dimensions left the universe: purge them from stream mirrors."""
 
     # -- stream lifecycle ------------------------------------------------
     @abstractmethod

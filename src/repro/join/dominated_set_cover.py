@@ -9,12 +9,17 @@ query vector's non-zero dimensions it currently dominates it).  A query
 vector whose dominant counter reaches its non-zero-dimension count is
 dominated in the full space; a (stream, query) pair is a candidate when
 every vector of the query is dominated by some vector of the stream —
-tracked by per-pair uncovered counts so the answer set is read off in
-O(streams x queries).
+tracked by per-group uncovered counts (queries with identical projected
+fingerprints share one group, :class:`repro.join.base.QueryGroup`) so
+the answer set is read off in O(streams x queries).
 
 When one NPV entry changes, only the query vectors whose sorted position
 the stream value crossed have their counters touched — this is the
-incremental update illustrated around Figure 9.
+incremental update illustrated around Figure 9.  Query churn is equally
+incremental: a new group splices its values into the sorted projections
+(no counters move — insertion cannot change any other vector's dominant
+count) and scans each stream once to seed its own counters; a retired
+group filters its entries back out and drops its counters.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from typing import Mapping
 from .. import obs
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV
-from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
+from .base import BatchDeltas, JoinEngine, QueryChange, QueryId, QuerySet, StreamId, StreamNpvs
 
 
 class _StreamState:
@@ -40,9 +45,9 @@ class _StreamState:
         self.dominant: dict[VertexId, dict[int, int]] = {}
         # cover[qv_index] -> number of stream vertices fully dominating it.
         self.cover: dict[int, int] = {}
-        # uncovered[query_id] -> number of its (non-trivial) query vectors
-        # not yet dominated by any stream vertex.
-        self.uncovered: dict[QueryId, int] = uncovered
+        # uncovered[group_id] -> number of the group's (non-trivial) query
+        # vectors not yet dominated by any stream vertex.
+        self.uncovered: dict[int, int] = uncovered
 
 
 class DominatedSetCoverJoin(JoinEngine):
@@ -55,27 +60,110 @@ class DominatedSetCoverJoin(JoinEngine):
         # Sorted per-dimension projections of the query vectors.
         self._dim_values: dict[Dimension, list[int]] = {}
         self._dim_entries: dict[Dimension, list[int]] = {}
-        for record in query_set.vectors:
-            for dim, value in record.vector.items():
-                self._dim_values.setdefault(dim, []).append(value)
-                self._dim_entries.setdefault(dim, []).append(record.index)
-        for dim in self._dim_values:
-            paired = sorted(zip(self._dim_values[dim], self._dim_entries[dim]))
-            self._dim_values[dim] = [value for value, _ in paired]
-            self._dim_entries[dim] = [index for _, index in paired]
-        self._required = [record.num_dims for record in query_set.vectors]
+        # Indexed by global qv index; extended (never shrunk) on churn so
+        # retired indices keep a harmless stale entry.
+        self._required: list[int] = [record.num_dims for record in query_set.vectors]
         # Trivial (all-zero) query vectors are dominated by any existing
         # vertex; they are excluded from the counter machinery and handled
         # by a non-empty-stream test instead.
-        self._trivial_per_query: dict[QueryId, int] = {
-            query_id: sum(1 for i in indices if self._required[i] == 0)
-            for query_id, indices in query_set.by_query.items()
-        }
-        self._base_uncovered: dict[QueryId, int] = {
-            query_id: len(indices) - self._trivial_per_query[query_id]
-            for query_id, indices in query_set.by_query.items()
-        }
+        self._trivial_per_group: dict[int, int] = {}
+        self._base_uncovered: dict[int, int] = {}
         self._streams: dict[StreamId, _StreamState] = {}
+        for group in query_set.groups.values():
+            self._index_group(group.group_id, group.indices)
+
+    def _index_group(self, group_id: int, indices: list[int] | tuple[int, ...]) -> None:
+        """Splice one group's vectors into the sorted projections and set
+        up its trivial/uncovered baselines (no stream counters touched)."""
+        trivial = 0
+        for index in indices:
+            record = self.query_set.vectors[index]
+            if record.num_dims == 0:
+                trivial += 1
+            for dim, value in record.vector.items():
+                values = self._dim_values.setdefault(dim, [])
+                entries = self._dim_entries.setdefault(dim, [])
+                pos = bisect_right(values, value)
+                values.insert(pos, value)
+                entries.insert(pos, index)
+        self._trivial_per_group[group_id] = trivial
+        self._base_uncovered[group_id] = len(indices) - trivial
+
+    # -- query churn -------------------------------------------------------
+    def _on_dims_added(self, dims: frozenset, stream_npvs: StreamNpvs) -> None:
+        # Runs before the new group is spliced in, so the mirror writes
+        # cannot cross any sorted position: pure backfill, no counters.
+        for stream_id, state in self._streams.items():
+            npvs = stream_npvs.get(stream_id, {})
+            for vertex, vector in state.vectors.items():
+                source = npvs.get(vertex)
+                if not source:
+                    continue
+                for dim in dims:
+                    value = source.get(dim, 0)
+                    if value:
+                        vector[dim] = value
+
+    def _on_group_added(self, change: QueryChange, stream_npvs: StreamNpvs) -> None:
+        while len(self._required) < len(self.query_set.vectors):
+            self._required.append(self.query_set.vectors[len(self._required)].num_dims)
+        self._index_group(change.group_id, change.indices)
+        base = self._base_uncovered[change.group_id]
+        records = [
+            self.query_set.vectors[index]
+            for index in change.indices
+            if self.query_set.vectors[index].num_dims > 0
+        ]
+        for state in self._streams.values():
+            state.uncovered[change.group_id] = base
+            for record in records:
+                required = record.num_dims
+                for vertex, vector in state.vectors.items():
+                    count = sum(
+                        1
+                        for dim, value in record.vector.items()
+                        if vector.get(dim, 0) >= value
+                    )
+                    if count:
+                        state.dominant[vertex][record.index] = count
+                        if count == required:
+                            self._cover_gained(state, record.index)
+
+    def _on_group_retired(self, change: QueryChange) -> None:
+        retired = set(change.indices)
+        dims_touched: set[Dimension] = set()
+        for index in retired:
+            dims_touched.update(self.query_set.vectors[index].vector)
+        for dim in dims_touched:
+            kept = [
+                (value, index)
+                for value, index in zip(self._dim_values[dim], self._dim_entries[dim])
+                if index not in retired
+            ]
+            if kept:
+                self._dim_values[dim] = [value for value, _ in kept]
+                self._dim_entries[dim] = [index for _, index in kept]
+            else:
+                del self._dim_values[dim]
+                del self._dim_entries[dim]
+        for state in self._streams.values():
+            for dominant in state.dominant.values():
+                for index in retired:
+                    dominant.pop(index, None)
+            for index in retired:
+                state.cover.pop(index, None)
+            state.uncovered.pop(change.group_id, None)
+        del self._trivial_per_group[change.group_id]
+        del self._base_uncovered[change.group_id]
+
+    def _on_dims_removed(self, dims: frozenset) -> None:
+        # Purge retired dimensions from the mirrors: ``on_vertex_removed``
+        # replays mirror entries through ``_value_changed``, which expects
+        # every mirrored dimension to still have a sorted projection.
+        for state in self._streams.values():
+            for vector in state.vectors.values():
+                for dim in dims:
+                    vector.pop(dim, None)
 
     # -- stream lifecycle ------------------------------------------------
     def register_stream(self, stream_id: StreamId, npvs: Mapping[VertexId, NPV]) -> None:
@@ -175,25 +263,26 @@ class DominatedSetCoverJoin(JoinEngine):
         count = state.cover.get(qv_index, 0) + 1
         state.cover[qv_index] = count
         if count == 1:
-            state.uncovered[self.query_set.vectors[qv_index].query_id] -= 1
+            state.uncovered[self.query_set.vectors[qv_index].group] -= 1
 
     def _cover_lost(self, state: _StreamState, qv_index: int) -> None:
         count = state.cover[qv_index]
         if count == 1:
             del state.cover[qv_index]
-            state.uncovered[self.query_set.vectors[qv_index].query_id] += 1
+            state.uncovered[self.query_set.vectors[qv_index].group] += 1
         else:
             state.cover[qv_index] = count - 1
 
     # -- results ----------------------------------------------------------
     def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
         self._obs_checks.inc()
+        group_id = self.query_set.group_of[query_id]
         state = self._streams[stream_id]
-        if state.uncovered[query_id]:
+        if state.uncovered[group_id]:
             if obs.enabled():
                 obs.quality.record_pruned(self.name, self._blame(state, query_id))
             return False
-        if self._trivial_per_query[query_id] and not state.vectors:
+        if self._trivial_per_group[group_id] and not state.vectors:
             if obs.enabled():
                 # Trivial query vectors only fail on an empty stream.
                 obs.quality.record_pruned(self.name, "combination")

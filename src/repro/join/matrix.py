@@ -30,7 +30,16 @@ import numpy as np
 from .. import obs
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV
-from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
+from .base import (
+    BatchDeltas,
+    JoinEngine,
+    QueryChange,
+    QueryId,
+    QuerySet,
+    QueryVector,
+    StreamId,
+    StreamNpvs,
+)
 
 #: Stream rows compared per broadcast block, bounding the boolean
 #: temporary to CHUNK x #query-vectors x #dimensions bytes.
@@ -113,29 +122,95 @@ class MatrixJoin(JoinEngine):
     ) -> None:
         super().__init__(query_set)
         self._store_factory: StoreFactory = store_factory or DenseRowStore
-        self._dims = sorted(query_set.dimension_universe, key=repr)
-        self._dim_col: dict[Dimension, int] = {
-            dim: col for col, dim in enumerate(self._dims)
-        }
-        self._query_matrix = np.zeros(
-            (len(query_set.vectors), len(self._dims)), dtype=np.int64
-        )
-        for record in query_set.vectors:
-            for dim, value in record.vector.items():
-                self._query_matrix[record.index, self._dim_col[dim]] = value
-        self._query_rows: dict[QueryId, np.ndarray] = {
-            query_id: np.asarray(indices, dtype=np.intp)
-            for query_id, indices in query_set.by_query.items()
-        }
-        # Flat vector-row -> query-ordinal map so one bincount over the
-        # uncovered rows yields every query's verdict at once.
-        self._query_ord: dict[QueryId, int] = {
-            query_id: ordinal for ordinal, query_id in enumerate(self._query_rows)
-        }
-        self._row_query = np.zeros(len(query_set.vectors), dtype=np.intp)
-        for query_id, rows in self._query_rows.items():
-            self._row_query[rows] = self._query_ord[query_id]
         self._streams: dict[StreamId, _StreamState] = {}
+        self._dims: list[Dimension] = []
+        self._dim_col: dict[Dimension, int] = {}
+        self._query_matrix = np.zeros((0, 0), dtype=np.int64)
+        # Per dedup group: its compact query-matrix row indices and its
+        # ordinal in the verdict vector (member queries share both).
+        self._group_rows: dict[int, np.ndarray] = {}
+        self._group_ord: dict[int, int] = {}
+        self._row_group = np.zeros(0, dtype=np.intp)
+        self._rebuild_query_side()
+
+    # -- query churn -------------------------------------------------------
+    def _rebuild_query_side(self, stream_npvs: StreamNpvs | None = None) -> None:
+        """Recompact the query matrix from the live groups.
+
+        The query side is tiny next to the stream rows, so churn rebuilds
+        it wholesale; the stream stores are only touched (reallocated and
+        the old segment tombstoned) when the sorted dimension universe
+        actually changed.
+        """
+        query_set = self.query_set
+        old_dims = self._dims
+        new_dims = sorted(query_set.dimension_universe, key=repr)
+        records: list[QueryVector] = []
+        row_group: list[int] = []
+        self._group_rows = {}
+        self._group_ord = {}
+        for ordinal, group_id in enumerate(sorted(query_set.groups)):
+            group = query_set.groups[group_id]
+            start = len(records)
+            for index in group.indices:
+                records.append(query_set.vectors[index])
+                row_group.append(ordinal)
+            self._group_rows[group_id] = np.arange(start, len(records), dtype=np.intp)
+            self._group_ord[group_id] = ordinal
+        self._dims = new_dims
+        self._dim_col = {dim: col for col, dim in enumerate(new_dims)}
+        matrix = np.zeros((len(records), len(new_dims)), dtype=np.int64)
+        for row, record in enumerate(records):
+            for dim, value in record.vector.items():
+                matrix[row, self._dim_col[dim]] = value
+        self._query_matrix = matrix
+        self._row_group = np.asarray(row_group, dtype=np.intp)
+        if new_dims != old_dims:
+            self._remap_stores(old_dims, stream_npvs or {})
+        for state in self._streams.values():
+            state.invalidate()
+
+    def _remap_stores(self, old_dims: list[Dimension], stream_npvs: StreamNpvs) -> None:
+        """Reallocate every stream's row store onto the new column layout:
+        shared columns are copied, columns for newly introduced dimensions
+        are backfilled from the live NPVs (their deltas were dropped while
+        no query referenced them), and the old store is released — on the
+        shared-memory plane that tombstones the segment back to the
+        free-list."""
+        old_col = {dim: col for col, dim in enumerate(old_dims)}
+        shared = [
+            (col, old_col[dim]) for dim, col in self._dim_col.items() if dim in old_col
+        ]
+        fresh = [dim for dim in self._dims if dim not in old_col]
+        for stream_id, state in self._streams.items():
+            old_store = state.store
+            capacity = max(old_store.array.shape[0], _INITIAL_ROWS)
+            store = self._store_factory(capacity, len(self._dims))
+            count = state.count
+            if count:
+                array = store.array
+                old_array = old_store.array
+                for new_c, old_c in shared:
+                    array[:count, new_c] = old_array[:count, old_c]
+                if fresh:
+                    npvs = stream_npvs.get(stream_id, {})
+                    for row in range(count):
+                        source = npvs.get(state.vertex_at[row])
+                        if not source:
+                            continue
+                        for dim in fresh:
+                            value = source.get(dim, 0)
+                            if value:
+                                array[row, self._dim_col[dim]] = value
+            state.store = store
+            store.set_row_count(count)
+            old_store.release()
+
+    def _on_group_added(self, change: QueryChange, stream_npvs: StreamNpvs) -> None:
+        self._rebuild_query_side(stream_npvs)
+
+    def _on_group_retired(self, change: QueryChange) -> None:
+        self._rebuild_query_side()
 
     # -- stream lifecycle ------------------------------------------------
     def register_stream(self, stream_id: StreamId, npvs: Mapping[VertexId, NPV]) -> None:
@@ -285,22 +360,23 @@ class MatrixJoin(JoinEngine):
         return covered
 
     def _verdicts(self, state: _StreamState) -> np.ndarray:
-        """Boolean per query ordinal: every one of its vectors covered?
+        """Boolean per group ordinal: every one of its vectors covered?
 
         One bincount over the uncovered rows replaces a fancy-indexed
         gather per ``is_candidate`` call — the poll loop asks about every
         (stream, query) pair, so per-pair work must be a plain lookup.
         """
         if state.verdicts is None:
-            uncovered = self._row_query[~self._coverage(state)]
-            misses = np.bincount(uncovered, minlength=len(self._query_ord))
+            uncovered = self._row_group[~self._coverage(state)]
+            misses = np.bincount(uncovered, minlength=len(self._group_ord))
             state.verdicts = misses == 0
         return state.verdicts
 
     def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
         self._obs_checks.inc()
         state = self._streams[stream_id]
-        if self._query_rows[query_id].size == 0:
+        group_id = self.query_set.group_of[query_id]
+        if self._group_rows[group_id].size == 0:
             # Degenerate empty query graph: vacuously covered (the other
             # engines' per-vector loops agree).
             return True
@@ -308,7 +384,7 @@ class MatrixJoin(JoinEngine):
             if obs.enabled():
                 obs.quality.record_pruned(self.name, self._blame(state, query_id))
             return False
-        verdict = bool(self._verdicts(state)[self._query_ord[query_id]])
+        verdict = bool(self._verdicts(state)[self._group_ord[group_id]])
         if not verdict and obs.enabled():
             obs.quality.record_pruned(self.name, self._blame(state, query_id))
         return verdict
@@ -319,7 +395,7 @@ class MatrixJoin(JoinEngine):
         the first uncovered query vector's first dimension (``_dims`` is
         sorted by ``repr``, matching the sorted-by-``str`` blame order)
         that no stream row covers alone, else ``"combination"``."""
-        query_rows = self._query_rows[query_id]
+        query_rows = self._group_rows[self.query_set.group_of[query_id]]
         if state.count == 0:
             for row in query_rows:
                 qrow = self._query_matrix[row]

@@ -13,7 +13,7 @@ from typing import Mapping
 from .. import obs
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV, dominates
-from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
+from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId, StreamNpvs
 
 
 class NestedLoopJoin(JoinEngine):
@@ -24,6 +24,27 @@ class NestedLoopJoin(JoinEngine):
     def __init__(self, query_set: QuerySet) -> None:
         super().__init__(query_set)
         self._streams: dict[StreamId, dict[VertexId, NPV]] = {}
+
+    # -- query churn -------------------------------------------------------
+    def _on_dims_added(self, dims: frozenset, stream_npvs: StreamNpvs) -> None:
+        # Mirrors were filtered to the old universe; pull the values the
+        # new dimensions already accumulated from the live NPVs.
+        for stream_id, mirror in self._streams.items():
+            npvs = stream_npvs.get(stream_id, {})
+            for vertex, vector in mirror.items():
+                source = npvs.get(vertex)
+                if not source:
+                    continue
+                for dim in dims:
+                    value = source.get(dim, 0)
+                    if value:
+                        vector[dim] = value
+
+    def _on_dims_removed(self, dims: frozenset) -> None:
+        for mirror in self._streams.values():
+            for vector in mirror.values():
+                for dim in dims:
+                    vector.pop(dim, None)
 
     # -- stream lifecycle ------------------------------------------------
     def register_stream(self, stream_id: StreamId, npvs: Mapping[VertexId, NPV]) -> None:

@@ -26,7 +26,7 @@ from typing import Mapping
 from .. import obs
 from ..graph.labeled_graph import VertexId
 from ..nnt.projection import Dimension, NPV, dominates, vector_mass
-from .base import BatchDeltas, JoinEngine, QueryId, QuerySet, StreamId
+from .base import BatchDeltas, JoinEngine, QueryChange, QueryId, QuerySet, StreamId, StreamNpvs
 from .dominance import dominated_count, maximal_vectors
 
 
@@ -59,21 +59,58 @@ class SkylineEarlyStopJoin(JoinEngine):
 
     def __init__(self, query_set: QuerySet) -> None:
         super().__init__(query_set)
-        self._probe_order: dict[QueryId, list[int]] = {}
-        for query_id, indices in query_set.by_query.items():
-            vectors = [query_set.vectors[i].vector for i in indices]
-            maximal = maximal_vectors(vectors)
-            ranked = sorted(
-                maximal,
-                key=lambda local: (
-                    -dominated_count(vectors[local], vectors),
-                    -vector_mass(vectors[local]),
-                ),
-            )
-            self._probe_order[query_id] = [indices[local] for local in ranked]
+        # Probe order per dedup group (member queries share it).
+        self._probe_order: dict[int, list[int]] = {}
+        for group in query_set.groups.values():
+            self._rank_group(group.group_id, group.indices)
         self._streams: dict[StreamId, _StreamState] = {}
-        # verdict cache: (stream, query) -> (stream version, verdict)
+        # verdict cache: (stream, group) -> (stream version, verdict)
         self._verdicts: dict[tuple, tuple[int, bool]] = {}
+
+    def _rank_group(self, group_id: int, indices: list[int] | tuple[int, ...]) -> None:
+        vectors = [self.query_set.vectors[i].vector for i in indices]
+        maximal = maximal_vectors(vectors)
+        ranked = sorted(
+            maximal,
+            key=lambda local: (
+                -dominated_count(vectors[local], vectors),
+                -vector_mass(vectors[local]),
+            ),
+        )
+        self._probe_order[group_id] = [indices[local] for local in ranked]
+
+    # -- query churn -------------------------------------------------------
+    def _on_dims_added(self, dims: frozenset, stream_npvs: StreamNpvs) -> None:
+        for stream_id, state in self._streams.items():
+            npvs = stream_npvs.get(stream_id, {})
+            for vertex in state.vectors:
+                source = npvs.get(vertex)
+                if not source:
+                    continue
+                for dim in dims:
+                    value = source.get(dim, 0)
+                    if value:
+                        self._apply_delta(state, vertex, dim, value)
+            state.version += 1
+
+    def _on_group_added(self, change: QueryChange, stream_npvs: StreamNpvs) -> None:
+        self._rank_group(change.group_id, change.indices)
+
+    def _on_group_retired(self, change: QueryChange) -> None:
+        del self._probe_order[change.group_id]
+        self._verdicts = {
+            key: v for key, v in self._verdicts.items() if key[1] != change.group_id
+        }
+
+    def _on_dims_removed(self, dims: frozenset) -> None:
+        for state in self._streams.values():
+            for vector in state.vectors.values():
+                for dim in dims:
+                    vector.pop(dim, None)
+            for dim in dims:
+                state.members.pop(dim, None)
+                state.max_cache.pop(dim, None)
+            state.version += 1
 
     # -- stream lifecycle ------------------------------------------------
     def register_stream(self, stream_id: StreamId, npvs: Mapping[VertexId, NPV]) -> None:
@@ -164,19 +201,20 @@ class SkylineEarlyStopJoin(JoinEngine):
     def is_candidate(self, stream_id: StreamId, query_id: QueryId) -> bool:
         self._obs_checks.inc()
         state = self._streams[stream_id]
-        key = (stream_id, query_id)
+        group_id = self.query_set.group_of[query_id]
+        key = (stream_id, group_id)
         cached = self._verdicts.get(key)
         if cached is not None and cached[0] == state.version:
             return cached[1]
-        verdict = self._evaluate(state, query_id)
+        verdict = self._evaluate(state, group_id)
         self._verdicts[key] = (state.version, verdict)
         return verdict
 
-    def _evaluate(self, state: _StreamState, query_id: QueryId) -> bool:
+    def _evaluate(self, state: _StreamState, group_id: int) -> bool:
         # Pruning blame is recorded here (fresh evaluations only): a
         # verdict replayed from the cache does not recount, so the
         # pruned{dim=...} counters measure distinct verdict computations.
-        for qv_index in self._probe_order[query_id]:
+        for qv_index in self._probe_order[group_id]:
             probe = self.query_set.vectors[qv_index].vector
             if not probe:
                 # Trivial all-zero probe: dominated by any existing vertex.

@@ -87,9 +87,11 @@ from .worker import (
     CMD_ADD_STREAM,
     CMD_APPLY,
     CMD_CHECKPOINT,
+    CMD_DEREGISTER_QUERY,
     CMD_EXPORT_STREAM,
     CMD_NPV,
     CMD_POLL,
+    CMD_REGISTER_QUERY,
     CMD_REMOVE_STREAM,
     CMD_STATS,
     CMD_STOP,
@@ -240,6 +242,14 @@ class ShardedMonitor:
             shard: deque() for shard in range(num_workers)
         }
         self._streams: dict[StreamId, int] = {}
+        # The *live* query set.  ``self.spec.queries`` stays frozen at
+        # birth: a respawn restores checkpoint (whose manifest carries
+        # the churned membership) or birth spec, then replays the
+        # journal — which contains every register/deregister since — so
+        # the two always reconverge to this dict.
+        self._queries: dict[QueryId, LabeledGraph] = dict(queries)
+        self._query_registrations = 0
+        self._query_deregistrations = 0
         self._last_poll: set[Pair] = set()
         self._request_counter = 0
         self._dropped = 0
@@ -365,8 +375,71 @@ class ShardedMonitor:
         return list(self._streams)
 
     def query_ids(self) -> list[QueryId]:
-        """Ids of the (fixed) monitored patterns."""
-        return list(self.spec.queries)
+        """Ids of the currently monitored patterns."""
+        return list(self._queries)
+
+    # ------------------------------------------------------------------
+    # query lifecycle
+    # ------------------------------------------------------------------
+    def register_query(self, query_id: QueryId, query: LabeledGraph) -> None:
+        """Register a pattern live, with no false-negative window.
+
+        The command rides the journaled control path to every shard
+        (:data:`~repro.runtime.worker.CMD_REGISTER_QUERY` is a state
+        command): each worker's FIFO inbox guarantees its registration
+        snapshot reflects every update accepted before this call
+        returns, and a worker SIGKILLed mid-registration replays the
+        command from its journal — the query lands fully present or,
+        if the call itself never completed on that shard, fully absent.
+        """
+        self._ensure_open()
+        if query_id in self._queries:
+            raise ValueError(f"query {query_id!r} is already monitored")
+        with Stopwatch() as timer:
+            with obs.span("runtime.register_query", query=str(query_id)):
+                for shard in sorted(self._workers):
+                    self._submit_control(shard, (CMD_REGISTER_QUERY, query_id, query))
+        self._queries[query_id] = query
+        self._query_registrations += 1
+        if obs.enabled():
+            obs.histogram(
+                "query.register.seconds",
+                help="live query registration latency",
+            ).observe(timer.total)
+            obs.counter(
+                "runtime.query_registrations", help="queries registered live"
+            ).inc()
+            obs.gauge(
+                "queries_registered", help="currently monitored queries"
+            ).set(len(self._queries))
+
+    def deregister_query(self, query_id: QueryId) -> None:
+        """Drop a pattern on every shard, retiring its engine rows and
+        purging its pending per-query poll state."""
+        self._ensure_open()
+        if query_id not in self._queries:
+            raise KeyError(f"query {query_id!r} is not monitored")
+        with obs.span("runtime.deregister_query", query=str(query_id)):
+            for shard in sorted(self._workers):
+                self._submit_control(shard, (CMD_DEREGISTER_QUERY, query_id))
+        del self._queries[query_id]
+        self._query_deregistrations += 1
+        self._last_poll = {pair for pair in self._last_poll if pair[1] != query_id}
+        if obs.enabled():
+            obs.counter(
+                "runtime.query_deregistrations", help="queries deregistered live"
+            ).inc()
+            obs.gauge(
+                "queries_registered", help="currently monitored queries"
+            ).set(len(self._queries))
+
+    def add_query(self, query_id: QueryId, query: LabeledGraph) -> None:
+        """Alias of :meth:`register_query` (StreamMonitor parity)."""
+        self.register_query(query_id, query)
+
+    def remove_query(self, query_id: QueryId) -> None:
+        """Alias of :meth:`deregister_query` (StreamMonitor parity)."""
+        self.deregister_query(query_id)
 
     def shard_of(self, stream_id: StreamId) -> int:
         """Which shard owns a registered stream."""
@@ -740,8 +813,20 @@ class ShardedMonitor:
         return {
             "num_workers": self.num_workers,
             "num_streams": len(self._streams),
-            "num_queries": len(self.spec.queries),
+            "num_queries": len(self._queries),
             "method": self.spec.method,
+            "queries": {
+                "registered": len(self._queries),
+                "registrations": self._query_registrations,
+                "deregistrations": self._query_deregistrations,
+                "groups": max(
+                    (
+                        payload.get("monitor", {}).get("num_query_groups", 0)
+                        for payload in workers.values()
+                    ),
+                    default=0,
+                ),
+            },
             "shm": shm_section,
             "rescale": {
                 "count": self._rescales,
@@ -834,6 +919,19 @@ class ShardedMonitor:
             "seconds": timer.total,
         }
 
+    def _query_catchup(self, shard: int) -> None:
+        """Replay the net query churn since birth onto one fresh shard
+        (spawned from the frozen birth spec) via journaled control
+        commands."""
+        birth = self.spec.queries
+        live = self._queries
+        for query_id in birth:
+            if live.get(query_id) is not birth[query_id]:
+                self._submit_control(shard, (CMD_DEREGISTER_QUERY, query_id))
+        for query_id, graph in live.items():
+            if birth.get(query_id) is not graph:
+                self._submit_control(shard, (CMD_REGISTER_QUERY, query_id, graph))
+
     def _rescale_locked(self, target: int) -> int:
         """The rescale body: spawn, move, install, retire.  Returns the
         number of streams that changed owner."""
@@ -848,6 +946,10 @@ class ShardedMonitor:
                 # from it.
                 self.store.invalidate(shard)
             self._workers[shard] = self._spawn(shard, self.spec)
+            # The newcomer was built from the birth spec; bring it up to
+            # the live query set through its (fresh) journal so a crash
+            # mid-catch-up recovers exactly like any other churn.
+            self._query_catchup(shard)
         router = ShardRouter(target)
         moved = 0
         # Deterministic move order (sorted by stream id) so journals and

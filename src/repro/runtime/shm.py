@@ -86,6 +86,10 @@ TOMBSTONE_GENERATION = 0
 #: Default ring capacity per shard (payload bytes).
 DEFAULT_RING_CAPACITY = 1 << 20
 
+#: Smallest NPV segment (one page): the floor of the power-of-two size
+#: buckets :meth:`NpvPlane.acquire` allocates in.
+MIN_SEGMENT_SIZE = 4096
+
 
 class ShmError(RuntimeError):
     """A shared-memory plane invariant was violated."""
@@ -184,8 +188,18 @@ class NpvPlane:
 
     def acquire(self, payload_bytes: int) -> shared_memory.SharedMemory:
         """A segment with at least ``payload_bytes`` behind the header,
-        reusing a freed segment of the same size bucket when possible."""
-        size = HEADER_SIZE + payload_bytes
+        reusing a freed segment of the same size bucket when possible.
+
+        Sizes round up to power-of-two buckets (floor: one page), so a
+        freed segment is reusable by any later request that lands in
+        the same bucket — query churn that reallocates row stores with
+        slightly different dimension counts recycles segments instead
+        of accumulating near-miss sizes on the free-list forever.
+        """
+        needed = HEADER_SIZE + payload_bytes
+        size = MIN_SEGMENT_SIZE
+        while size < needed:
+            size *= 2
         bucket = self._free.get(size)
         if bucket:
             return self._segments[bucket.pop()]

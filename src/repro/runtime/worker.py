@@ -41,6 +41,8 @@ from .shm import NpvPlane, RingReader, RingRef
 CMD_ADD_STREAM = "add_stream"
 CMD_REMOVE_STREAM = "remove_stream"
 CMD_APPLY = "apply"
+CMD_REGISTER_QUERY = "register_query"
+CMD_DEREGISTER_QUERY = "deregister_query"
 CMD_POLL = "poll"
 CMD_STATS = "stats"
 CMD_TRACE = "trace"
@@ -49,8 +51,10 @@ CMD_EXPORT_STREAM = "export_stream"
 CMD_NPV = "npv_plane"
 CMD_STOP = "stop"
 
-#: Commands that mutate stream state and therefore enter the journal.
-STATE_COMMANDS = frozenset({CMD_ADD_STREAM, CMD_REMOVE_STREAM, CMD_APPLY})
+#: Commands that mutate shard state and therefore enter the journal.
+STATE_COMMANDS = frozenset(
+    {CMD_ADD_STREAM, CMD_REMOVE_STREAM, CMD_APPLY, CMD_REGISTER_QUERY, CMD_DEREGISTER_QUERY}
+)
 
 
 @dataclass(frozen=True)
@@ -129,6 +133,13 @@ class ShardState:
             return None
         if kind == CMD_REMOVE_STREAM:
             self.monitor.remove_stream(command[1])
+            return None
+        if kind == CMD_REGISTER_QUERY:
+            _, query_id, query = command
+            self.monitor.register_query(query_id, query)
+            return None
+        if kind == CMD_DEREGISTER_QUERY:
+            self.monitor.deregister_query(command[1])
             return None
         if kind == CMD_POLL:
             timer = Stopwatch()

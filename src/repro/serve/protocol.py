@@ -35,6 +35,8 @@ __all__ = [
     "ProtocolError",
     "Command",
     "AddStream",
+    "AddQuery",
+    "DelQuery",
     "Edit",
     "BatchEdit",
     "Commit",
@@ -77,6 +79,40 @@ class AddStream(Command):
     stream_id: Any
     graph_file: str | None = None
     graph_key: str | None = None
+
+    @property
+    def is_data(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class AddQuery(Command):
+    """Register a standing query live (verb ``addq``).
+
+    The pattern comes from a graph-set file on the server
+    (``graph_file`` + optional ``graph_key``) or inline as
+    ``vertices``/``edges`` tuples (JSON protocol only).  Semantic
+    problems — unreadable file, missing key, malformed pattern,
+    duplicate id — are *poison queries*: the executor dead-letters them
+    (``kind: "query"``) instead of crashing the session.
+    """
+
+    query_id: Any
+    graph_file: str | None = None
+    graph_key: str | None = None
+    vertices: tuple = ()
+    edges: tuple = ()
+
+    @property
+    def is_data(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class DelQuery(Command):
+    """Deregister a standing query live (verb ``delq``)."""
+
+    query_id: Any
 
     @property
     def is_data(self) -> bool:
@@ -144,6 +180,8 @@ class Quit(Command):
 _TEXT_VERBS = frozenset(
     {
         "stream",
+        "addq",
+        "delq",
         "ins",
         "del",
         "tick",
@@ -210,6 +248,21 @@ def parse_text_line(line: str) -> Command | None:
             rest[2] if len(rest) > 2 else None,
             verb=verb,
         )
+    if verb == "addq":
+        if not rest or len(rest) < 2:
+            raise ProtocolError("'addq' needs <id> <graphset-file> [key]")
+        if len(rest) > 3:
+            raise ProtocolError("'addq' takes at most <id> <graphset-file> <key>")
+        return AddQuery(
+            rest[0],
+            rest[1],
+            rest[2] if len(rest) > 2 else None,
+            verb=verb,
+        )
+    if verb == "delq":
+        if len(rest) != 1:
+            raise ProtocolError("'delq' takes exactly <id>")
+        return DelQuery(rest[0], verb=verb)
     if verb in ("ins", "del"):
         return _parse_edit(verb, rest)
     if rest:
@@ -288,6 +341,36 @@ def parse_json_line(line: str) -> Command | None:
             doc.get("graph_key"),
             verb=verb,
         )
+    if verb == "addq":
+        if "query" not in doc:
+            raise ProtocolError("'addq' needs a 'query' field")
+        vertices = doc.get("vertices", [])
+        edges = doc.get("edges", [])
+        if not isinstance(vertices, list) or not isinstance(edges, list):
+            raise ProtocolError("'addq' inline 'vertices'/'edges' must be lists")
+        if not (doc.get("graph_file") or vertices or edges):
+            raise ProtocolError(
+                "'addq' needs a 'graph_file' or inline 'vertices'/'edges'"
+            )
+        try:
+            # Shape only; pattern *content* problems are poison queries,
+            # handled (dead-lettered) by the executor, not the parser.
+            inline_vertices = tuple(tuple(item) for item in vertices)
+            inline_edges = tuple(tuple(item) for item in edges)
+        except TypeError as exc:
+            raise ProtocolError(f"malformed inline pattern: {exc}") from exc
+        return AddQuery(
+            doc["query"],
+            doc.get("graph_file"),
+            doc.get("graph_key"),
+            inline_vertices,
+            inline_edges,
+            verb=verb,
+        )
+    if verb == "delq":
+        if "query" not in doc:
+            raise ProtocolError("'delq' needs a 'query' field")
+        return DelQuery(doc["query"], verb=verb)
     if verb in ("ins", "del"):
         change_doc = dict(doc)
         change_doc["op"] = verb

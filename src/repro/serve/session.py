@@ -50,11 +50,13 @@ from ..graph.operations import (
 from . import protocol
 from .dlq import DeadLetterQueue
 from .protocol import (
+    AddQuery,
     AddStream,
     BatchEdit,
     Checkpoint,
     Command,
     Commit,
+    DelQuery,
     Edit,
     Matches,
     Poll,
@@ -190,6 +192,12 @@ class MonitorBridge:
             "serve.dlq", "poison batches journaled to the dead-letter queue"
         )
         self._commands = obs.counter("serve.commands", "protocol commands executed")
+        self._registrations = obs.counter(
+            "serve.query_registrations", "live query registrations via addq"
+        )
+        self._deregistrations = obs.counter(
+            "serve.query_deregistrations", "live query retirements via delq"
+        )
         self._poison: tuple[type[BaseException], ...] = POISON_ERRORS
         if hasattr(monitor, "inbox_depths"):  # sharded runtime
             self._poison = POISON_ERRORS + _runtime_crash_errors()
@@ -205,6 +213,10 @@ class MonitorBridge:
         self._commands.inc()
         if isinstance(command, AddStream):
             return self._add_stream(session, command)
+        if isinstance(command, AddQuery):
+            return self._add_query(session, command)
+        if isinstance(command, DelQuery):
+            return self._del_query(session, command)
         if isinstance(command, Edit):
             pending = session.stage(command.stream_id, [command.change])
             return {
@@ -275,6 +287,103 @@ class MonitorBridge:
         self._shadow[command.stream_id] = initial.copy()
         session.pending.setdefault(command.stream_id, [])
         return {"ok": True, "cmd": command.verb, "stream": command.stream_id}
+
+    def _load_pattern(self, command: AddQuery) -> LabeledGraph:
+        """Build the query pattern *bridge-side*, so malformed patterns
+        are poison here and never reach a shard worker (where the crash
+        loop of satellite lore would begin)."""
+        if command.graph_file is not None:
+            graph_set = dict(read_graph_set(command.graph_file))
+            if not graph_set:
+                raise ValueError(f"empty graph set {command.graph_file}")
+            key = (
+                command.graph_key
+                if command.graph_key is not None
+                else next(iter(graph_set))
+            )
+            if key not in graph_set:
+                raise KeyError(f"graph {key!r} not in {command.graph_file}")
+            return graph_set[key]
+        pattern = LabeledGraph()
+        for vertex, label in command.vertices:
+            pattern.add_vertex(vertex, label)
+        for u, v, label in command.edges:
+            pattern.add_edge(u, v, label)
+        if pattern.num_vertices == 0:
+            raise ValueError("empty query pattern")
+        return pattern
+
+    def _add_query(self, session: Session, command: AddQuery) -> dict[str, Any]:
+        with obs.span(
+            "serve.register_query",
+            session=session.label,
+            query=str(command.query_id),
+        ):
+            ctx = obs.current_context()
+            trace_id = ctx.trace_id if ctx is not None else None
+            try:
+                pattern = self._load_pattern(command)
+                self.monitor.register_query(command.query_id, pattern)
+            except self._poison + (OSError, TypeError) as exc:
+                dlq_id = self.dlq.record(
+                    session=session.session_id,
+                    stream=None,
+                    changes=[{"cmd": command.verb, "query": command.query_id}],
+                    error=f"{type(exc).__name__}: {exc}",
+                    kind="query",
+                    trace_id=trace_id,
+                )
+                self.dead_letters += 1
+                self._dlq_counter.inc()
+                reply: dict[str, Any] = {
+                    "ok": False,
+                    "cmd": command.verb,
+                    "query": command.query_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "dlq_id": dlq_id,
+                }
+            else:
+                self._registrations.inc()
+                reply = {
+                    "ok": True,
+                    "cmd": command.verb,
+                    "query": command.query_id,
+                    "queries": len(self.monitor.query_ids()),
+                }
+        if trace_id is not None:
+            reply["trace"] = trace_id
+        return reply
+
+    def _del_query(self, session: Session, command: DelQuery) -> dict[str, Any]:
+        with obs.span(
+            "serve.deregister_query",
+            session=session.label,
+            query=str(command.query_id),
+        ):
+            ctx = obs.current_context()
+            trace_id = ctx.trace_id if ctx is not None else None
+            try:
+                self.monitor.deregister_query(command.query_id)
+            except self._poison as exc:
+                # Nothing to replay — an unknown id is refused, not
+                # dead-lettered.
+                reply: dict[str, Any] = {
+                    "ok": False,
+                    "cmd": command.verb,
+                    "query": command.query_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            else:
+                self._deregistrations.inc()
+                reply = {
+                    "ok": True,
+                    "cmd": command.verb,
+                    "query": command.query_id,
+                    "queries": len(self.monitor.query_ids()),
+                }
+        if trace_id is not None:
+            reply["trace"] = trace_id
+        return reply
 
     def _commit(self, session: Session, command: Commit) -> dict[str, Any]:
         self.timestamp += 1

@@ -1,0 +1,313 @@
+"""Regenerate the KPI-gated scenario fixtures, deterministically.
+
+Layout (the ``{raw,expected,scenarios}`` convention):
+
+* ``raw/``       — inputs: pattern graph-set files and serve text-protocol
+  event scripts (``{RAW}`` is substituted with this directory's absolute
+  path by the test runner, so ``addq`` lines resolve on any machine).
+* ``expected/``  — golden outputs: the networkx-oracle truth at every
+  poll plus the final exact match set, independent of the code under
+  test.
+* ``scenarios/`` — descriptors binding raw + expected together with the
+  KPI gates (recall, false-positive ratio, p95 commit latency).
+
+Both scenarios exercise **mid-stream query churn**: a pattern is
+registered live (``addq``) after the streams are warm and another is
+retired (``delq``) near the end, so the golden truth changes query set
+mid-run.
+
+Run from the repo root:
+
+    PYTHONPATH=src python tests/fixtures/scenarios/generate.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import networkx as nx
+from networkx.algorithms import isomorphism as nxiso
+
+from repro.graph import EdgeChange, LabeledGraph, apply_change
+from repro.graph.io import write_graph_set
+
+HERE = Path(__file__).parent
+VERSION = "v1"
+
+
+# ----------------------------------------------------------------------
+# oracle (independent of repro's own VF2)
+# ----------------------------------------------------------------------
+def to_networkx(graph: LabeledGraph) -> "nx.Graph":
+    out = nx.Graph()
+    for vertex in graph.vertices():
+        out.add_node(vertex, label=graph.vertex_label(vertex))
+    for u, v, label in graph.edges():
+        out.add_edge(u, v, label=label)
+    return out
+
+
+def oracle_iso(query: LabeledGraph, target: LabeledGraph) -> bool:
+    matcher = nxiso.GraphMatcher(
+        to_networkx(target),
+        to_networkx(query),
+        node_match=lambda a, b: a["label"] == b["label"],
+        edge_match=lambda a, b: a["label"] == b["label"],
+    )
+    return matcher.subgraph_is_monomorphic()
+
+
+def truth_pairs(mirrors: dict, queries: dict) -> list[list[str]]:
+    return sorted(
+        [stream_id, query_id]
+        for stream_id, mirror in mirrors.items()
+        for query_id, query in queries.items()
+        if oracle_iso(query, mirror)
+    )
+
+
+# ----------------------------------------------------------------------
+# event-script builder
+# ----------------------------------------------------------------------
+class ScriptBuilder:
+    """Emits serve text-protocol lines while tracking exact mirrors of
+    every stream (deletes first within a commit, matching the monitor's
+    batch order) and the live query set under churn."""
+
+    def __init__(self, patterns: dict, initial_queries: list[str], patterns_file: str):
+        self.patterns = patterns
+        self.patterns_file = patterns_file
+        self.live = {name: patterns[name] for name in initial_queries}
+        self.mirrors: dict[str, LabeledGraph] = {}
+        self.lines: list[str] = []
+        self.polls: list[dict] = []
+
+    def add_stream(self, stream_id: str) -> None:
+        self.mirrors[stream_id] = LabeledGraph()
+        self.lines.append(f"stream {stream_id}")
+
+    def insert(self, stream_id: str, u: str, v: str, edge: str, lu: str, lv: str) -> bool:
+        mirror = self.mirrors[stream_id]
+        if mirror.has_edge(u, v):
+            return False
+        change = EdgeChange.insert(u, v, edge, lu, lv)
+        apply_change(mirror, change)
+        self.lines.append(f"ins {stream_id} {u} {v} {edge} {lu} {lv}")
+        return True
+
+    def delete(self, stream_id: str, u: str, v: str) -> None:
+        change = EdgeChange.delete(u, v)
+        apply_change(self.mirrors[stream_id], change)
+        self.lines.append(f"del {stream_id} {u} {v}")
+
+    def register(self, query_id: str) -> None:
+        self.live[query_id] = self.patterns[query_id]
+        self.lines.append(f"addq {query_id} {{RAW}}/{self.patterns_file} {query_id}")
+
+    def deregister(self, query_id: str) -> None:
+        del self.live[query_id]
+        self.lines.append(f"delq {query_id}")
+
+    def poll(self, timestamp: int) -> None:
+        """commit + matches, recording the oracle truth at this poll."""
+        self.lines.append("commit")
+        self.lines.append("matches")
+        self.polls.append(
+            {"t": timestamp, "truth": truth_pairs(self.mirrors, self.live)}
+        )
+
+    def finish(self) -> dict:
+        self.lines.append("quit")
+        return {
+            "polls": self.polls,
+            "final_verified": self.polls[-1]["truth"] if self.polls else [],
+        }
+
+
+# ----------------------------------------------------------------------
+# fraud-ring scenario
+# ----------------------------------------------------------------------
+ACCOUNT_LABELS = ["acct", "mule", "merchant", "bank"]  # account id % 4
+
+
+def fraud_patterns() -> dict:
+    ring = LabeledGraph.from_vertices_and_edges(
+        [("0", "acct"), ("1", "acct"), ("2", "acct")],
+        [("0", "1", "pay"), ("1", "2", "pay"), ("2", "0", "pay")],
+    )
+    fan = LabeledGraph.from_vertices_and_edges(
+        [("0", "acct"), ("1", "acct"), ("2", "mule"), ("3", "bank")],
+        [("0", "2", "pay"), ("1", "2", "pay"), ("2", "3", "pay")],
+    )
+    chain = LabeledGraph.from_vertices_and_edges(
+        [("0", "acct"), ("1", "mule"), ("2", "mule"), ("3", "merchant")],
+        [("0", "1", "pay"), ("1", "2", "pay"), ("2", "3", "pay")],
+    )
+    return {"money-cycle": ring, "mule-fan-in": fan, "layering-chain": chain}
+
+
+def account_label(account: int) -> str:
+    return ACCOUNT_LABELS[account % len(ACCOUNT_LABELS)]
+
+
+def payment_churn(builder: ScriptBuilder, rng: random.Random, stream_id: str) -> None:
+    mirror = builder.mirrors[stream_id]
+    edges = sorted((u, v) for u, v, _ in mirror.edges())
+    if edges and rng.random() < 0.3:
+        u, v = rng.choice(edges)
+        builder.delete(stream_id, u, v)
+    for _ in range(rng.randint(1, 3)):
+        a, b = rng.sample(range(12), 2)
+        builder.insert(
+            stream_id, str(a), str(b), "pay", account_label(a), account_label(b)
+        )
+
+
+def inject(builder: ScriptBuilder, stream_id: str, edges: list, label_of) -> None:
+    for a, b in edges:
+        builder.insert(stream_id, str(a), str(b), builder.edge_label, label_of(a), label_of(b))
+
+
+def build_fraud_ring() -> tuple[ScriptBuilder, dict]:
+    patterns = fraud_patterns()
+    patterns_file = f"fraud_ring_patterns_{VERSION}.txt"
+    builder = ScriptBuilder(patterns, ["money-cycle", "mule-fan-in"], patterns_file)
+    builder.edge_label = "pay"
+    rng = random.Random(1896)
+    for stream_id in ("cards", "wires"):
+        builder.add_stream(stream_id)
+    for timestamp in range(1, 15):
+        for stream_id in ("cards", "wires"):
+            payment_churn(builder, rng, stream_id)
+        if timestamp == 6:
+            # a laundering ring among three accounts (ids ≡ 0 mod 4)
+            inject(builder, "wires", [(0, 4), (4, 8), (8, 0)], account_label)
+        if timestamp == 10:
+            # a layering chain: acct 8 -> mule 5 -> mule 9 -> merchant 2
+            inject(builder, "wires", [(8, 5), (5, 9), (9, 2)], account_label)
+        builder.poll(timestamp)
+        if timestamp == 8:
+            builder.register("layering-chain")  # analyst adds a typology live
+        if timestamp == 12:
+            builder.deregister("mule-fan-in")  # retired typology
+    golden = builder.finish()
+    return builder, golden
+
+
+# ----------------------------------------------------------------------
+# network-intrusion scenario
+# ----------------------------------------------------------------------
+HOST_LABELS = ["ws", "db", "dns", "gw"]  # host id % 4
+
+
+def intrusion_patterns() -> dict:
+    scan = LabeledGraph.from_vertices_and_edges(
+        [("0", "ws"), ("1", "gw"), ("2", "db"), ("3", "db")],
+        [("0", "1", "conn"), ("0", "2", "conn"), ("0", "3", "conn")],
+    )
+    relay = LabeledGraph.from_vertices_and_edges(
+        [("0", "db"), ("1", "ws"), ("2", "gw")],
+        [("0", "1", "conn"), ("1", "2", "conn")],
+    )
+    lateral = LabeledGraph.from_vertices_and_edges(
+        [("0", "ws"), ("1", "ws"), ("2", "ws"), ("3", "db")],
+        [("0", "1", "conn"), ("1", "2", "conn"), ("2", "0", "conn"), ("2", "3", "conn")],
+    )
+    return {"port-scan": scan, "exfil-relay": relay, "lateral-move": lateral}
+
+
+def host_label(host: int) -> str:
+    return HOST_LABELS[host % len(HOST_LABELS)]
+
+
+def traffic_churn(builder: ScriptBuilder, rng: random.Random, stream_id: str) -> None:
+    mirror = builder.mirrors[stream_id]
+    edges = sorted((u, v) for u, v, _ in mirror.edges())
+    if edges and rng.random() < 0.4:
+        u, v = rng.choice(edges)
+        builder.delete(stream_id, u, v)
+    for _ in range(rng.randint(1, 3)):
+        a, b = rng.sample(range(12), 2)
+        builder.insert(
+            stream_id, str(a), str(b), "conn", host_label(a), host_label(b)
+        )
+
+
+def build_intrusion() -> tuple[ScriptBuilder, dict]:
+    patterns = intrusion_patterns()
+    patterns_file = f"intrusion_patterns_{VERSION}.txt"
+    builder = ScriptBuilder(patterns, ["port-scan", "lateral-move"], patterns_file)
+    builder.edge_label = "conn"
+    rng = random.Random(2009)
+    for stream_id in ("subnet-a", "subnet-b"):
+        builder.add_stream(stream_id)
+    for timestamp in range(1, 13):
+        for stream_id in ("subnet-a", "subnet-b"):
+            traffic_churn(builder, rng, stream_id)
+        if timestamp == 6:
+            # host 0 (a workstation) scans the gateway and two databases
+            inject(builder, "subnet-b", [(0, 3), (0, 1), (0, 5)], host_label)
+        if timestamp == 8:
+            # exfiltration relay: db 1 -> ws 4 -> gw 3
+            inject(builder, "subnet-a", [(1, 4), (4, 3)], host_label)
+        builder.poll(timestamp)
+        if timestamp == 4:
+            builder.register("exfil-relay")  # new IOC from threat intel
+        if timestamp == 9:
+            builder.deregister("lateral-move")
+    golden = builder.finish()
+    return builder, golden
+
+
+# ----------------------------------------------------------------------
+# write everything
+# ----------------------------------------------------------------------
+def emit(name: str, builder: ScriptBuilder, golden: dict, kpi: dict, method: str) -> None:
+    patterns_path = HERE / "raw" / builder.patterns_file
+    names = sorted(builder.patterns)
+    write_graph_set(
+        [builder.patterns[key] for key in names], patterns_path, names=names
+    )
+    (HERE / "raw" / f"{name}_events_{VERSION}.txt").write_text(
+        "\n".join(builder.lines) + "\n", encoding="utf-8"
+    )
+    (HERE / "expected" / f"{name}_expected_matches_{VERSION}.json").write_text(
+        json.dumps(golden, indent=2) + "\n", encoding="utf-8"
+    )
+    descriptor = {
+        "name": name,
+        "version": VERSION,
+        "method": method,
+        "patterns": builder.patterns_file,
+        "initial_queries": sorted(
+            set(builder.patterns)
+            - {
+                line.split()[1]
+                for line in builder.lines
+                if line.startswith("addq ")
+            }
+        ),
+        "events": f"{name}_events_{VERSION}.txt",
+        "expected": f"{name}_expected_matches_{VERSION}.json",
+        "kpi": kpi,
+    }
+    (HERE / "scenarios" / f"{name}_{VERSION}.json").write_text(
+        json.dumps(descriptor, indent=2) + "\n", encoding="utf-8"
+    )
+    matched = sum(len(poll["truth"]) for poll in golden["polls"])
+    print(f"{name}: {len(builder.lines)} lines, {len(golden['polls'])} polls, "
+          f"{matched} true pairs over the run")
+
+
+def main() -> None:
+    kpi = {"recall": 1.0, "max_fp_ratio": 0.5, "p95_commit_seconds": 0.25}
+    builder, golden = build_fraud_ring()
+    emit("fraud_ring", builder, golden, kpi, method="dsc")
+    builder, golden = build_intrusion()
+    emit("intrusion", builder, golden, kpi, method="dsc")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,7 +88,7 @@ class TestDSCCounters:
                     for mirror in state.vectors.values()
                 )
             )
-            assert state.uncovered[query_id] == expected
+            assert state.uncovered[query_set.group_of[query_id]] == expected
 
     def test_mirrors_match_restricted_npvs(self):
         query_set, engine, index = self.setup_engine(14)
@@ -135,14 +135,16 @@ class TestSkylineInternals:
         for query_id, indices in query_set.by_query.items():
             vectors = [query_set.vectors[i].vector for i in indices]
             maximal = {indices[local] for local in maximal_vectors(vectors)}
-            assert set(engine._probe_order[query_id]) == maximal
+            group_id = query_set.group_of[query_id]
+            assert set(engine._probe_order[group_id]) == maximal
 
     def test_verdict_cache_respects_version(self):
         query_set, engine, index = self.setup_engine(24)
         query_id = query_set.query_ids()[0]
+        group_id = query_set.group_of[query_id]
         first = engine.is_candidate(0, query_id)
         version = engine._streams[0].version
-        assert engine._verdicts[(0, query_id)] == (version, first)
+        assert engine._verdicts[(0, group_id)] == (version, first)
         # any change invalidates
         vertices = list(index.graph.vertices())
         if len(vertices) >= 2:

@@ -21,6 +21,7 @@ def test_expected_examples_present():
     assert {
         "quickstart.py",
         "network_intrusion.py",
+        "fraud_ring.py",
         "chemical_reactions.py",
         "proximity_monitoring.py",
         "windowed_flows.py",

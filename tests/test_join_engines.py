@@ -46,9 +46,14 @@ class TestQuerySet:
         query_set = QuerySet(queries, depth_limit=2)
         assert len(query_set) == len(queries)
         total_vertices = sum(g.num_vertices for g in queries.values())
-        assert len(query_set.vectors) == total_vertices
+        # Fingerprint dedup may collapse identical projections, never grow.
+        assert len(query_set.vectors) <= total_vertices
+        assert query_set.live_vector_count() <= total_vertices
         for query_id, indices in query_set.by_query.items():
-            assert all(query_set.vectors[i].query_id == query_id for i in indices)
+            group_id = query_set.group_of[query_id]
+            assert query_id in query_set.groups[group_id].members
+            assert all(query_set.vectors[i].group == group_id for i in indices)
+            assert query_set.groups[group_id].indices is indices
 
     def test_dimension_universe(self, rng):
         query_set = QuerySet(small_queries(rng), depth_limit=2)

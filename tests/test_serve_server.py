@@ -682,3 +682,128 @@ class TestDraining:
             if proc.poll() is None:
                 proc.kill()
             proc.wait(timeout=30)
+
+
+# -- live query churn over the wire ----------------------------------------
+
+
+class TestQueryChurnOverTcp:
+    def test_addq_delq_replies_carry_trace_ids(self):
+        """Every churn reply is traceable: addq/delq replies carry the
+        span's trace id, and the registered query answers immediately
+        against the stream state that existed before it arrived."""
+        queries = {"q": edge_query()}
+
+        async def run():
+            monitor = StreamMonitor(queries, method="dsc")
+            server = ReproServer(monitor)
+            await server.start()
+            reader, writer, _ = await connect(server.port)
+            assert (await send_cmd(reader, writer, {"cmd": "stream", "stream": "s"}))[
+                "ok"
+            ]
+            assert (await send_cmd(reader, writer, ins("s", 1, 2)))["ok"]
+            assert (await send_cmd(reader, writer, {"cmd": "commit"}))["ok"]
+            added = await send_cmd(
+                reader,
+                writer,
+                {
+                    "cmd": "addq",
+                    "query": "late",
+                    "vertices": [[0, "A"], [1, "B"]],
+                    "edges": [[0, 1, "x"]],
+                },
+            )
+            flagged = await send_cmd(reader, writer, {"cmd": "matches"})
+            dropped = await send_cmd(reader, writer, {"cmd": "delq", "query": "late"})
+            after = await send_cmd(reader, writer, {"cmd": "matches"})
+            await server.drain()
+            return added, flagged, dropped, after
+
+        added, flagged, dropped, after = asyncio.run(run())
+        assert added["ok"] and added["queries"] == 2
+        assert added["trace"], "addq reply is missing its trace id"
+        # The late query sees the pre-registration stream state at once.
+        assert sorted(map(tuple, flagged["matches"])) == [("s", "late"), ("s", "q")]
+        assert dropped["ok"] and dropped["queries"] == 1
+        assert dropped["trace"], "delq reply is missing its trace id"
+        assert sorted(map(tuple, after["matches"])) == [("s", "q")]
+
+    def test_poison_addq_dead_letters_and_session_survives(self, tmp_path):
+        """A malformed registration — bad inline pattern or a missing
+        graph-set file — must dead-letter with kind='query' and a trace
+        id, not crash the worker; the session keeps serving."""
+        queries = {"q": edge_query()}
+        dlq = DeadLetterQueue(tmp_path)
+
+        async def run():
+            monitor = StreamMonitor(queries, method="dsc")
+            server = ReproServer(monitor, dlq=dlq)
+            await server.start()
+            reader, writer, _ = await connect(server.port)
+            bad_inline = await send_cmd(
+                reader,
+                writer,
+                {
+                    "cmd": "addq",
+                    "query": "broken",
+                    "vertices": [[0, "A"]],
+                    "edges": [[0, 7, "x"]],  # edge endpoint never declared
+                },
+            )
+            bad_file = await send_cmd(
+                reader,
+                writer,
+                {
+                    "cmd": "addq",
+                    "query": "ghost",
+                    "graph_file": str(tmp_path / "no_such_set.txt"),
+                },
+            )
+            # The session is still alive and fully functional.
+            assert (await send_cmd(reader, writer, {"cmd": "stream", "stream": "s"}))[
+                "ok"
+            ]
+            assert (await send_cmd(reader, writer, ins("s", 1, 2)))["ok"]
+            committed = await send_cmd(reader, writer, {"cmd": "commit"})
+            flagged = await send_cmd(reader, writer, {"cmd": "matches"})
+            await server.drain()
+            return bad_inline, bad_file, committed, flagged
+
+        bad_inline, bad_file, committed, flagged = asyncio.run(run())
+        for bad in (bad_inline, bad_file):
+            assert bad["ok"] is False
+            assert "code" not in bad  # poison, not an internal error
+            assert bad["trace"]
+        assert bad_inline["dlq_id"] == 1 and bad_file["dlq_id"] == 2
+        assert committed["ok"] and committed["applied"] == 1
+        assert sorted(map(tuple, flagged["matches"])) == [("s", "q")]
+
+        entry = dlq.get(1)
+        assert entry is not None and entry.kind == "query"
+        assert entry.trace_id
+        assert entry.changes == [{"cmd": "addq", "query": "broken"}]
+
+    def test_unknown_delq_is_refused_without_dead_letter(self, tmp_path):
+        """delq of an id that was never registered is a refusal, not a
+        poison batch: nothing to replay, so nothing is journaled."""
+        queries = {"q": edge_query()}
+        dlq = DeadLetterQueue(tmp_path)
+
+        async def run():
+            monitor = StreamMonitor(queries, method="dsc")
+            server = ReproServer(monitor, dlq=dlq)
+            await server.start()
+            reader, writer, _ = await connect(server.port)
+            refused = await send_cmd(
+                reader, writer, {"cmd": "delq", "query": "never-was"}
+            )
+            still = await send_cmd(reader, writer, {"cmd": "delq", "query": "q"})
+            await server.drain()
+            return refused, still
+
+        refused, still = asyncio.run(run())
+        assert refused["ok"] is False and "dlq_id" not in refused
+        assert refused["trace"]
+        assert still["ok"] and still["queries"] == 0
+        assert dlq.get(1) is None  # nothing was journaled

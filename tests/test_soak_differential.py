@@ -15,15 +15,23 @@ no-false-negative guarantee, end to end through the runtime).  A
 ``rescale_pool`` rule grows/shrinks the sharded worker pool live
 mid-soak, so elastic resharding is held to the same invariants.
 
-The sharded monitor's query set is fixed at construction, so query
-churn rebuilds it from the mirrors — which doubles as a restart/replay
-equivalence check.  A ``slow``-marked scripted soak pushes the same
-differential through ≥500 operations for 1/2/4 workers × every engine.
+Query churn is **live** on every path: ``register_query`` and
+``deregister_query`` go through the sharded runtime's journaled control
+commands — no monitor is ever rebuilt, so registration must snapshot
+the current NPV state exactly or the very next invariant catches it.
+A ``slow``-marked scripted soak pushes the same differential through
+≥500 operations for 1/2/4 workers × every engine × shm on/off, with a
+scripted SIGKILL of the whole worker pool right after a registration
+(journal replay must recover the query, not lose or duplicate it).
 """
 
 from __future__ import annotations
 
+import os
 import random
+import signal
+import time
+from pathlib import Path
 
 import pytest
 from hypothesis import settings
@@ -52,6 +60,10 @@ ENGINE_METHODS = ("nl", "dsc", "skyline", "matrix")
 VERTEX_LABELS = ("A", "B", "C")
 EDGE_LABELS = ("x", "y")
 DEPTH_LIMIT = 2
+
+needs_shm_dir = pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="no /dev/shm to scan"
+)
 
 
 def random_query(rng: random.Random) -> LabeledGraph:
@@ -131,29 +143,6 @@ class SoakMachine(RuleBasedStateMachine):
         if self.sharded is not None:
             self.sharded.close()
 
-    # ------------------------------------------------------------------
-    # sharded lifecycle (fixed query set -> churn rebuilds it)
-    # ------------------------------------------------------------------
-    def _rebuild_sharded(self) -> None:
-        if self.sharded is not None:
-            self.sharded.close()
-        self.sharded = ShardedMonitor(
-            dict(self.queries),
-            method="dsc",
-            depth_limit=DEPTH_LIMIT,
-            num_workers=2,
-        )
-        for stream_id, mirror in sorted(self.mirrors.items()):
-            self.sharded.add_stream(stream_id, mirror)
-        self._drain_events()
-
-    def _drain_events(self) -> None:
-        """Re-baseline every monitor's transition snapshot so the next
-        events() comparison starts from a common point."""
-        for monitor in self.monitors.values():
-            monitor.events()
-        self.sharded.events()
-
     @initialize()
     def setup(self):
         seed = LabeledGraph.from_vertices_and_edges([(0, "A"), (1, "B")], [(0, 1, "x")])
@@ -165,7 +154,12 @@ class SoakMachine(RuleBasedStateMachine):
             )
             for method in ENGINE_METHODS
         }
-        self._rebuild_sharded()
+        self.sharded = ShardedMonitor(
+            dict(self.queries),
+            method="dsc",
+            depth_limit=DEPTH_LIMIT,
+            num_workers=2,
+        )
 
     # ------------------------------------------------------------------
     # rules
@@ -210,23 +204,26 @@ class SoakMachine(RuleBasedStateMachine):
 
     @precondition(lambda self: len(self.queries) < 3)
     @rule(seed=st.integers(0, 10**6))
-    def add_query(self, seed):
+    def register_query(self, seed):
+        """Live registration mid-soak, on every path at once — the new
+        query must be answered from the *current* stream state with no
+        false negatives at the very next invariant."""
         query = random_query(random.Random(seed))
         query_id = f"q{self.next_query}"
         self.next_query += 1
         self.queries[query_id] = query
         for monitor in self.monitors.values():
-            monitor.add_query(query_id, query)
-        self._rebuild_sharded()
+            monitor.register_query(query_id, query)
+        self.sharded.register_query(query_id, query)
 
     @precondition(lambda self: len(self.queries) > 1)
     @rule(seed=st.integers(0, 10**6))
-    def remove_query(self, seed):
+    def deregister_query(self, seed):
         query_id = random.Random(seed).choice(sorted(self.queries))
         del self.queries[query_id]
         for monitor in self.monitors.values():
-            monitor.remove_query(query_id)
-        self._rebuild_sharded()
+            monitor.deregister_query(query_id)
+        self.sharded.deregister_query(query_id)
 
     # ------------------------------------------------------------------
     # invariants — checked after every rule
@@ -284,12 +281,15 @@ TestSoakMachine.settings = settings(
 
 
 # ----------------------------------------------------------------------
-# scripted long soak (slow tier): 1/2/4 workers x every engine
+# scripted long soak (slow tier): 1/2/4 workers x every engine x shm
 # ----------------------------------------------------------------------
-def scripted_soak(method: str, workers: int, operations: int, seed: int) -> None:
+def scripted_soak(
+    method: str, workers: int, operations: int, seed: int, shm: bool = False
+) -> None:
     rng = random.Random(seed)
     queries = {f"q{i}": random_query(rng) for i in range(3)}
-    reference = StreamMonitor(queries, method=method, depth_limit=DEPTH_LIMIT)
+    next_query = len(queries)
+    reference = StreamMonitor(dict(queries), method=method, depth_limit=DEPTH_LIMIT)
     mirrors: dict[str, LabeledGraph] = {}
     next_vertex = 0
     # Mid-soak elastic resharding: grow the pool at 40%, shrink back at
@@ -299,15 +299,28 @@ def scripted_soak(method: str, workers: int, operations: int, seed: int) -> None
         if workers >= 2
         else {}
     )
+    # Scripted crash: SIGKILL every worker right after a live
+    # registration — journal replay must land the query exactly once.
+    kill_at = int(operations * 0.55)
     with ShardedMonitor(
-        queries, method=method, depth_limit=DEPTH_LIMIT, num_workers=workers
+        queries, method=method, depth_limit=DEPTH_LIMIT, num_workers=workers, shm=shm
     ) as sharded:
         for op_index in range(operations):
             target = rescale_at.get(op_index)
             if target is not None:
                 sharded.rescale(target)
             roll = rng.random()
-            if (roll < 0.08 and len(mirrors) < 5) or not mirrors:
+            if op_index == kill_at:
+                query_id = f"q{next_query}"
+                next_query += 1
+                query = random_query(rng)
+                queries[query_id] = query
+                reference.register_query(query_id, query)
+                sharded.register_query(query_id, query)
+                for pid in sharded.worker_pids().values():
+                    os.kill(pid, signal.SIGKILL)
+                time.sleep(0.05)
+            elif (roll < 0.08 and len(mirrors) < 5) or not mirrors:
                 stream_id = f"s{op_index}"
                 mirrors[stream_id] = LabeledGraph()
                 reference.add_stream(stream_id)
@@ -317,6 +330,18 @@ def scripted_soak(method: str, workers: int, operations: int, seed: int) -> None
                 del mirrors[stream_id]
                 reference.remove_stream(stream_id)
                 sharded.remove_stream(stream_id)
+            elif roll < 0.17 and len(queries) < 6:
+                query_id = f"q{next_query}"
+                next_query += 1
+                query = random_query(rng)
+                queries[query_id] = query
+                reference.register_query(query_id, query)
+                sharded.register_query(query_id, query)
+            elif roll < 0.21 and len(queries) > 1:
+                query_id = rng.choice(sorted(queries))
+                del queries[query_id]
+                reference.deregister_query(query_id)
+                sharded.deregister_query(query_id)
             else:
                 stream_id = rng.choice(sorted(mirrors))
                 batch, next_vertex = random_batch(
@@ -326,7 +351,7 @@ def scripted_soak(method: str, workers: int, operations: int, seed: int) -> None
                 reference.apply(stream_id, batch)
                 sharded.apply(stream_id, batch)
             assert sharded.matches() == reference.matches(), (
-                f"{method}/{workers}w diverged at op {op_index}"
+                f"{method}/{workers}w/shm={shm} diverged at op {op_index}"
             )
             if op_index % 25 == 0:  # oracle spot check, amortized
                 reported = reference.matches()
@@ -348,6 +373,26 @@ def test_long_soak(method, workers):
     )
 
 
+@pytest.mark.slow
+@needs_shm_dir
+@pytest.mark.parametrize("method", ENGINE_METHODS)
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_long_soak_shm(method, workers):
+    scripted_soak(
+        method,
+        workers,
+        operations=500,
+        seed=0xFACE + workers * 10 + ENGINE_METHODS.index(method),
+        shm=True,
+    )
+
+
 def test_short_soak_smoke():
     """Fast always-on slice of the long soak (same code path)."""
     scripted_soak("dsc", 2, operations=40, seed=0xBEEF)
+
+
+@needs_shm_dir
+def test_short_soak_smoke_shm():
+    """The shm plane under live churn + a scripted SIGKILL, tier-1 sized."""
+    scripted_soak("matrix", 2, operations=40, seed=0xF00D, shm=True)
