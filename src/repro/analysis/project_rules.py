@@ -1,4 +1,4 @@
-"""The cross-file rule pack (RP011-RP015), over the semantic model.
+"""The cross-file rule pack (RP011-RP015, RP018), over the semantic model.
 
 These rules protect the *inter-component* protocols the sharded runtime
 depends on — invariants no single-file rule can see:
@@ -24,6 +24,11 @@ RP015     whole-graph import layering: module-level import cycles, and
           transitive (multi-hop) reach from a filtering-path module to
           ``repro.isomorphism`` — upgrades RP001's per-file edge check
           to a property of the whole import graph
+RP018     metric-catalog membership: every dotted metric-name string
+          consumed by the dashboard or the SLO engine must be a key of
+          ``repro.obs.catalog.CATALOG`` — a typo'd name silently
+          evaluates against no data, so the panel renders empty and
+          the SLO reports "ok" forever
 ========  ==========================================================
 """
 
@@ -600,3 +605,130 @@ class WholeGraphLayeringRule(ProjectRule):
             if resolve_unit(target) == "repro.isomorphism" and not typing_only:
                 return [*path, target]
         return None
+
+
+# ----------------------------------------------------------------------
+# RP018 — metric names consumed by dashboards/SLOs must be catalogued
+# ----------------------------------------------------------------------
+
+import re
+
+#: The single source of metric-name truth (a literal dict; RP018 reads
+#: its keys straight out of the AST, never importing the module).
+_CATALOG_MODULE = "repro.obs.catalog"
+
+#: Modules that *consume* metric names — where a typo turns into a
+#: silently-empty panel or a permanently-"ok" SLO.
+_METRIC_CONSUMERS = ("repro.dashboard", "repro.obs.slo")
+
+#: The shape of a dotted metric name: lowercase family, >= 1 dotted
+#: segment (``serve.commit.seconds``).  Anchored so label fragments,
+#: format strings, and sentence prose never match.
+_METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+def _docstring_constants(tree: ast.AST) -> set[int]:
+    """ids of the Constant nodes that are docstrings (module, class,
+    function) — prose routinely names metrics and module paths, which
+    would otherwise false-positive against the metric-name regex."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            out.add(id(body[0].value))
+    return out
+
+
+def _catalog_names(info: ModuleInfo) -> set[str] | None:
+    """The literal keys of ``CATALOG`` in the catalog module's AST, or
+    None when no literal CATALOG dict is found."""
+    for node in ast.walk(info.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if not any(
+            isinstance(target, ast.Name) and target.id == "CATALOG"
+            for target in targets
+        ):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            continue
+        names: set[str] = set()
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                names.add(key.value)
+        return names
+    return None
+
+
+@register_project
+class MetricCatalogRule(ProjectRule):
+    """Dashboard/SLO metric names must exist in the central catalog."""
+
+    rule_id = "RP018"
+    title = "metric names consumed by dashboards/SLOs must be catalogued"
+    rationale = (
+        "A metric-name typo in a dashboard panel or SLO rule does not "
+        "fail — it evaluates against *no data*, so the panel renders "
+        "empty and the SLO reports 'ok' forever (the no-data state is "
+        "deliberately healthy: an idle subsystem is not burning).  The "
+        "mint sites cannot catch this: they happily create whatever "
+        "name they are given, and the consumer never meets the minted "
+        "series.  The only place the two spellings can be diffed is a "
+        "central catalog; repro.obs.catalog.CATALOG is that catalog, "
+        "kept literal precisely so this rule can read its keys from "
+        "the AST without importing anything."
+    )
+
+    def check(self, model: ProjectModel) -> Iterator[Finding]:
+        catalog_info = model.modules.get(_CATALOG_MODULE)
+        if catalog_info is None:
+            return  # partial tree (fixtures, single-package runs)
+        names = _catalog_names(catalog_info)
+        if names is None:
+            yield catalog_info.finding(
+                catalog_info.tree,
+                self.rule_id,
+                "repro.obs.catalog defines no literal CATALOG dict; the "
+                "catalog must stay a literal so metric names can be "
+                "checked without importing the module",
+            )
+            return
+        for consumer in _METRIC_CONSUMERS:
+            info = model.modules.get(consumer)
+            if info is None:
+                continue
+            yield from self._check_consumer(info, names)
+
+    def _check_consumer(
+        self, info: ModuleInfo, names: set[str]
+    ) -> Iterator[Finding]:
+        docstrings = _docstring_constants(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Constant) or not isinstance(node.value, str):
+                continue
+            if id(node) in docstrings:
+                continue
+            text = node.value
+            if not _METRIC_NAME.match(text):
+                continue
+            if text in names:
+                continue
+            yield info.finding(
+                node,
+                self.rule_id,
+                f"metric name {text!r} is not in repro.obs.catalog.CATALOG; "
+                "a name nothing mints evaluates against no data — the "
+                "panel renders empty and an SLO over it reports 'ok' "
+                "forever.  Fix the spelling, or mint the metric and add "
+                "it to the catalog",
+            )

@@ -25,6 +25,7 @@ precision probe alongside the filter (see ``docs/observability.md``).
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from pathlib import Path
@@ -183,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json",
         help="write the final merged observability summary to this JSON file",
     )
+    replay.add_argument(
+        "--flight-dir",
+        help="per-shard flight-recorder directory (journals survive "
+        "SIGKILL; workers >= 2)",
+    )
     _add_probe_arguments(replay)
 
     # -- serve ------------------------------------------------------------
@@ -257,6 +263,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--dlq-dir",
         help="directory for the poison-batch dead-letter journal "
         "(dlq.jsonl; omit for in-memory only)",
+    )
+    serve.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        help="HTTP observability endpoint (/metrics /healthz /readyz "
+        "/slo /timeline.json /trace; PORT 0 picks a free port; "
+        "--tcp mode only)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=0.0,
+        help="seconds to hold between the draining notice and shutdown "
+        "so /readyz flips to 503 before work stops (k8s preStop)",
+    )
+    serve.add_argument(
+        "--timeline-interval",
+        type=float,
+        default=1.0,
+        help="seconds between metrics-timeline samples (--tcp mode)",
+    )
+    serve.add_argument(
+        "--flight-dir",
+        help="flight-recorder directory (refusals/sheds/dead-letters "
+        "journaled to flight-serve.jsonl)",
+    )
+
+    # -- slo --------------------------------------------------------------
+    slo = subparsers.add_parser(
+        "slo",
+        help="evaluate the SLO rules: against a live server's /slo "
+        "endpoint, or over a local replay (exit 1 on breach)",
+    )
+    slo.add_argument(
+        "--url",
+        help="base URL of a live observability endpoint "
+        "(e.g. http://127.0.0.1:9100); mutually exclusive with replay mode",
+    )
+    slo.add_argument("--queries", help="graph-set file of patterns (replay mode)")
+    slo.add_argument("--streams", nargs="+", help="stream files (replay mode)")
+    slo.add_argument(
+        "--method", choices=["nl", "dsc", "skyline", "matrix"], default="dsc"
+    )
+    slo.add_argument("--depth", type=int, default=3, help="NNT depth l")
+    slo.add_argument(
+        "--workers", type=int, default=0, help="worker processes (0 = in-process)"
+    )
+    slo.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="trailing evaluation window in seconds (replay mode)",
+    )
+
+    # -- flight -----------------------------------------------------------
+    flight = subparsers.add_parser(
+        "flight",
+        help="inspect flight-recorder journals and dumps, or trigger a "
+        "live dump via SIGUSR2",
+    )
+    flight.add_argument(
+        "action",
+        choices=["list", "show", "signal"],
+        help="list = enumerate recordings in --dir; show = print one "
+        "journal/dump; signal = SIGUSR2 a live process to dump",
+    )
+    flight.add_argument("--dir", help="flight-recorder directory (list)")
+    flight.add_argument("--file", help="journal (.jsonl) or dump (.json) to show")
+    flight.add_argument(
+        "--pid", type=int, help="process to SIGUSR2 (signal action)"
     )
 
     # -- dlq --------------------------------------------------------------
@@ -714,6 +790,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         shm=args.shm,
+        flight_dir=args.flight_dir,
     ) as monitor:
         _replay_and_report(
             monitor,
@@ -765,6 +842,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backpressure=args.policy,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            flight_dir=args.flight_dir,
         )
     else:
         monitor = StreamMonitor(queries, method=args.method, depth_limit=args.depth)
@@ -776,6 +854,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         if args.tcp:
             host, port = _parse_host_port(args.tcp)
+            http_host, http_port = (None, 0)
+            if args.http:
+                http_host, http_port = _parse_host_port(args.http)
             run_server(
                 monitor,
                 ServeConfig(
@@ -787,6 +868,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     admission_policy=args.admission_policy,
                     breaker_threshold=args.breaker_threshold,
                     breaker_cooldown=args.breaker_cooldown,
+                    http_host=http_host,
+                    http_port=http_port,
+                    drain_grace=args.drain_grace,
+                    timeline_interval=args.timeline_interval,
+                    flight_dir=args.flight_dir,
                 ),
                 dlq=dlq,
                 emit=emit,
@@ -1009,6 +1095,150 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_slo_table(snapshot: dict) -> None:
+    print(f"worst: {snapshot['worst']}")
+    header = f"{'rule':<20} {'state':<7} {'value':>12} {'threshold':>10}  objective"
+    print(header)
+    print("-" * len(header))
+    for rule in snapshot["rules"]:
+        value = rule.get("value")
+        value_text = f"{value:.4g}" if value is not None else "-"
+        objective = rule["objective"]
+        if objective == "quantile":
+            objective = f"p{int(rule['q'] * 100)} quantile"
+        print(
+            f"{rule['name']:<20} {rule['state']:<7} {value_text:>12} "
+            f"{rule['threshold']:>10.4g}  {objective} over {rule['metric']}"
+        )
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/slo"
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                snapshot = json.loads(response.read())
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+            print(f"cannot fetch {url}: {exc}", file=sys.stderr)
+            return 2
+        _print_slo_table(snapshot)
+        return 1 if snapshot["worst"] == "breach" else 0
+
+    if not (args.queries and args.streams):
+        print("slo needs --url or --queries/--streams to replay", file=sys.stderr)
+        return 2
+    from . import obs
+
+    obs.enable()
+    queries = dict(read_graph_set(args.queries))
+    streams = _read_streams(args.streams)
+    import dataclasses
+
+    rules = tuple(
+        dataclasses.replace(rule, window=args.window) for rule in obs.DEFAULT_RULES
+    )
+    timeline = obs.Timeline()
+    engine = obs.SloEngine(rules=rules, timeline=timeline)
+
+    def run_over(monitor) -> dict:
+        def collect() -> dict:
+            stats = monitor.stats() if hasattr(monitor, "inbox_depths") else None
+            if stats is not None and isinstance(stats.get("merged_obs"), dict):
+                return stats["merged_obs"]
+            return obs.get_registry().summary()
+
+        for stream_id, stream in streams.items():
+            monitor.add_stream(stream_id, stream.initial)
+        monitor.events()
+        timeline.sample(collect())
+        horizon = min(len(stream.operations) for stream in streams.values())
+        for timestamp in range(horizon):
+            for stream_id, stream in streams.items():
+                monitor.apply(stream_id, stream.operations[timestamp])
+            monitor.events()
+            timeline.sample(collect())
+            engine.evaluate()
+        return engine.snapshot()
+
+    if args.workers >= 1:
+        from .runtime import ShardedMonitor
+
+        with ShardedMonitor(
+            queries,
+            method=args.method,
+            depth_limit=args.depth,
+            num_workers=args.workers,
+        ) as monitor:
+            snapshot = run_over(monitor)
+    else:
+        snapshot = run_over(
+            StreamMonitor(queries, method=args.method, depth_limit=args.depth)
+        )
+    _print_slo_table(snapshot)
+    return 1 if snapshot["worst"] == "breach" else 0
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    import json
+    import signal as signal_module
+
+    from .obs import FlightRecorder
+
+    if args.action == "signal":
+        if args.pid is None:
+            print("flight signal needs --pid", file=sys.stderr)
+            return 2
+        try:
+            os.kill(args.pid, signal_module.SIGUSR2)
+        except (ProcessLookupError, PermissionError) as exc:
+            print(f"cannot signal pid {args.pid}: {exc}", file=sys.stderr)
+            return 2
+        print(f"sent SIGUSR2 to {args.pid}")
+        return 0
+
+    if args.action == "list":
+        if not args.dir:
+            print("flight list needs --dir", file=sys.stderr)
+            return 2
+        directory = Path(args.dir)
+        if not directory.is_dir():
+            print(f"no such directory: {directory}", file=sys.stderr)
+            return 2
+        found = sorted(
+            path
+            for path in directory.iterdir()
+            if path.name.startswith("flight-")
+            and path.suffix in (".jsonl", ".json", ".old")
+        )
+        for path in found:
+            kind = "journal" if ".jsonl" in path.name else "dump"
+            print(f"{path.name}\t{kind}\t{path.stat().st_size} bytes")
+        if not found:
+            print("no flight recordings found", file=sys.stderr)
+        return 0
+
+    # show
+    if not args.file:
+        print("flight show needs --file", file=sys.stderr)
+        return 2
+    path = Path(args.file)
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    loaded = FlightRecorder.read(path)
+    if isinstance(loaded, list):  # journal: one event per line
+        for event in loaded:
+            print(json.dumps(event, sort_keys=True))
+    else:  # full dump document
+        print(json.dumps(loaded, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import inspect
 
@@ -1060,6 +1290,8 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "top": _cmd_top,
+        "slo": _cmd_slo,
+        "flight": _cmd_flight,
         "experiment": _cmd_experiment,
         "lint": _cmd_lint,
     }

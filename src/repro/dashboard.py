@@ -13,6 +13,15 @@ unit may import only :mod:`repro.obs`): the CLI decides whether the
 poll callable reads a local monitor, replays a workload, or parses
 ``repro serve`` JSON lines.
 
+Latency percentiles are **windowed** whenever a
+:class:`~repro.obs.timeline.Timeline` is supplied (``run_top`` keeps
+one internally): quantiles come from histogram-bucket *deltas* over the
+trailing window, so one early spike no longer skews the numbers
+forever; without a timeline (single ``--dump`` frames) they fall back
+to the lifetime-cumulative histogram, marked ``lifetime``.  The
+timeline also powers the overload panel — per-sample admitted /
+rejected / shed rate sparklines plus the circuit-breaker state strip.
+
 Shown per frame: apply-latency percentiles (from the
 ``monitor.apply.seconds`` histogram), poll/event counters, worker inbox
 depths and backpressure drops/spills (sharded runs), the shared-memory
@@ -34,10 +43,15 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Mapping, TextIO
 
+from .obs.timeline import Timeline
+
 ANSI_CLEAR = "\x1b[2J\x1b[H"
 
 #: Quantiles shown for latency histograms.
 PERCENTILES = (0.50, 0.90, 0.99)
+
+#: Glyph ramp for rate sparklines, lowest to highest.
+_SPARK_LEVELS = " .:-=+*#%@"
 
 
 def histogram_quantile(entry: Mapping[str, Any], q: float) -> float | None:
@@ -110,8 +124,97 @@ def _value(summary: Mapping[str, Any], name: str) -> float:
     return float(entry["value"]) if entry else 0.0
 
 
-def render_dashboard(stats: Mapping[str, Any], width: int = 78) -> str:
-    """One text frame of the dashboard from one stats snapshot."""
+def _sparkline(values: list[float], width: int = 30) -> str:
+    """Values as a fixed-width ASCII sparkline, scaled to their max."""
+    if not values:
+        return " " * width
+    shown = values[-width:]
+    peak = max(shown)
+    top = len(_SPARK_LEVELS) - 1
+    glyphs = "".join(
+        _SPARK_LEVELS[round(v / peak * top)] if peak > 0 else _SPARK_LEVELS[0]
+        for v in shown
+    )
+    return glyphs.rjust(width)
+
+
+def _windowed_histogram(
+    summary: Mapping[str, Any], timeline: Timeline | None, name: str
+) -> tuple[Mapping[str, Any] | None, bool]:
+    """The histogram entry to show for ``name``: windowed bucket deltas
+    when the timeline has observations in its window, else the
+    lifetime-cumulative summary entry.  Returns (entry, windowed?)."""
+    if timeline is not None:
+        entry = timeline.window().histogram(name)
+        if entry is not None and entry.get("count"):
+            return entry, True
+    return summary.get(name), False
+
+
+def _latency_line(
+    label: str,
+    summary: Mapping[str, Any],
+    timeline: Timeline | None,
+    name: str,
+) -> str | None:
+    entry, windowed = _windowed_histogram(summary, timeline, name)
+    if not entry:
+        return None
+    quantiles = "  ".join(
+        f"p{int(q * 100):02d}={_fmt_seconds(histogram_quantile(entry, q))}"
+        for q in PERCENTILES
+    )
+    scope = "window" if windowed else "lifetime"
+    return f"{label}{quantiles}  (n={entry.get('count', 0)}, {scope})"
+
+
+#: Breaker gauge codes (``serve.breaker_state``) -> strip glyph.
+_BREAKER_GLYPHS = {0: ".", 1: "?", 2: "!"}
+
+
+def _overload_panel(timeline: Timeline | None, width: int) -> list[str]:
+    """The serving-edge overload timeline: per-sample rate sparklines
+    for admitted/rejected/shed plus the breaker state strip, with the
+    transitions called out.  Empty when there is no timeline or the
+    edge has seen no admission traffic yet."""
+    if timeline is None or len(timeline) < 2:
+        return []
+    spark_width = max(min(width - 26, 60), 10)
+    series = {
+        name: timeline.series(f"serve.{name}", points=spark_width)
+        for name in ("admitted", "rejected", "shed")
+    }
+    breaker = timeline.series("serve.breaker_state", points=spark_width)
+    if not any(any(values) for values in series.values()) and not any(breaker):
+        return []
+    lines = ["overload timeline (per-sample rates, newest right)"]
+    for name, values in series.items():
+        peak = max(values) if values else 0.0
+        lines.append(
+            f"  {name:<9} [{_sparkline(values, spark_width)}]  peak={peak:.1f}/s"
+        )
+    strip = "".join(_BREAKER_GLYPHS.get(int(code), "?") for code in breaker)
+    transitions = sum(
+        1 for prev, cur in zip(breaker, breaker[1:]) if int(prev) != int(cur)
+    )
+    lines.append(
+        f"  {'breaker':<9} [{strip.rjust(spark_width)}]  "
+        f"transitions={transitions} (.=closed ?=half-open !=open)"
+    )
+    return lines
+
+
+def render_dashboard(
+    stats: Mapping[str, Any],
+    width: int = 78,
+    timeline: Timeline | None = None,
+) -> str:
+    """One text frame of the dashboard from one stats snapshot.
+
+    With a ``timeline``, latency percentiles are computed over the
+    trailing window's histogram-bucket deltas and the overload panel
+    (admitted/rejected/shed sparklines + breaker strip) is rendered.
+    """
     summary = _obs_summary(stats)
     lines: list[str] = []
     rule = "-" * width
@@ -132,15 +235,11 @@ def render_dashboard(stats: Mapping[str, Any], width: int = 78) -> str:
         lines.append("  ".join(shape))
 
     # -- latency ---------------------------------------------------------
-    apply_hist = summary.get("monitor.apply.seconds")
-    if apply_hist:
-        quantiles = "  ".join(
-            f"p{int(q * 100):02d}={_fmt_seconds(histogram_quantile(apply_hist, q))}"
-            for q in PERCENTILES
-        )
-        lines.append(
-            f"apply latency   {quantiles}  (n={apply_hist.get('count', 0)})"
-        )
+    apply_line = _latency_line(
+        "apply latency   ", summary, timeline, "monitor.apply.seconds"
+    )
+    if apply_line:
+        lines.append(apply_line)
     polls = _value(summary, "monitor.polls")
     changes = _value(summary, "monitor.changes")
     events = _value(summary, "monitor.events")
@@ -189,16 +288,11 @@ def render_dashboard(stats: Mapping[str, Any], width: int = 78) -> str:
             f"drops={churn.get('deregistrations', 0)}  "
             f"dedup_groups={churn.get('groups', 0)}"
         )
-        register_hist = summary.get("query.register.seconds")
-        if register_hist:
-            quantiles = "  ".join(
-                f"p{int(q * 100):02d}="
-                f"{_fmt_seconds(histogram_quantile(register_hist, q))}"
-                for q in PERCENTILES
-            )
-            lines.append(
-                f"register latency {quantiles} (n={register_hist.get('count', 0)})"
-            )
+        register_line = _latency_line(
+            "register latency ", summary, timeline, "query.register.seconds"
+        )
+        if register_line:
+            lines.append(register_line)
 
     # -- serving edge ------------------------------------------------------
     serve = stats.get("serve")
@@ -220,16 +314,17 @@ def render_dashboard(stats: Mapping[str, Any], width: int = 78) -> str:
             f"dlq={serve.get('dead_letters', 0)}  "
             f"batches={serve.get('accepted_batches', 0)}"
         )
-        commit_hist = summary.get("serve.commit.seconds")
-        if commit_hist:
-            quantiles = "  ".join(
-                f"p{int(q * 100):02d}="
-                f"{_fmt_seconds(histogram_quantile(commit_hist, q))}"
-                for q in PERCENTILES
-            )
-            lines.append(
-                f"commit latency  {quantiles}  (n={commit_hist.get('count', 0)})"
-            )
+        commit_line = _latency_line(
+            "commit latency  ", summary, timeline, "serve.commit.seconds"
+        )
+        if commit_line:
+            lines.append(commit_line)
+
+    # -- overload timeline -------------------------------------------------
+    overload = _overload_panel(timeline, width)
+    if overload:
+        lines.append(rule)
+        lines.extend(overload)
 
     # -- filter quality ----------------------------------------------------
     lines.append(rule)
@@ -264,17 +359,27 @@ def run_top(
     interval: float = 1.0,
     iterations: int | None = None,
     clear: bool = True,
+    timeline: Timeline | None = None,
 ) -> int:
     """Repaint the dashboard from ``poll()`` until interrupted.
 
     ``iterations`` bounds the frame count (None = run until Ctrl-C);
     ``clear=False`` appends frames instead of clearing (for pipes and
-    tests).  Returns the number of frames painted.
+    tests).  Each poll's observability summary is folded into a
+    :class:`Timeline` (an internal one unless the caller supplies
+    theirs), so percentiles are windowed and the overload panel is
+    live.  Returns the number of frames painted.
     """
     frames = 0
+    if timeline is None:
+        timeline = Timeline()
     try:
         while iterations is None or frames < iterations:
-            frame = render_dashboard(poll())
+            stats = poll()
+            summary = _obs_summary(stats)
+            if summary:
+                timeline.sample(summary)
+            frame = render_dashboard(stats, timeline=timeline)
             if clear:
                 out.write(ANSI_CLEAR)
             out.write(frame)

@@ -31,6 +31,23 @@ Two further layers ride on the same switch:
   precision probe that feeds the live ``filter.fp_ratio_estimate``
   gauge (``repro_filter_fp_ratio_estimate`` in Prometheus text).
 
+Three historically-aware layers build on the snapshots:
+
+* **Timeline** — :class:`Timeline` keeps a bounded delta-encoded ring
+  of periodic registry snapshots; :class:`Window` answers windowed
+  rates and *windowed* histogram quantiles from bucket deltas (what
+  ``repro top`` and the SLO engine consume instead of
+  lifetime-cumulative values).
+* **SLOs** — :class:`SloEngine` evaluates declarative :class:`SloRule`
+  objectives over the timeline with ok/warn/breach hysteresis,
+  exporting ``slo.state`` / ``slo.breaches`` back into the registry.
+* **Flight recorder** — :class:`FlightRecorder` journals refusals,
+  sheds, dead letters, and worker command notes to a bounded ring and
+  an eagerly-flushed JSONL file that survives SIGKILL; full snapshots
+  dump on crash or SIGUSR2 (:func:`install_signal_dump`).  Every
+  metric name these layers reference must exist in
+  :mod:`repro.obs.catalog` (rule RP018).
+
 :func:`disable` flips the whole subsystem to a near-zero-overhead
 no-op path (one flag check per site; quantified in
 ``benchmarks/bench_obs_overhead.py``); ``REPRO_OBS=0`` in the
@@ -39,8 +56,9 @@ environment starts a process disabled.  Rule RP009 keeps ad-hoc
 stays the single source of timing truth — see ``docs/observability.md``.
 """
 
-from . import quality, trace
+from . import catalog, quality, trace
 from .exposition import metric_name, render_json, render_prometheus
+from .flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, install_signal_dump
 from .instruments import (
     Counter,
     DEFAULT_LATENCY_BUCKETS,
@@ -53,17 +71,27 @@ from .instruments import (
     validate_labels,
 )
 from .registry import counter, gauge, get_registry, histogram, set_registry
+from .slo import DEFAULT_RULES, SloEngine, SloRule
 from .spans import (
     DEFAULT_SPAN_CAPACITY,
     SpanRecord,
     clear_spans,
     iter_spans,
+    last_span,
     set_span_capacity,
     span,
     span_depth,
     spans,
 )
 from .state import disable, enable, enabled
+from .timeline import (
+    DEFAULT_TIMELINE_CAPACITY,
+    Timeline,
+    TimelineSample,
+    TimelineSampler,
+    Window,
+    bucket_quantile,
+)
 from .trace import (
     TraceContext,
     attached,
@@ -80,14 +108,26 @@ from .trace import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_FLIGHT_CAPACITY",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_RULES",
     "DEFAULT_SPAN_CAPACITY",
+    "DEFAULT_TIMELINE_CAPACITY",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Registry",
+    "SloEngine",
+    "SloRule",
     "SpanRecord",
+    "Timeline",
+    "TimelineSample",
+    "TimelineSampler",
     "TraceContext",
+    "Window",
     "attached",
+    "bucket_quantile",
+    "catalog",
     "clear_spans",
     "counter",
     "current_context",
@@ -98,8 +138,10 @@ __all__ = [
     "gauge",
     "get_registry",
     "histogram",
+    "install_signal_dump",
     "instrument_key",
     "iter_spans",
+    "last_span",
     "merge_summaries",
     "metric_name",
     "new_span_id",

@@ -1,0 +1,128 @@
+"""The central metric catalog: every metric name this project mints.
+
+A dashboard panel or SLO rule that references a metric which nothing
+mints does not fail — it silently evaluates against *no data*, so the
+panel renders empty and the SLO reports "ok" forever.  That failure
+mode is invisible in tests that only exercise the happy path, which is
+why rule RP018 cross-checks every metric-name string literal consumed
+by :mod:`repro.dashboard` and :mod:`repro.obs.slo` against this
+catalog at lint time.
+
+The catalog maps each dotted metric name to its ``(kind, help)`` pair.
+It MUST stay a literal dict: RP018 reads the keys straight out of this
+module's AST (no import, no execution), the same way the checkpoint
+round-trip rule (RP014) diffs manifest keys.
+
+Span names are listed through the histograms they feed
+(``<span>.seconds``); per-engine pruning counters
+(``join.<engine>.pruned``) are enumerated per concrete engine because
+the name is assembled with an f-string at the mint site.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CATALOG", "known", "kind_of", "help_of"]
+
+#: name -> (kind, help).  Keys sorted by family, then name.
+CATALOG: dict[str, tuple[str, str]] = {
+    # -- library monitor ------------------------------------------------
+    "monitor.apply.seconds": ("histogram", "seconds per apply() batch"),
+    "monitor.changes": ("counter", "edge change operations folded in"),
+    "monitor.deregister_query.seconds": ("histogram", "seconds per live query retirement"),
+    "monitor.events": ("counter", "appeared/disappeared transitions reported"),
+    "monitor.events.seconds": ("histogram", "seconds per events() poll"),
+    "monitor.matches": ("counter", "candidate pairs returned by matches()"),
+    "monitor.matches.seconds": ("histogram", "seconds per matches() poll"),
+    "monitor.polls": ("counter", "matches() poll calls"),
+    "monitor.probe.seconds": ("histogram", "seconds per sampled precision-probe pass"),
+    "monitor.query_deregistrations": ("counter", "live query retirements"),
+    "monitor.query_registrations": ("counter", "live query registrations"),
+    "monitor.register_query.seconds": ("histogram", "seconds per live query registration"),
+    "monitor.verifier_calls": ("counter", "exact isomorphism checks performed"),
+    "monitor.verify.seconds": ("histogram", "seconds per exact verification call"),
+    # -- NNT / join engines ---------------------------------------------
+    "nnt.batch_size": ("histogram", "edge changes per coalesced NNT batch"),
+    "nnt.batch_update.seconds": ("histogram", "seconds per incremental NNT batch update"),
+    "nnt.deltas_delivered": ("counter", "NPV deltas delivered to join engines"),
+    "join.candidates.seconds": ("histogram", "seconds per dominance-filter candidate scan"),
+    "join.dsc.dominance_checks": ("counter", "dominance-filter probes answered by the dsc engine"),
+    "join.matrix.dominance_checks": ("counter", "dominance-filter probes answered by the matrix engine"),
+    "join.nl.dominance_checks": ("counter", "dominance-filter probes answered by the nl engine"),
+    "join.skyline.dominance_checks": ("counter", "dominance-filter probes answered by the skyline engine"),
+    "join.dsc.pruned": ("counter", "probes pruned by the dsc engine, by blamed dimension"),
+    "join.matrix.pruned": ("counter", "probes pruned by the matrix engine, by blamed dimension"),
+    "join.nl.pruned": ("counter", "probes pruned by the nl engine, by blamed dimension"),
+    "join.skyline.pruned": ("counter", "probes pruned by the skyline engine, by blamed dimension"),
+    # -- filter quality --------------------------------------------------
+    "filter.candidates": ("counter", "(stream, query) pairs emitted by the dominance filter"),
+    "filter.fp_ratio_estimate": ("gauge", "sampled estimate of the filter false-positive ratio"),
+    "filter.probe.checked": ("counter", "candidate pairs verified by the precision probe"),
+    "filter.probe.false_positive": ("counter", "probed pairs that failed exact isomorphism"),
+    "filter.probe.skipped": ("counter", "pairs the probe skipped (sampling or budget)"),
+    # -- query churn ------------------------------------------------------
+    "query.register.seconds": ("histogram", "seconds per live query registration"),
+    # -- sharded runtime --------------------------------------------------
+    "runtime.bytes_pickled": ("counter", "payload bytes pickled onto worker queues"),
+    "runtime.checkpoint.seconds": ("histogram", "seconds per shard checkpoint write"),
+    "runtime.deregister_query.seconds": ("histogram", "seconds per fleet query retirement"),
+    "runtime.dropped": ("counter", "batches dropped by the drop backpressure policy"),
+    "runtime.inbox_depth": ("gauge", "deepest worker inbox at last submit"),
+    "runtime.matches.seconds": ("histogram", "seconds per fleet-wide poll"),
+    "runtime.query_deregistrations": ("counter", "fleet query retirements"),
+    "runtime.query_registrations": ("counter", "fleet query registrations"),
+    "runtime.register_query.seconds": ("histogram", "seconds per fleet query registration"),
+    "runtime.rescale.active": ("gauge", "1 while a pool rescale is in flight"),
+    "runtime.rescale.last_seconds": ("gauge", "duration of the last completed rescale"),
+    "runtime.rescale.seconds": ("histogram", "seconds per live pool rescale"),
+    "runtime.rescales": ("counter", "completed live pool rescales"),
+    "runtime.spilled": ("counter", "batches parked by the spill backpressure policy"),
+    "runtime.streams_moved": ("counter", "streams migrated between shards by rescales"),
+    "runtime.submit.seconds": ("histogram", "seconds per coordinator submit"),
+    "runtime.workers": ("gauge", "current worker pool size"),
+    # -- shared-memory plane ----------------------------------------------
+    "shm.attaches": ("counter", "reader attaches to shared NPV segments"),
+    "shm.grows": ("counter", "shared segment grow operations"),
+    "shm.remaps": ("counter", "coordinator remaps after a segment grow"),
+    "shm.ring_bytes": ("counter", "payload bytes carried by the shared rings"),
+    "shm.ring_overflow": ("counter", "payloads that fell back inline on a full ring"),
+    "shm.segments_created": ("counter", "shared-memory segments created"),
+    # -- serving edge ------------------------------------------------------
+    "serve.admitted": ("counter", "commands admitted"),
+    "serve.batches_applied": ("counter", "staged batches applied by commit"),
+    "serve.breaker_state": ("gauge", "0=closed 1=half-open 2=open"),
+    "serve.commands": ("counter", "commands executed by the writer task"),
+    "serve.commit.seconds": ("histogram", "seconds per serve commit"),
+    "serve.commits": ("counter", "successful commits"),
+    "serve.deregister_query.seconds": ("histogram", "seconds per serve query retirement"),
+    "serve.dlq": ("counter", "poison batches journaled to the dead-letter queue"),
+    "serve.query_deregistrations": ("counter", "queries retired over the wire"),
+    "serve.query_registrations": ("counter", "queries registered over the wire"),
+    "serve.queue_depth": ("gauge", "data commands waiting in the admission queue"),
+    "serve.register_query.seconds": ("histogram", "seconds per serve query registration"),
+    "serve.rejected": ("counter", "commands rejected at the edge, by reason"),
+    "serve.sessions": ("gauge", "connected sessions"),
+    "serve.shed": ("counter", "queued commands shed under overload"),
+    # -- timeline / SLO / flight (this layer's own telemetry) -------------
+    "flight.events": ("counter", "events appended to the flight recorder"),
+    "slo.breaches": ("counter", "transitions into the breach state, by rule"),
+    "slo.state": ("gauge", "per-rule SLO state: 0=ok 1=warn 2=breach"),
+    "timeline.sample_errors": ("counter", "timeline collection failures"),
+    "timeline.samples": ("counter", "registry snapshots folded into the timeline"),
+}
+
+
+def known(name: str) -> bool:
+    """Is ``name`` a minted metric (exact catalog match)?"""
+    return name in CATALOG
+
+
+def kind_of(name: str) -> str | None:
+    """The catalogued instrument kind of ``name`` (None when unknown)."""
+    entry = CATALOG.get(name)
+    return entry[0] if entry else None
+
+
+def help_of(name: str) -> str | None:
+    """The catalogued help string of ``name`` (None when unknown)."""
+    entry = CATALOG.get(name)
+    return entry[1] if entry else None

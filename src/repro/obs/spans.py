@@ -156,6 +156,11 @@ def clear_spans() -> None:
     _ring.clear()
 
 
+def last_span() -> SpanRecord | None:
+    """The most recently closed span, or None (O(1), no snapshot copy)."""
+    return _ring[-1] if _ring else None
+
+
 def set_span_capacity(capacity: int) -> None:
     """Resize the ring buffer (keeps the newest records that fit)."""
     global _ring

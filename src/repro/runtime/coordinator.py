@@ -182,6 +182,11 @@ class ShardedMonitor:
         Payload bytes per shard ring (``shm=True`` only).  A full ring
         falls back to inline payloads — lossless, just counted on
         ``shm.ring_overflow``.
+    flight_dir:
+        Directory for per-shard flight-recorder journals
+        (``flight-shard<N>.jsonl``, flushed per command so they survive
+        SIGKILL) and crash/SIGUSR2 dumps.  ``None`` disables the
+        recorder entirely.
     """
 
     def __init__(
@@ -200,6 +205,7 @@ class ShardedMonitor:
         start_method: str | None = None,
         shm: bool = False,
         ring_capacity: int = DEFAULT_RING_CAPACITY,
+        flight_dir: str | Path | None = None,
     ) -> None:
         global _INSTANCE_COUNTER
         if num_workers < 1:
@@ -223,6 +229,7 @@ class ShardedMonitor:
             scheme=scheme,
             coalesce=coalesce,
             shm=shm,
+            flight_dir=str(flight_dir) if flight_dir is not None else None,
         )
         self.num_workers = num_workers
         self.queue_capacity = queue_capacity

@@ -70,6 +70,7 @@ class WorkerSpec:
     shm: bool = False  # shared-memory NPV plane + payload ring
     ring: str | None = None  # payload-ring segment name (coordinator-created)
     segment_prefix: str | None = None  # namespace for this worker's segments
+    flight_dir: str | None = None  # flight-recorder journal/dump directory
 
     def build_monitor(self, plane: NpvPlane | None = None) -> StreamMonitor:
         """A fresh monitor, restored from ``restore_dir`` when set.
@@ -234,6 +235,16 @@ def worker_main(shard_id: int, spec: WorkerSpec, inbox, outbox) -> None:
     obs.trace.reset()
     obs.clear_spans()
     obs.set_registry(obs.Registry())
+    # The flight recorder's JSONL journal is flushed per event, so even a
+    # SIGKILL — no handlers, no unwinding — leaves the last pre-crash
+    # commands readable on disk.  SIGUSR2 dumps a full snapshot on demand
+    # (``repro flight signal``).
+    flight = None
+    if spec.flight_dir is not None:
+        flight = obs.FlightRecorder(
+            Path(spec.flight_dir) / f"flight-shard{shard_id}.jsonl"
+        )
+        obs.install_signal_dump(flight, spec.flight_dir)
     try:
         plane = None
         ring = None
@@ -248,6 +259,12 @@ def worker_main(shard_id: int, spec: WorkerSpec, inbox, outbox) -> None:
         )
     except BaseException:  # noqa: BLE001 - startup failures must surface
         outbox.put(("error", None, shard_id, traceback.format_exc()))
+        if flight is not None:
+            flight.note("crash", stage="startup")
+            flight.dump(
+                Path(spec.flight_dir) / f"flight-shard{shard_id}-crash.json",
+                reason="startup-crash",
+            )
         raise
     while True:
         envelope = inbox.get()
@@ -255,10 +272,27 @@ def worker_main(shard_id: int, spec: WorkerSpec, inbox, outbox) -> None:
         try:
             with obs.attached(ctx):
                 response = state.execute(command)
+            if flight is not None and command[0] in STATE_COMMANDS:
+                closed = obs.last_span()
+                flight.note(
+                    "command",
+                    verb=command[0],
+                    span=closed.name if closed is not None else None,
+                    duration=closed.duration if closed is not None else None,
+                    trace_id=closed.trace_id if closed is not None else None,
+                )
         except BaseException:  # noqa: BLE001 - report, then die loudly
             outbox.put(("error", None, shard_id, traceback.format_exc()))
+            if flight is not None:
+                flight.note("crash", verb=command[0])
+                flight.dump(
+                    Path(spec.flight_dir) / f"flight-shard{shard_id}-crash.json",
+                    reason="command-crash",
+                )
             raise
         if response is not None:
             outbox.put(response)
         if command[0] == CMD_STOP:
+            if flight is not None:
+                flight.close()
             return

@@ -10,12 +10,20 @@ historical stdin line protocol of ``repro serve`` is a thin synchronous
 adapter (:func:`~repro.serve.session.serve_lines`) over the same
 protocol/session code.
 
+An optional HTTP observability endpoint
+(:class:`~repro.serve.http.ObservabilityEndpoint`, ``--http`` on the
+CLI) shares the loop: Prometheus ``/metrics``, ``/healthz``,
+drain-aware ``/readyz``, ``/slo``, ``/timeline.json``, and a
+``/trace`` Perfetto download — see the endpoint table in
+``docs/serving.md``.
+
 This is the only unit allowed to use :mod:`asyncio` (rule RP017); see
 ``docs/serving.md`` for the protocol specification.
 """
 
 from .admission import CircuitBreaker, TokenBucket
 from .dlq import DeadLetter, DeadLetterQueue
+from .http import ObservabilityEndpoint
 from .protocol import ProtocolError, parse_json_line, parse_text_line
 from .server import (
     ReproServer,
@@ -31,6 +39,7 @@ __all__ = [
     "DeadLetter",
     "DeadLetterQueue",
     "MonitorBridge",
+    "ObservabilityEndpoint",
     "ProtocolError",
     "ReproServer",
     "ServeConfig",

@@ -24,9 +24,21 @@ commands are refused, and the client is told).  Control commands
 stays observable.
 
 Draining (SIGTERM or :meth:`ReproServer.drain`) stops the listener,
-tells every session ``{"notice": "draining"}``, lets the writer flush
-everything already admitted, checkpoints when configured, and only
-then closes.
+tells every session ``{"notice": "draining"}``, holds ``drain_grace``
+seconds so load balancers see ``/readyz`` flip to 503 before in-flight
+work finishes, lets the writer flush everything already admitted,
+checkpoints when configured, and only then closes.
+
+Observability rides the same loop: an optional HTTP endpoint
+(:class:`~repro.serve.http.ObservabilityEndpoint`) serves scrapes and
+health probes, a periodic sampler folds the merged registry summary
+into a :class:`~repro.obs.timeline.Timeline` and re-evaluates the
+:class:`~repro.obs.slo.SloEngine`, and a
+:class:`~repro.obs.flight.FlightRecorder` journals every refusal,
+shed, and dead-letter so overload incidents are reconstructable.  The
+sampler only reads snapshots between writer commands (no awaits inside
+the monitor critical section), so it can never interleave with a
+half-executed command.
 """
 
 from __future__ import annotations
@@ -34,11 +46,13 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable
 
 from .. import obs
 from .admission import CircuitBreaker, TokenBucket
 from .dlq import DeadLetterQueue
+from .http import ObservabilityEndpoint
 from .lifecycle import Lifecycle, install_signal_handlers
 from .protocol import (
     Command,
@@ -47,7 +61,7 @@ from .protocol import (
     encode_reply,
     parse_json_line,
 )
-from .session import MonitorBridge, Session
+from .session import MonitorBridge, Session, collect_obs_summary
 
 __all__ = [
     "ServeConfig",
@@ -80,6 +94,20 @@ class ServeConfig:
     breaker_threshold: float = 0.0
     breaker_cooldown: float = 1.0
     breaker_trip_after: int = 3
+    #: Observability endpoint bind (None = no HTTP endpoint).
+    http_host: str | None = None
+    http_port: int = 0
+    #: Seconds to hold between the draining notice and the writer
+    #: sentinel, so ``/readyz`` flips to 503 while work still flows
+    #: (the Kubernetes preStop pattern).
+    drain_grace: float = 0.0
+    #: Metrics-timeline sampler cadence and ring size.
+    timeline_interval: float = 1.0
+    timeline_capacity: int = 512
+    #: Directory for the flight-recorder journal (None = in-memory only).
+    flight_dir: str | None = None
+    #: SLO rule overrides (() = the stock DEFAULT_RULES).
+    slo_rules: tuple = ()
 
     def __post_init__(self) -> None:
         if self.admission_policy not in ("reject", "shed"):
@@ -89,6 +117,12 @@ class ServeConfig:
             )
         if self.admission_capacity < 1:
             raise ValueError("admission_capacity must be >= 1")
+        if self.drain_grace < 0:
+            raise ValueError("drain_grace must be >= 0 seconds")
+        if self.timeline_interval <= 0:
+            raise ValueError("timeline_interval must be > 0 seconds")
+        if self.timeline_capacity < 2:
+            raise ValueError("timeline_capacity must be >= 2")
 
 
 @dataclass
@@ -150,23 +184,68 @@ class ReproServer:
         self._breaker_gauge = obs.gauge(
             "serve.breaker_state", "0=closed 1=half-open 2=open"
         )
+        self.timeline = obs.Timeline(capacity=self.config.timeline_capacity)
+        self.slo = obs.SloEngine(
+            rules=self.config.slo_rules or None, timeline=self.timeline
+        )
+        flight_path = (
+            Path(self.config.flight_dir) / "flight-serve.jsonl"
+            if self.config.flight_dir
+            else None
+        )
+        self.flight = obs.FlightRecorder(path=flight_path)
+        self.http: ObservabilityEndpoint | None = None
+        self._sampler_task: asyncio.Task | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listener and launch the single writer task."""
+        """Bind the listener(s) and launch the writer + sampler tasks."""
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port
         )
-        self._writer_task = asyncio.get_running_loop().create_task(
-            self._writer_loop()
-        )
+        loop = asyncio.get_running_loop()
+        self._writer_task = loop.create_task(self._writer_loop())
+        if self.config.http_host is not None:
+            self.http = ObservabilityEndpoint(
+                self.config.http_host,
+                self.config.http_port,
+                summary=lambda: collect_obs_summary(self.monitor),
+                ready=lambda: not self.lifecycle.draining,
+                slo=self.slo.snapshot,
+                timeline=self.timeline,
+            )
+            await self.http.start()
+        self._sampler_task = loop.create_task(self._sample_loop())
         self.lifecycle.mark_serving()
 
     @property
     def port(self) -> int:
         assert self._server is not None, "server not started"
         return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def http_port(self) -> int:
+        assert self.http is not None, "observability endpoint not configured"
+        return self.http.address[1]
+
+    async def _sample_loop(self) -> None:
+        """Fold a registry snapshot into the timeline every interval and
+        re-evaluate the SLO rules over it."""
+        while True:
+            await asyncio.sleep(self.config.timeline_interval)
+            try:
+                self.timeline.sample(collect_obs_summary(self.monitor))
+                self.slo.evaluate()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A failed sample must never kill the sampler (a sharded
+                # monitor mid-rescale can transiently refuse stats); the
+                # failure stays visible as a counter.
+                obs.counter(
+                    "timeline.sample_errors", "timeline collection failures"
+                ).inc()
 
     def request_drain(self) -> None:
         """Signal-handler entry: schedule a drain on the running loop."""
@@ -194,6 +273,10 @@ class ReproServer:
                 await writer.drain()
             except (ConnectionError, RuntimeError, OSError):
                 continue
+        if self.config.drain_grace > 0:
+            # Hold with /readyz already 503 so load balancers deroute
+            # before the writer stops taking work.
+            await asyncio.sleep(self.config.drain_grace)
         # The queue is FIFO: everything admitted before the sentinel is
         # executed (and its reply future resolved) before the writer
         # task exits — no acked batch is lost.
@@ -212,6 +295,15 @@ class ReproServer:
                 writer.close()
             except RuntimeError:
                 continue
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass  # the cancellation we just requested
+        if self.http is not None:
+            await self.http.stop()
+        self.flight.close()
         self.lifecycle.mark_stopped()
 
     async def wait_stopped(self) -> None:
@@ -238,6 +330,7 @@ class ReproServer:
             "commands rejected at the edge",
             labels={"reason": reason},
         ).inc()
+        self.flight.note("refusal", code=code, reason=reason)
         return {
             "ok": False,
             "code": code,
@@ -275,6 +368,11 @@ class ReproServer:
             self._data_depth -= 1
             self.counters["shed"] += 1
             self._shed.inc()
+            self.flight.note(
+                "shed",
+                session=victim.session.session_id,
+                verb=victim.command.verb,
+            )
             if not victim.future.done():
                 victim.future.set_result(
                     {
@@ -325,6 +423,13 @@ class ReproServer:
             if item.is_data:
                 elapsed = max(loop.time() - started, 1e-6)
                 self._service_ema = 0.8 * self._service_ema + 0.2 * elapsed
+            if isinstance(reply, dict) and "dlq_id" in reply:
+                self.flight.note(
+                    "dead_letter",
+                    dlq_id=reply["dlq_id"],
+                    code=reply.get("code"),
+                    verb=item.command.verb,
+                )
             if not item.future.done():
                 item.future.set_result(reply)
 
@@ -433,14 +538,15 @@ def run_server(
                 asyncio.get_running_loop(), server.request_drain
             )
         if emit is not None:
-            emit(
-                {
-                    "ok": True,
-                    "notice": "listening",
-                    "host": config.host,
-                    "port": server.port,
-                }
-            )
+            notice = {
+                "ok": True,
+                "notice": "listening",
+                "host": config.host,
+                "port": server.port,
+            }
+            if server.http is not None:
+                notice["http_host"], notice["http_port"] = server.http.address
+            emit(notice)
         if ready is not None:
             ready(server)
         await server.wait_stopped()

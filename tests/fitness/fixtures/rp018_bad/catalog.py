@@ -1,0 +1,8 @@
+# module: repro.obs.catalog
+"""A miniature metric catalog for the RP018 fixture."""
+
+CATALOG = {
+    "serve.commit.seconds": ("histogram", "seconds per serve commit"),
+    "serve.rejected": ("counter", "commands rejected at the edge"),
+    "filter.fp_ratio_estimate": ("gauge", "sampled FP-ratio estimate"),
+}

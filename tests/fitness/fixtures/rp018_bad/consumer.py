@@ -1,0 +1,15 @@
+# module: repro.dashboard
+"""A dashboard consumer with one typo'd metric name.
+
+``serve.commit.seconds`` exists in the catalog; ``serve.comit.seconds``
+does not — the panel built on it would render empty forever without
+RP018 noticing the misspelling.  Names inside docstrings (like the two
+above, or ``repro.obs.quality``) must never be flagged.
+"""
+
+
+def render(summary):
+    good = summary.get("serve.commit.seconds")
+    typo = summary.get("serve.comit.seconds")  # expect-violation
+    fp = summary.get("filter.fp_ratio_estimate")
+    return good, typo, fp

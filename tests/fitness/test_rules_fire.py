@@ -123,16 +123,22 @@ PROJECT_CASES = {
 _MODULE_HEADER = re.compile(r"# module: (\S+)")
 
 
-def _rp015_entries() -> list[tuple[str, str, str | None, str | None]]:
-    """The multi-module RP015 fixture: each file declares its pretend
-    module with a ``# module: <dotted>`` header comment."""
+def _multi_module_entries(
+    fixture_dir: str,
+) -> list[tuple[str, str, str | None, str | None]]:
+    """A directory fixture: each file declares its pretend module with a
+    ``# module: <dotted>`` header comment."""
     entries = []
-    for path in sorted((FIXTURES / "rp015_bad").glob("*.py")):
+    for path in sorted((FIXTURES / fixture_dir).glob("*.py")):
         text = path.read_text()
         header = _MODULE_HEADER.match(text)
         assert header, f"{path} is missing its '# module:' header"
         entries.append((text, str(path), header.group(1), None))
     return entries
+
+
+def _rp015_entries() -> list[tuple[str, str, str | None, str | None]]:
+    return _multi_module_entries("rp015_bad")
 
 
 def _project_findings(
@@ -201,3 +207,64 @@ def test_noqa_silences_project_rules(fixture_name: str) -> None:
     filtered = Analyzer._apply_suppressions(silenced, findings)
 
     assert filtered == []
+
+
+def test_rp018_fires_on_uncatalogued_metric_name() -> None:
+    """The two-module fixture pairs a miniature literal CATALOG with a
+    dashboard consumer holding one typo'd metric literal; RP018 must
+    flag exactly the typo'd line and leave catalogued names and
+    docstring look-alikes alone."""
+    entries = _multi_module_entries("rp018_bad")
+    expected = {
+        (path, lineno)
+        for _, path, _, _ in entries
+        for lineno in _expected_lines(Path(path))
+    }
+    assert expected
+
+    findings = _project_findings("RP018", entries)
+
+    assert {(f.path, f.line) for f in findings} == expected
+    assert {f.rule_id for f in findings} == {"RP018"}
+    assert all("serve.comit.seconds" in f.message for f in findings)
+
+
+def test_rp018_noqa_silences_the_finding() -> None:
+    entries = _multi_module_entries("rp018_bad")
+    silenced_entries = []
+    consumer_text = None
+    for text, path, module, unit in entries:
+        if module == "repro.dashboard":
+            lines = text.splitlines()
+            for lineno in _expected_lines(Path(path)):
+                lines[lineno - 1] += "  # repro: noqa[RP018]"
+            text = "\n".join(lines) + "\n"
+            consumer_text = text
+        silenced_entries.append((text, path, module, unit))
+    assert consumer_text is not None
+
+    findings = _project_findings("RP018", silenced_entries)
+    filtered = Analyzer._apply_suppressions(consumer_text, findings)
+
+    assert filtered == []
+
+
+def test_rp018_flags_catalog_module_without_literal_dict() -> None:
+    """If the catalog module exists but CATALOG is not a literal dict,
+    the rule anchors a single finding on the catalog itself (it cannot
+    vouch for any consumer)."""
+    catalog_text = (
+        "# module: repro.obs.catalog\n"
+        "def _build():\n"
+        "    return {}\n"
+        "CATALOG = _build()\n"
+    )
+    entries = [
+        (catalog_text, "catalog.py", "repro.obs.catalog", None),
+    ]
+
+    findings = _project_findings("RP018", entries)
+
+    assert {f.rule_id for f in findings} == {"RP018"}
+    assert len(findings) == 1
+    assert "literal" in findings[0].message

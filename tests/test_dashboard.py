@@ -16,7 +16,7 @@ from repro.dashboard import (
     render_dashboard,
     run_top,
 )
-from repro.obs import Registry
+from repro.obs import Registry, Timeline
 
 from .conftest import random_labeled_graph
 
@@ -207,6 +207,88 @@ class TestRenderDashboard:
         frame = render_dashboard(stats)
         assert "apply latency" in frame and "(n=" in frame
         assert "pruning power" in frame
+
+
+class TestWindowedPercentiles:
+    def timeline_with_burst(self) -> "Timeline":
+        """Two samples: the baseline carries the lifetime HIST counts,
+        the second adds ten fast (<1ms) observations — so the windowed
+        view shows the burst, not the lifetime mix."""
+        timeline = Timeline()
+        first = dict(HIST)
+        timeline.sample({"monitor.apply.seconds": first}, t=0.0)
+        second = dict(HIST)
+        second["counts"] = [12, 6, 2, 0]
+        second["count"] = 20
+        second["sum"] = 0.065
+        timeline.sample({"monitor.apply.seconds": second}, t=1.0)
+        return timeline
+
+    def test_without_timeline_percentiles_are_lifetime(self):
+        frame = render_dashboard(synthetic_stats())
+        assert "(n=10, lifetime)" in frame
+
+    def test_with_timeline_percentiles_use_window_deltas(self):
+        frame = render_dashboard(
+            synthetic_stats(), timeline=self.timeline_with_burst()
+        )
+        # Only the ten-fast-observation delta is in the window: n=10,
+        # scope "window", and every percentile sits in the sub-1ms
+        # bucket even though the lifetime histogram crosses 10ms.
+        assert "(n=10, window)" in frame
+        assert "(n=10, lifetime)" not in frame
+        apply_line = next(
+            line for line in frame.splitlines() if "apply latency" in line
+        )
+        assert "ms" not in apply_line  # all three percentiles render in us
+
+    def test_idle_window_falls_back_to_lifetime(self):
+        timeline = Timeline()
+        timeline.sample({"monitor.apply.seconds": dict(HIST)}, t=0.0)
+        timeline.sample({"monitor.apply.seconds": dict(HIST)}, t=1.0)
+        frame = render_dashboard(synthetic_stats(), timeline=timeline)
+        assert "(n=10, lifetime)" in frame
+
+
+class TestOverloadPanel:
+    def overload_timeline(self) -> "Timeline":
+        timeline = Timeline()
+
+        def summary(admitted, rejected, breaker):
+            return {
+                "serve.admitted": {"kind": "counter", "help": "", "value": admitted},
+                "serve.rejected": {"kind": "counter", "help": "", "value": rejected},
+                "serve.breaker_state": {"kind": "gauge", "help": "", "value": breaker},
+            }
+
+        timeline.sample(summary(0, 0, 0), t=0.0)
+        timeline.sample(summary(10, 0, 0), t=1.0)
+        timeline.sample(summary(12, 30, 2), t=2.0)
+        timeline.sample(summary(12, 31, 0), t=3.0)
+        return timeline
+
+    def test_panel_shows_sparklines_and_breaker_transitions(self):
+        frame = render_dashboard(synthetic_stats(), timeline=self.overload_timeline())
+        assert "overload timeline" in frame
+        lines = {
+            line.split("[")[0].strip(): line
+            for line in frame.splitlines()
+            if "[" in line
+        }
+        assert "peak=10.0/s" in lines["admitted"]
+        assert "peak=30.0/s" in lines["rejected"]
+        assert "peak=0.0/s" in lines["shed"]
+        # closed -> open -> closed: two transitions, glyphs . and !.
+        assert "transitions=2" in lines["breaker"]
+        assert "!" in lines["breaker"]
+
+    def test_panel_absent_without_timeline_or_traffic(self):
+        assert "overload timeline" not in render_dashboard(synthetic_stats())
+        idle = Timeline()
+        idle.sample({}, t=0.0)
+        idle.sample({}, t=1.0)
+        frame = render_dashboard(synthetic_stats(), timeline=idle)
+        assert "overload timeline" not in frame
 
 
 class TestRunTop:
